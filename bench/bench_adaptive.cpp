@@ -1,0 +1,145 @@
+// E12 — adaptive strategy selection vs fixed strategies (the paper's
+// Sect. V future work: query plans under a mixture of traffic and
+// response-time objectives).
+//
+// Expected shape: on a workload mixing short skewed provider lists (chain
+// territory) with long balanced ones (scatter/gather territory), the
+// adaptive chooser tracks the better fixed strategy on both objectives,
+// beating each fixed policy on the metric it neglects.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+using optimizer::PrimitiveStrategy;
+
+/// Workload with heterogeneous provider shapes: half the queried targets
+/// have 3 skewed providers, half have 12 balanced ones.
+struct Setup {
+  workload::Testbed bed;
+  std::vector<std::string> queries;
+
+  Setup()
+      : bed([] {
+          workload::TestbedConfig cfg;
+          cfg.index_nodes = 8;
+          cfg.storage_nodes = 13;  // 12 providers + data-free initiator
+          cfg.foaf.persons = 0;
+          return cfg;
+        }()) {
+    rdf::Term knows = rdf::Term::iri(std::string(workload::foaf::kKnows));
+    auto person = [](const std::string& n) {
+      return rdf::Term::iri("http://example.org/people/" + n);
+    };
+    // Targets t0..t3: three providers with sizes 2/4/40 (skewed, short).
+    for (int t = 0; t < 4; ++t) {
+      rdf::Term target = person("skewed" + std::to_string(t));
+      int sizes[3] = {2, 4, 40};
+      for (int pi = 0; pi < 3; ++pi) {
+        std::vector<rdf::Triple> triples;
+        for (int j = 0; j < sizes[pi]; ++j) {
+          triples.push_back({person("s" + std::to_string(t) + "_" +
+                                    std::to_string(pi) + "_" +
+                                    std::to_string(j)),
+                             knows, target});
+        }
+        bed.overlay().share_triples(
+            bed.storage_addrs()[static_cast<std::size_t>(pi)], triples, 0);
+      }
+      queries.push_back(
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+          "SELECT ?x WHERE { ?x foaf:knows "
+          "<http://example.org/people/skewed" +
+          std::to_string(t) + "> . }");
+    }
+    // Targets u0..u3: twelve balanced providers with 8 rows each.
+    for (int t = 0; t < 4; ++t) {
+      rdf::Term target = person("balanced" + std::to_string(t));
+      for (int pi = 0; pi < 12; ++pi) {
+        std::vector<rdf::Triple> triples;
+        for (int j = 0; j < 8; ++j) {
+          triples.push_back({person("b" + std::to_string(t) + "_" +
+                                    std::to_string(pi) + "_" +
+                                    std::to_string(j)),
+                             knows, target});
+        }
+        bed.overlay().share_triples(
+            bed.storage_addrs()[static_cast<std::size_t>(pi)], triples, 0);
+      }
+      queries.push_back(
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+          "SELECT ?x WHERE { ?x foaf:knows "
+          "<http://example.org/people/balanced" +
+          std::to_string(t) + "> . }");
+    }
+    bed.network().reset_stats();
+  }
+};
+
+void run_policy(benchmark::State& state, const dqp::ExecutionPolicy& policy) {
+  Setup setup;
+  dqp::DistributedQueryProcessor proc(setup.bed.overlay(), policy);
+  for (auto _ : state) {
+    std::vector<dqp::ExecutionReport> reports;
+    for (const std::string& q : setup.queries) {
+      dqp::ExecutionReport rep;
+      benchmark::DoNotOptimize(
+          proc.execute(q, setup.bed.storage_addrs().back(), &rep));
+      reports.push_back(rep);
+    }
+    benchutil::report_mean_counters(state, reports);
+  }
+}
+
+void BM_Adaptive_FixedBasic(benchmark::State& state) {
+  dqp::ExecutionPolicy policy;
+  policy.primitive = PrimitiveStrategy::kBasic;
+  run_policy(state, policy);
+}
+
+void BM_Adaptive_FixedFrequencyChain(benchmark::State& state) {
+  dqp::ExecutionPolicy policy;
+  policy.primitive = PrimitiveStrategy::kFrequencyChain;
+  run_policy(state, policy);
+}
+
+void BM_Adaptive_TrafficObjective(benchmark::State& state) {
+  dqp::ExecutionPolicy policy;
+  policy.adaptive = true;
+  policy.objectives = {1.0, 0.0};
+  run_policy(state, policy);
+}
+
+void BM_Adaptive_LatencyObjective(benchmark::State& state) {
+  dqp::ExecutionPolicy policy;
+  policy.adaptive = true;
+  policy.objectives = {0.0, 1.0};
+  run_policy(state, policy);
+}
+
+void BM_Adaptive_MixedObjective(benchmark::State& state) {
+  dqp::ExecutionPolicy policy;
+  policy.adaptive = true;
+  // 1 ms of response time valued as 100 bytes of traffic.
+  policy.objectives = {1.0, 100.0};
+  run_policy(state, policy);
+}
+
+BENCHMARK(BM_Adaptive_FixedBasic)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adaptive_FixedFrequencyChain)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adaptive_TrafficObjective)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adaptive_LatencyObjective)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adaptive_MixedObjective)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

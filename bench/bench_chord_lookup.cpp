@@ -1,0 +1,97 @@
+// E1 — Chord lookup scaling (the property the architecture's level-1 index
+// inherits from Stoica et al.): average lookup hops grow as O(log N) in the
+// number of index nodes.
+//
+// Series reported: avg_hops, p_max_hops, routing messages per lookup, and
+// simulated lookup latency, for rings of 2^4 .. 2^12 index nodes.
+#include <benchmark/benchmark.h>
+
+#include "chord/ring.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+void BM_ChordLookupHops(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  net::Network network;
+  chord::Ring ring(network, chord::RingConfig{32, 4});
+  common::Rng rng(1234);
+
+  std::vector<chord::Key> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    chord::Key id = ring.truncate(rng.next());
+    while (ring.contains(id)) id = ring.truncate(rng.next());
+    if (i == 0) {
+      ring.create(network.allocate_address(), id);
+    } else {
+      ring.join(network.allocate_address(), id, ids.front(), 0);
+    }
+    ids.push_back(id);
+  }
+  ring.fix_all_fingers_oracle();
+
+  const int lookups = 500;
+  for (auto _ : state) {
+    network.reset_stats();
+    double total_hops = 0;
+    int max_hops = 0;
+    double total_latency = 0;
+    for (int i = 0; i < lookups; ++i) {
+      chord::Key from = ids[rng.below(ids.size())];
+      chord::Ring::LookupResult r =
+          ring.find_successor(from, ring.truncate(rng.next()), 0);
+      benchmark::DoNotOptimize(r.owner);
+      total_hops += r.hops;
+      max_hops = std::max(max_hops, r.hops);
+      total_latency += r.completed_at;
+    }
+    state.counters["avg_hops"] = total_hops / lookups;
+    state.counters["max_hops"] = static_cast<double>(max_hops);
+    state.counters["msgs_per_lookup"] =
+        static_cast<double>(network.stats().messages) / lookups;
+    state.counters["avg_latency_ms"] = total_latency / lookups;
+  }
+}
+
+BENCHMARK(BM_ChordLookupHops)
+    ->RangeMultiplier(2)
+    ->Range(16, 4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChordJoinCost(benchmark::State& state) {
+  // Join traffic as the ring grows: messages charged for the lookup +
+  // finger construction of one joining node.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    net::Network network;
+    chord::Ring ring(network, chord::RingConfig{32, 4});
+    common::Rng rng(99);
+    chord::Key first = ring.truncate(rng.next());
+    ring.create(network.allocate_address(), first);
+    for (std::size_t i = 1; i < n; ++i) {
+      chord::Key id = ring.truncate(rng.next());
+      while (ring.contains(id)) id = ring.truncate(rng.next());
+      ring.join(network.allocate_address(), id, first, 0);
+    }
+    ring.fix_all_fingers_oracle();
+    network.reset_stats();
+    chord::Key id = ring.truncate(rng.next());
+    while (ring.contains(id)) id = ring.truncate(rng.next());
+    chord::Ring::JoinResult jr = ring.join(network.allocate_address(), id,
+                                           first, 0);
+    state.counters["join_msgs"] =
+        static_cast<double>(network.stats().messages);
+    state.counters["join_lookup_hops"] = static_cast<double>(jr.lookup_hops);
+  }
+}
+
+BENCHMARK(BM_ChordJoinCost)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,192 @@
+// E8 — churn resilience (Sect. III-C/III-D): query completeness and repair
+// traffic under storage- and index-node failures, with and without
+// location-table replication.
+//
+// Expected shape: storage failures only remove the dead nodes' own data
+// (answers stay correct w.r.t. live data, at a timeout cost that lazy
+// repair eliminates after the first hit). Index failures lose location rows
+// unless replication >= 2 masks them; republication restores service at a
+// bounded index-traffic cost.
+#include "bench_util.hpp"
+#include "workload/queries.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+workload::TestbedConfig base_config(int replication) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 16;
+  cfg.storage_nodes = 16;
+  cfg.overlay.replication_factor = replication;
+  cfg.foaf.persons = 300;
+  cfg.foaf.seed = 91;
+  cfg.partition.seed = 92;
+  return cfg;
+}
+
+/// Fraction of oracle rows the distributed answer recovers (1.0 = complete).
+double completeness(workload::Testbed& bed,
+                    dqp::DistributedQueryProcessor& proc,
+                    const std::string& query,
+                    const sparql::SolutionSet& reference) {
+  sparql::QueryResult dist =
+      proc.execute(query, bed.storage_addrs().front(), nullptr);
+  sparql::SolutionSet got = sparql::deduplicated(dist.solutions);
+  if (reference.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const sparql::Binding& b : reference.rows()) {
+    for (const sparql::Binding& g : got.rows()) {
+      if (b == g) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(reference.size());
+}
+
+const char* kQuery =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }";
+
+void BM_Churn_StorageFailures(benchmark::State& state) {
+  const int fail_pct = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    workload::Testbed bed(base_config(1));
+    dqp::DistributedQueryProcessor proc(bed.overlay());
+    sparql::QueryResult before =
+        proc.execute(kQuery, bed.storage_addrs().front(), nullptr);
+    sparql::SolutionSet reference = sparql::deduplicated(before.solutions);
+
+    std::size_t to_fail = bed.storage_addrs().size() *
+                          static_cast<std::size_t>(fail_pct) / 100;
+    for (std::size_t i = 0; i < to_fail; ++i) {
+      bed.overlay().storage_node_fail(bed.storage_addrs()[i + 1]);
+    }
+    bed.network().reset_stats();
+
+    dqp::ExecutionReport first_rep;
+    (void)proc.execute(kQuery, bed.storage_addrs().front(), &first_rep);
+    dqp::ExecutionReport second_rep;
+    (void)proc.execute(kQuery, bed.storage_addrs().front(), &second_rep);
+
+    // Recall against the pre-failure answer: lost exactly the dead data.
+    state.counters["recall_vs_prefail"] =
+        completeness(bed, proc, kQuery, reference);
+    state.counters["first_timeouts"] =
+        static_cast<double>(first_rep.traffic.timeouts);
+    state.counters["post_repair_timeouts"] =
+        static_cast<double>(second_rep.traffic.timeouts);
+    state.counters["first_resp_ms"] = first_rep.response_time;
+    state.counters["post_repair_resp_ms"] = second_rep.response_time;
+  }
+}
+
+BENCHMARK(BM_Churn_StorageFailures)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Churn_IndexFailures(benchmark::State& state) {
+  const int fail_count = static_cast<int>(state.range(0));
+  const int replication = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    workload::TestbedConfig cfg = base_config(replication);
+    workload::Testbed bed(cfg);
+    dqp::DistributedQueryProcessor proc(bed.overlay());
+
+    // Many primitive queries with distinct bound terms, so the probe set
+    // touches many different index keys (a single query exercises only one
+    // location-table row and would not see most failures).
+    std::vector<std::string> probes;
+    for (int i = 0; i < 25; ++i) {
+      probes.push_back(
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+          "SELECT ?p ?o WHERE { <http://example.org/people/p" +
+          std::to_string(i * 7) + "> ?p ?o . }");
+    }
+    std::vector<sparql::SolutionSet> references;
+    for (const std::string& q : probes) {
+      references.push_back(sparql::deduplicated(
+          proc.execute(q, bed.storage_addrs().front(), nullptr).solutions));
+    }
+
+    // Fail nodes spread around the ring (adjacent-id failures would kill an
+    // owner together with its replicas and measure correlated loss instead
+    // of the replication factor).
+    std::vector<chord::Key> all_ids;
+    for (const auto& [id, ix] : bed.overlay().index_nodes()) {
+      all_ids.push_back(id);
+    }
+    std::vector<chord::Key> victims;
+    std::size_t stride = all_ids.size() / static_cast<std::size_t>(fail_count);
+    for (int i = 0; i < fail_count; ++i) {
+      victims.push_back(all_ids[static_cast<std::size_t>(i) * stride]);
+    }
+    for (chord::Key v : victims) bed.overlay().index_node_fail(v);
+    bed.network().reset_stats();
+    bed.overlay().repair(0);
+    bed.overlay().ring().fix_all_fingers_oracle();
+    auto repair_msgs = bed.network().stats().messages;
+
+    auto mean_recall = [&]() {
+      double sum = 0;
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        sum += completeness(bed, proc, probes[i], references[i]);
+      }
+      return sum / static_cast<double>(probes.size());
+    };
+
+    state.counters["recall_after_repair"] = mean_recall();
+    state.counters["repair_msgs"] = static_cast<double>(repair_msgs);
+
+    // Without replication, republication is the recovery path.
+    bed.network().reset_stats();
+    bed.overlay().republish_all(0);
+    state.counters["republish_msgs"] =
+        static_cast<double>(bed.network().stats().messages);
+    state.counters["recall_after_republish"] = mean_recall();
+  }
+}
+
+BENCHMARK(BM_Churn_IndexFailures)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Churn_IndexJoinSliceCost(benchmark::State& state) {
+  // Index-node arrival (Sect. III-C): traffic of the location-table slice
+  // transfer as the table grows.
+  const auto persons = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    workload::TestbedConfig cfg = base_config(1);
+    cfg.foaf.persons = persons;
+    workload::Testbed bed(cfg);
+    bed.network().reset_stats();
+    bed.overlay().add_index_node(0);
+    auto idx = static_cast<std::size_t>(net::Category::kIndex);
+    state.counters["slice_bytes"] =
+        static_cast<double>(bed.network().stats().bytes_by[idx]);
+    state.counters["join_msgs"] =
+        static_cast<double>(bed.network().stats().messages);
+  }
+}
+
+BENCHMARK(BM_Churn_IndexJoinSliceCost)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// E4 — conjunction graph patterns (Sect. IV-D): frequency-driven join
+// ordering and overlap-aware execution-site selection vs the naive plan.
+//
+// Expected shape: ordering by ascending estimated cardinality shrinks the
+// travelling intermediate sets; ending chains at overlap providers removes
+// whole shipments. Both effects grow with selectivity spread and overlap.
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+workload::Testbed make_bed(std::size_t persons, double overlap) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 10;
+  cfg.foaf.persons = persons;
+  cfg.foaf.nick_fraction = 0.15;  // nick is selective, knows is bulky
+  cfg.foaf.seed = 77;
+  cfg.partition.overlap = overlap;
+  cfg.partition.seed = 78;
+  return workload::Testbed(cfg);
+}
+
+// Bulky pattern first in textual order; the optimizer should flip it.
+const char* kTwoPattern =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "SELECT ?x ?z ?n WHERE { ?x foaf:knows ?z . ?z foaf:nick ?n . }";
+
+const char* kThreePattern =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "PREFIX ns: <http://example.org/ns#>\n"
+    "SELECT ?x ?y ?z WHERE { ?x foaf:knows ?z . ?x ns:knowsNothingAbout ?y ."
+    " ?y foaf:knows ?z . }";
+
+const char* kFourPattern =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "PREFIX ns: <http://example.org/ns#>\n"
+    "SELECT ?x ?y ?z WHERE { ?x foaf:name ?name . ?x foaf:knows ?z . "
+    "?x ns:knowsNothingAbout ?y . ?y foaf:knows ?z . }";
+
+void run_conjunction(benchmark::State& state, const char* query,
+                     bool freq_order, bool overlap_aware) {
+  const auto persons = static_cast<std::size_t>(state.range(0));
+  const double overlap = static_cast<double>(state.range(1)) / 100.0;
+  workload::Testbed bed = make_bed(persons, overlap);
+  dqp::ExecutionPolicy policy;
+  policy.frequency_join_order = freq_order;
+  policy.overlap_aware_sites = overlap_aware;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(query, bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+#define CONJ_BENCH(name, query, freq, aware)                       \
+  void name(benchmark::State& state) {                             \
+    run_conjunction(state, query, freq, aware);                    \
+  }                                                                \
+  BENCHMARK(name)                                                  \
+      ->Args({200, 20})                                            \
+      ->Args({400, 20})                                            \
+      ->Args({400, 0})                                             \
+      ->Args({400, 40})                                            \
+      ->Iterations(1)                                              \
+      ->Unit(benchmark::kMillisecond)
+
+CONJ_BENCH(BM_Conjunction2_Naive, kTwoPattern, false, false);
+CONJ_BENCH(BM_Conjunction2_FreqOrder, kTwoPattern, true, false);
+CONJ_BENCH(BM_Conjunction2_FreqOrderOverlap, kTwoPattern, true, true);
+CONJ_BENCH(BM_Conjunction3_Naive, kThreePattern, false, false);
+CONJ_BENCH(BM_Conjunction3_FreqOrderOverlap, kThreePattern, true, true);
+CONJ_BENCH(BM_Conjunction4_Naive, kFourPattern, false, false);
+CONJ_BENCH(BM_Conjunction4_FreqOrderOverlap, kFourPattern, true, true);
+
+#undef CONJ_BENCH
+
+void BM_Conjunction_BasicIndexNodeJoin(benchmark::State& state) {
+  // The paper's basic conjunction plan: per-pattern scatter/gather at each
+  // index node, solutions forwarded between index nodes (N4 -> N15 -> N1).
+  workload::Testbed bed = make_bed(static_cast<std::size_t>(state.range(0)),
+                                   0.2);
+  dqp::ExecutionPolicy policy;
+  policy.primitive = optimizer::PrimitiveStrategy::kBasic;
+  policy.frequency_join_order = false;
+  policy.overlap_aware_sites = false;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(kTwoPattern, bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+BENCHMARK(BM_Conjunction_BasicIndexNodeJoin)
+    ->Arg(200)
+    ->Arg(400)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

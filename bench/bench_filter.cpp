@@ -1,0 +1,112 @@
+// E7 — filter pushing (Sect. IV-G): FILTER applied at the providers (pushed
+// into the BGP patterns) vs at the collecting node, across filter
+// selectivities.
+//
+// Expected shape: pushed data traffic is proportional to the filter's
+// selectivity; unpushed traffic is flat (every candidate row ships). The
+// two converge as selectivity approaches 1.
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+workload::Testbed make_bed() {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 8;
+  cfg.foaf.persons = 0;
+  workload::Testbed bed(cfg);
+  // 800 people with a uniform numeric age 0..99 spread over the nodes.
+  rdf::Term age = rdf::Term::iri(std::string(workload::foaf::kAge));
+  rdf::Term knows = rdf::Term::iri(std::string(workload::foaf::kKnows));
+  std::vector<std::vector<rdf::Triple>> shares(bed.storage_addrs().size());
+  for (int i = 0; i < 800; ++i) {
+    rdf::Term person =
+        rdf::Term::iri("http://example.org/people/p" + std::to_string(i));
+    shares[static_cast<std::size_t>(i) % shares.size()].push_back(
+        {person, age, rdf::Term::integer(i % 100)});
+    shares[static_cast<std::size_t>(i + 3) % shares.size()].push_back(
+        {person, knows,
+         rdf::Term::iri("http://example.org/people/p" +
+                        std::to_string((i * 7) % 800))});
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    bed.overlay().share_triples(bed.storage_addrs()[i], shares[i], 0);
+  }
+  bed.network().reset_stats();
+  return bed;
+}
+
+/// Query selecting the fraction of people with age above a threshold;
+/// threshold 100 - selectivity%.
+std::string query_with_selectivity(int selectivity_pct) {
+  return "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+         "SELECT ?x ?y WHERE { ?x foaf:age ?a . ?x foaf:knows ?y . "
+         "FILTER(?a >= " +
+         std::to_string(100 - selectivity_pct) + ") }";
+}
+
+void run_filter(benchmark::State& state, bool push) {
+  const int selectivity = static_cast<int>(state.range(0));
+  workload::Testbed bed = make_bed();
+  dqp::ExecutionPolicy policy;
+  policy.push_filters = push;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  std::string query = query_with_selectivity(selectivity);
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    sparql::QueryResult r =
+        proc.execute(query, bed.storage_addrs().front(), &rep);
+    benchmark::DoNotOptimize(r);
+    benchutil::report_counters(state, rep);
+    state.counters["rows"] = static_cast<double>(r.solutions.size());
+  }
+}
+
+void BM_Filter_AtCollector(benchmark::State& state) {
+  run_filter(state, false);
+}
+void BM_Filter_Pushed(benchmark::State& state) { run_filter(state, true); }
+
+void configure(benchmark::internal::Benchmark* b) {
+  for (int sel : {1, 5, 10, 25, 50, 100}) b->Arg(sel);
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Filter_AtCollector)->Apply(configure);
+BENCHMARK(BM_Filter_Pushed)->Apply(configure);
+
+void BM_Filter_RegexPushdown(benchmark::State& state) {
+  // The paper's Fig. 9 form: regex on names. Surname pool of 20 means the
+  // "Smith" filter keeps ~1/20 of rows.
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 8;
+  cfg.foaf.persons = 600;
+  workload::Testbed bed(cfg);
+  dqp::ExecutionPolicy policy;
+  policy.push_filters = state.range(0) != 0;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  const char* query =
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "PREFIX ns: <http://example.org/ns#>\n"
+      "SELECT ?x ?y ?z WHERE { ?x foaf:name ?name ; "
+      "ns:knowsNothingAbout ?y . FILTER regex(?name, \"Smith\") "
+      "OPTIONAL { ?y foaf:knows ?z . } }";
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(query, bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+BENCHMARK(BM_Filter_RegexPushdown)
+    ->Arg(0)   // at collector
+    ->Arg(1)   // pushed
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

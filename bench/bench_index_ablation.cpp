@@ -1,0 +1,121 @@
+// E13 — ablation of the six-key index scheme (Sect. III-B), the paper's
+// concrete extension over RDFPeers' three keys: what do the SP/PO/SO rows
+// buy, and what do they cost?
+//
+// Expected shape: the three-key variant halves index size and publish
+// traffic, but two-attribute patterns (the most common SPARQL shape: (?s,
+// p, o) and (s, p, ?o)) must contact every provider of the single
+// attribute, multiplying query traffic — increasingly so as the data
+// grows. The six-key scheme trades cheap, one-off publish cost for
+// precision on every query.
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+workload::Testbed make_bed(bool pair_keys, std::size_t persons) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 16;
+  cfg.storage_nodes = 8;
+  cfg.overlay.pair_keys = pair_keys;
+  cfg.foaf.persons = persons;
+  cfg.foaf.seed = 2024;
+  cfg.partition.seed = 2025;
+  return workload::Testbed(cfg);
+}
+
+void BM_IndexAblation_PublishCost(benchmark::State& state) {
+  const bool pair_keys = state.range(0) != 0;
+  const auto persons = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    // Rebuild and measure the publish phase explicitly (the Testbed resets
+    // stats after setup, so re-share a copy of the data).
+    workload::TestbedConfig cfg;
+    cfg.index_nodes = 16;
+    cfg.storage_nodes = 8;
+    cfg.overlay.pair_keys = pair_keys;
+    cfg.foaf.persons = 0;
+    workload::Testbed bed(cfg);
+    workload::FoafConfig foaf;
+    foaf.persons = persons;
+    foaf.seed = 2024;
+    workload::PartitionConfig part;
+    part.nodes = bed.storage_addrs().size();
+    auto shares = workload::partition(workload::generate_foaf(foaf), part);
+    bed.network().reset_stats();
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      bed.overlay().share_triples(bed.storage_addrs()[i], shares[i], 0);
+    }
+    std::size_t entries = 0;
+    for (const auto& [id, ix] : bed.overlay().index_nodes()) {
+      entries += ix.table.entry_count();
+    }
+    state.counters["publish_msgs"] =
+        static_cast<double>(bed.network().stats().messages);
+    state.counters["index_entries"] = static_cast<double>(entries);
+  }
+}
+
+BENCHMARK(BM_IndexAblation_PublishCost)
+    ->Args({1, 400})   // six keys
+    ->Args({0, 400})   // three keys
+    ->Args({1, 1600})
+    ->Args({0, 1600})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexAblation_PairPatternQuery(benchmark::State& state) {
+  const bool pair_keys = state.range(0) != 0;
+  const auto persons = static_cast<std::size_t>(state.range(1));
+  workload::Testbed bed = make_bed(pair_keys, persons);
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  // (?x, knowsNothingAbout, p0): a PO-shaped pattern whose object (the
+  // most popular person) is shared with the far bulkier foaf:knows edges.
+  // The exact PO row names the few knowsNothingAbout providers; the O-row
+  // fallback names everyone holding *any* triple about p0.
+  std::string q =
+      "PREFIX ns: <http://example.org/ns#>\n"
+      "SELECT ?x WHERE { ?x ns:knowsNothingAbout "
+      "<http://example.org/people/p0> . }";
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(q, bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+BENCHMARK(BM_IndexAblation_PairPatternQuery)
+    ->Args({1, 400})
+    ->Args({0, 400})
+    ->Args({1, 1600})
+    ->Args({0, 1600})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexAblation_SpPatternQuery(benchmark::State& state) {
+  const bool pair_keys = state.range(0) != 0;
+  workload::Testbed bed = make_bed(pair_keys, 800);
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  // (p3, knows, ?o): an SP-shaped pattern; the three-key mode falls back
+  // to the S row (all of p3's triples — a mild over-approximation).
+  std::string q =
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "SELECT ?o WHERE { <http://example.org/people/p3> foaf:knows ?o . }";
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(q, bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+BENCHMARK(BM_IndexAblation_SpPatternQuery)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// E2 — two-level index construction cost (Sect. III-B): publishing six keys
+// per shared triple. Sweeps dataset size and index-node count; reports
+// index-maintenance messages/bytes and the (parallel) completion time.
+#include <benchmark/benchmark.h>
+
+#include "workload/testbed.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto persons = static_cast<std::size_t>(state.range(0));
+  const auto index_nodes = static_cast<std::size_t>(state.range(1));
+
+  for (auto _ : state) {
+    net::Network network;
+    overlay::HybridOverlay ov(network);
+    for (std::size_t i = 0; i < index_nodes; ++i) ov.add_index_node();
+    ov.ring().fix_all_fingers_oracle();
+    std::vector<net::NodeAddress> storage;
+    for (int i = 0; i < 16; ++i) storage.push_back(ov.add_storage_node());
+
+    workload::FoafConfig foaf;
+    foaf.persons = persons;
+    workload::PartitionConfig part;
+    part.nodes = storage.size();
+    auto shares = workload::partition(workload::generate_foaf(foaf), part);
+
+    network.reset_stats();
+    net::SimTime done = 0;
+    std::size_t triples = 0;
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+      done = std::max(done, ov.share_triples(storage[i], shares[i], 0));
+      triples += shares[i].size();
+    }
+    auto idx = static_cast<std::size_t>(net::Category::kIndex);
+    auto routing = static_cast<std::size_t>(net::Category::kRouting);
+    state.counters["triples"] = static_cast<double>(triples);
+    state.counters["index_msgs"] =
+        static_cast<double>(network.stats().messages_by[idx]);
+    state.counters["routing_msgs"] =
+        static_cast<double>(network.stats().messages_by[routing]);
+    state.counters["index_bytes"] =
+        static_cast<double>(network.stats().bytes_by[idx]);
+    state.counters["msgs_per_triple"] =
+        static_cast<double>(network.stats().messages) /
+        static_cast<double>(triples == 0 ? 1 : triples);
+    state.counters["build_time_ms"] = done;
+  }
+}
+
+// Sweep dataset size at 32 index nodes, then index-node count at 800
+// persons.
+BENCHMARK(BM_IndexBuild)
+    ->Args({200, 32})
+    ->Args({400, 32})
+    ->Args({800, 32})
+    ->Args({1600, 32})
+    ->Args({3200, 32})
+    ->Args({800, 8})
+    ->Args({800, 16})
+    ->Args({800, 64})
+    ->Args({800, 128})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexReplicationOverhead(benchmark::State& state) {
+  // Replication factor sweep: extra index traffic bought for fault
+  // tolerance (Sect. III-D).
+  const auto replication = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    net::Network network;
+    overlay::OverlayConfig cfg;
+    cfg.replication_factor = replication;
+    overlay::HybridOverlay ov(network, cfg);
+    for (int i = 0; i < 16; ++i) ov.add_index_node();
+    ov.ring().fix_all_fingers_oracle();
+    std::vector<net::NodeAddress> storage;
+    for (int i = 0; i < 8; ++i) storage.push_back(ov.add_storage_node());
+    workload::FoafConfig foaf;
+    foaf.persons = 400;
+    workload::PartitionConfig part;
+    part.nodes = storage.size();
+    auto shares = workload::partition(workload::generate_foaf(foaf), part);
+    network.reset_stats();
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+      ov.share_triples(storage[i], shares[i], 0);
+    }
+    auto idx = static_cast<std::size_t>(net::Category::kIndex);
+    state.counters["index_msgs"] =
+        static_cast<double>(network.stats().messages_by[idx]);
+    state.counters["index_bytes"] =
+        static_cast<double>(network.stats().bytes_by[idx]);
+  }
+}
+
+BENCHMARK(BM_IndexReplicationOverhead)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// E5 — OPTIONAL / left outer join site selection (Sect. IV-E): move-small
+// vs query-site vs third-site across operand size ratios.
+//
+// Expected shape: move-small's shipped bytes track min(|Omega1|, |Omega2|);
+// query-site ships both operands regardless, so it loses ground as the
+// operands grow; third-site matches query-site's traffic but relocates the
+// computation to the highest-capacity node.
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+using optimizer::JoinSitePolicy;
+
+/// Mandatory side: `left` persons with knows edges; optional side: `right`
+/// of their targets have nicks. The left/right ratio is the sweep variable.
+workload::Testbed make_bed(int left, int right) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  // Node 8 (the last one) stays empty and acts as the query initiator, so
+  // query-site genuinely has to ship both operands.
+  cfg.storage_nodes = 9;
+  cfg.foaf.persons = 0;
+  workload::Testbed bed(cfg);
+  rdf::Term knows = rdf::Term::iri(std::string(workload::foaf::kKnows));
+  rdf::Term nick = rdf::Term::iri(std::string(workload::foaf::kNick));
+  auto person = [](int i) {
+    return rdf::Term::iri("http://example.org/people/p" + std::to_string(i));
+  };
+  std::vector<std::vector<rdf::Triple>> shares(bed.storage_addrs().size());
+  for (int i = 0; i < left; ++i) {
+    shares[static_cast<std::size_t>(i) % 4].push_back(
+        {person(i), knows, person(i % 50)});
+  }
+  for (int i = 0; i < right; ++i) {
+    shares[4 + static_cast<std::size_t>(i) % 4].push_back(
+        {person(i % 50), nick, rdf::Term::literal("nick" + std::to_string(i))});
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    bed.overlay().share_triples(bed.storage_addrs()[i], shares[i], 0);
+  }
+  bed.network().reset_stats();
+  return bed;
+}
+
+const char* kQuery =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "SELECT ?x ?y ?n WHERE { ?x foaf:knows ?y . "
+    "OPTIONAL { ?y foaf:nick ?n . } }";
+
+// Selective variant: only rows whose optional part matched survive, so the
+// join *output* is much smaller than its operands. This is the regime
+// where move-small (compute where the data is, ship only the small answer)
+// beats query-site (ship both operands to the initiator).
+const char* kSelectiveQuery =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "SELECT ?x ?y ?n WHERE { ?x foaf:knows ?y . "
+    "OPTIONAL { ?y foaf:nick ?n . } FILTER(bound(?n) && regex(?n, \"7$\")) }";
+
+void run_policy(benchmark::State& state, JoinSitePolicy policy_kind,
+                const char* query = kQuery) {
+  const int left = static_cast<int>(state.range(0));
+  const int right = static_cast<int>(state.range(1));
+  workload::Testbed bed = make_bed(left, right);
+  // Give a fixed node extra capacity so third-site has a distinguished
+  // choice.
+  bed.overlay().storage_state(bed.storage_addrs()[7]).capacity = 10.0;
+  dqp::ExecutionPolicy policy;
+  policy.join_site = policy_kind;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(query, bed.storage_addrs().back(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+void BM_Optional_MoveSmall(benchmark::State& state) {
+  run_policy(state, JoinSitePolicy::kMoveSmall);
+}
+void BM_Optional_QuerySite(benchmark::State& state) {
+  run_policy(state, JoinSitePolicy::kQuerySite);
+}
+void BM_Optional_ThirdSite(benchmark::State& state) {
+  run_policy(state, JoinSitePolicy::kThirdSite);
+}
+
+// Args {left, right}: |Omega1| / |Omega2| from 1:8 to 8:1.
+void configure(benchmark::internal::Benchmark* b) {
+  b->Args({50, 400})
+      ->Args({100, 200})
+      ->Args({200, 200})
+      ->Args({200, 100})
+      ->Args({400, 50})
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Optional_MoveSmall)->Apply(configure);
+BENCHMARK(BM_Optional_QuerySite)->Apply(configure);
+BENCHMARK(BM_Optional_ThirdSite)->Apply(configure);
+
+void BM_OptionalSelective_MoveSmall(benchmark::State& state) {
+  run_policy(state, JoinSitePolicy::kMoveSmall, kSelectiveQuery);
+}
+void BM_OptionalSelective_QuerySite(benchmark::State& state) {
+  run_policy(state, JoinSitePolicy::kQuerySite, kSelectiveQuery);
+}
+
+BENCHMARK(BM_OptionalSelective_MoveSmall)->Apply(configure);
+BENCHMARK(BM_OptionalSelective_QuerySite)->Apply(configure);
+
+}  // namespace

@@ -1,0 +1,122 @@
+// E3 — primitive-query strategies (Sect. IV-C): Basic vs Chain vs
+// FrequencyChain across provider counts and data skew.
+//
+// Expected shape (paper's own claims): Basic minimizes response time at the
+// cost of transmission; FrequencyChain minimizes transmission (largest
+// provider's mappings travel once) at the cost of a sequential chain's
+// response time; Chain sits between on traffic.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+using optimizer::PrimitiveStrategy;
+
+/// A controlled scenario: `providers` storage nodes hold matches for one
+/// pattern, with sizes following the given skew (size_i ~ base * (i+1)^skew).
+workload::Testbed make_bed(int providers, double skew) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  // One extra, data-free storage node acts as the query initiator so that
+  // no strategy gets a free ride by ending its chain at the initiator.
+  cfg.storage_nodes = static_cast<std::size_t>(providers) + 1;
+  cfg.foaf.persons = 0;
+  workload::Testbed bed(cfg);
+
+  rdf::Term knows = rdf::Term::iri(std::string(workload::foaf::kKnows));
+  rdf::Term target = rdf::Term::iri("http://example.org/people/p0");
+  for (int i = 0; i < providers; ++i) {
+    // Permute sizes across addresses so that address order (the plain
+    // chain) differs from ascending-frequency order (the optimized chain).
+    int rank = (i * 5 + 3) % providers;
+    int count = static_cast<int>(
+        2.0 * std::pow(static_cast<double>(rank + 1), 1.0 + skew));
+    std::vector<rdf::Triple> triples;
+    for (int j = 0; j < count; ++j) {
+      triples.push_back(
+          {rdf::Term::iri("http://example.org/people/n" + std::to_string(i) +
+                          "_" + std::to_string(j)),
+           knows, target});
+    }
+    bed.overlay().share_triples(bed.storage_addrs()[static_cast<std::size_t>(i)],
+                                triples, 0);
+  }
+  bed.network().reset_stats();
+  return bed;
+}
+
+const char* kQuery =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "SELECT ?x WHERE { ?x foaf:knows <http://example.org/people/p0> . }";
+
+void run_strategy(benchmark::State& state, PrimitiveStrategy strategy) {
+  const int providers = static_cast<int>(state.range(0));
+  const double skew = static_cast<double>(state.range(1)) / 10.0;
+  workload::Testbed bed = make_bed(providers, skew);
+  dqp::ExecutionPolicy policy;
+  policy.primitive = strategy;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(kQuery, bed.storage_addrs().back(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+void BM_Primitive_Basic(benchmark::State& state) {
+  run_strategy(state, PrimitiveStrategy::kBasic);
+}
+void BM_Primitive_Chain(benchmark::State& state) {
+  run_strategy(state, PrimitiveStrategy::kChain);
+}
+void BM_Primitive_FrequencyChain(benchmark::State& state) {
+  run_strategy(state, PrimitiveStrategy::kFrequencyChain);
+}
+
+// Args: {provider count, skew*10}. skew 0 = balanced providers, 10 = heavy.
+void configure(benchmark::internal::Benchmark* b) {
+  // Small provider counts included deliberately: the chain strategies beat
+  // Basic on traffic only while the chain is short (the paper's Sect. IV-C
+  // example has exactly three providers); the crossover is the result.
+  for (int providers : {2, 3, 4, 8, 16}) {
+    for (int skew10 : {0, 5, 10}) b->Args({providers, skew10});
+  }
+  b->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Primitive_Basic)->Apply(configure);
+BENCHMARK(BM_Primitive_Chain)->Apply(configure);
+BENCHMARK(BM_Primitive_FrequencyChain)->Apply(configure);
+
+void BM_Primitive_Broadcast(benchmark::State& state) {
+  // The (?s,?p,?o) flooding case: cost grows with the number of storage
+  // nodes because the index cannot narrow anything.
+  const int nodes = static_cast<int>(state.range(0));
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = static_cast<std::size_t>(nodes);
+  cfg.foaf.persons = 100;
+  workload::Testbed bed(cfg);
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(proc.execute(
+        "SELECT ?s ?p ?o WHERE { ?s ?p ?o . } LIMIT 10",
+        bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+BENCHMARK(BM_Primitive_Broadcast)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// E9 — end-to-end scalability: a mixed query workload (all five classes of
+// Sect. IV) against growing system sizes and datasets.
+//
+// Expected shape: per-query ring hops grow logarithmically with the index-
+// node count; per-query traffic grows with the data per pattern, not with
+// the total system size (the whole point of the two-level index vs
+// flooding).
+#include "bench_util.hpp"
+#include "workload/queries.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+void run_mix(benchmark::State& state, std::size_t index_nodes,
+             std::size_t storage_nodes, std::size_t persons) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = index_nodes;
+  cfg.storage_nodes = storage_nodes;
+  cfg.foaf.persons = persons;
+  cfg.foaf.seed = 101;
+  cfg.partition.seed = 102;
+  cfg.partition.overlap = 0.15;
+  workload::Testbed bed(cfg);
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+
+  workload::QueryMixConfig mix;
+  std::vector<std::string> queries =
+      workload::generate_query_mix(30, cfg.foaf, mix);
+
+  for (auto _ : state) {
+    std::vector<dqp::ExecutionReport> reports;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      dqp::ExecutionReport rep;
+      benchmark::DoNotOptimize(proc.execute(
+          queries[i], bed.storage_addrs()[i % bed.storage_addrs().size()],
+          &rep));
+      reports.push_back(rep);
+    }
+    benchutil::report_mean_counters(state, reports);
+    state.counters["triples"] =
+        static_cast<double>(bed.overlay().merged_store().size());
+  }
+}
+
+void BM_Scalability_IndexNodes(benchmark::State& state) {
+  run_mix(state, static_cast<std::size_t>(state.range(0)), 16, 200);
+}
+BENCHMARK(BM_Scalability_IndexNodes)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scalability_StorageNodes(benchmark::State& state) {
+  run_mix(state, 16, static_cast<std::size_t>(state.range(0)), 200);
+}
+BENCHMARK(BM_Scalability_StorageNodes)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scalability_DatasetSize(benchmark::State& state) {
+  run_mix(state, 16, 16, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_Scalability_DatasetSize)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Arg(1600)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

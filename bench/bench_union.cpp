@@ -1,0 +1,93 @@
+// E6 — UNION site selection (Sect. IV-F): ending both branch chains at a
+// shared provider makes the union free; without a shared provider the
+// operands must converge by shipping.
+//
+// Expected shape: overlap-aware execution saves bytes exactly when the
+// branch provider sets overlap; with disjoint providers the two policies
+// coincide (both fall back to move-small).
+#include "bench_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+/// Two branches (nick / mbox) over `per_branch` facts each. With
+/// shared == 1 node 4 provides BOTH branches, asymmetrically: it is the
+/// *largest* provider of branch 1 (so branch 1's frequency chain naturally
+/// ends there) but a *small* provider of branch 2 (whose natural chain end
+/// is elsewhere) — the configuration where forcing branch 2's chain to end
+/// at the shared node (Sect. IV-F) actually saves a shipment.
+workload::Testbed make_bed(int per_branch, int shared) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 6;
+  cfg.foaf.persons = 0;
+  workload::Testbed bed(cfg);
+  rdf::Term nick = rdf::Term::iri(std::string(workload::foaf::kNick));
+  rdf::Term mbox = rdf::Term::iri(std::string(workload::foaf::kMbox));
+  auto person = [](int i) {
+    return rdf::Term::iri("http://example.org/people/p" + std::to_string(i));
+  };
+  std::vector<std::vector<rdf::Triple>> shares(bed.storage_addrs().size());
+  for (int i = 0; i < per_branch; ++i) {
+    // Branch 1: 20% on node 0, 80% on node 4 (the shared heavyweight).
+    std::size_t node1 = i % 5 == 0 ? 0u : 4u;
+    // Branch 2: 80% on node 2, 20% on node 4.
+    std::size_t node2 = i % 5 == 0 ? 4u : 2u;
+    if (shared == 0) {
+      // Disjoint provider sets: branch 1 on {0, 1}, branch 2 on {2, 3}.
+      node1 = static_cast<std::size_t>(i % 5 == 0 ? 0 : 1);
+      node2 = static_cast<std::size_t>(i % 5 == 0 ? 3 : 2);
+    }
+    shares[node1].push_back(
+        {person(i), nick, rdf::Term::literal("n" + std::to_string(i))});
+    shares[node2].push_back(
+        {person(per_branch + i), mbox,
+         rdf::Term::iri("mailto:m" + std::to_string(i) + "@example.org")});
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    bed.overlay().share_triples(bed.storage_addrs()[i], shares[i], 0);
+  }
+  bed.network().reset_stats();
+  return bed;
+}
+
+const char* kQuery =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "SELECT ?x WHERE { { ?x foaf:nick ?n . } UNION { ?x foaf:mbox ?m . } }";
+
+void run_union(benchmark::State& state, bool overlap_aware) {
+  const int per_branch = static_cast<int>(state.range(0));
+  const int shared = static_cast<int>(state.range(1));
+  workload::Testbed bed = make_bed(per_branch, shared);
+  dqp::ExecutionPolicy policy;
+  policy.overlap_aware_sites = overlap_aware;
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  for (auto _ : state) {
+    dqp::ExecutionReport rep;
+    benchmark::DoNotOptimize(
+        proc.execute(kQuery, bed.storage_addrs().front(), &rep));
+    benchutil::report_counters(state, rep);
+  }
+}
+
+void BM_Union_Naive(benchmark::State& state) { run_union(state, false); }
+void BM_Union_SharedSite(benchmark::State& state) { run_union(state, true); }
+
+// Args {facts per branch, shared provider count 0..2}.
+// Args {facts per branch, shared? 0/1}.
+void configure(benchmark::internal::Benchmark* b) {
+  b->Args({100, 0})
+      ->Args({100, 1})
+      ->Args({400, 0})
+      ->Args({400, 1})
+      ->Args({1600, 1})
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Union_Naive)->Apply(configure);
+BENCHMARK(BM_Union_SharedSite)->Apply(configure);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harness.
+//
+// The benchmarks report *simulated* metrics — total inter-site traffic and
+// logical response time, the paper's two optimization criteria — through
+// benchmark counters; wall-clock time of the simulation itself is
+// irrelevant except in bench_local_engine. Every benchmark is deterministic
+// (fixed seeds), so the emitted series are exactly reproducible.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "dqp/processor.hpp"
+#include "workload/queries.hpp"
+#include "workload/testbed.hpp"
+
+namespace ahsw::benchutil {
+
+/// Publish one execution report's metrics as benchmark counters.
+inline void report_counters(benchmark::State& state,
+                            const dqp::ExecutionReport& rep) {
+  state.counters["messages"] = static_cast<double>(rep.traffic.messages);
+  state.counters["bytes"] = static_cast<double>(rep.traffic.bytes);
+  state.counters["data_bytes"] = static_cast<double>(
+      rep.traffic.bytes_by[static_cast<std::size_t>(net::Category::kData)] +
+      rep.traffic
+          .bytes_by[static_cast<std::size_t>(net::Category::kResult)]);
+  state.counters["resp_ms"] = rep.response_time;
+  state.counters["ring_hops"] = static_cast<double>(rep.ring_hops);
+  state.counters["providers"] = static_cast<double>(rep.providers_contacted);
+}
+
+/// Aggregate counters over a batch of reports (means).
+inline void report_mean_counters(benchmark::State& state,
+                                 const std::vector<dqp::ExecutionReport>& reps) {
+  double msgs = 0, bytes = 0, resp = 0, hops = 0;
+  for (const dqp::ExecutionReport& r : reps) {
+    msgs += static_cast<double>(r.traffic.messages);
+    bytes += static_cast<double>(r.traffic.bytes);
+    resp += r.response_time;
+    hops += static_cast<double>(r.ring_hops);
+  }
+  auto n = static_cast<double>(reps.empty() ? 1 : reps.size());
+  state.counters["msgs_per_q"] = msgs / n;
+  state.counters["bytes_per_q"] = bytes / n;
+  state.counters["resp_ms"] = resp / n;
+  state.counters["hops_per_q"] = hops / n;
+}
+
+}  // namespace ahsw::benchutil

@@ -1,0 +1,102 @@
+// Mixed-objective query planning — the future work of the paper's Sect. V,
+// implemented: the processor picks Basic or FrequencyChain per pattern from
+// the location table's frequency statistics, under a configurable weighting
+// of the two optimization criteria (total transmission vs response time).
+//
+//   $ ./adaptive_objectives
+#include <iomanip>
+#include <iostream>
+
+#include "dqp/processor.hpp"
+#include "workload/testbed.hpp"
+#include "workload/vocab.hpp"
+
+int main() {
+  using namespace ahsw;
+
+  // Two kinds of query targets: "club" (3 providers, heavily skewed — the
+  // paper's D1/D3/D4 situation) and "mesh" (10 balanced providers).
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 11;
+  cfg.foaf.persons = 0;
+  workload::Testbed bed(cfg);
+
+  rdf::Term knows = rdf::Term::iri(std::string(workload::foaf::kKnows));
+  auto person = [](const std::string& n) {
+    return rdf::Term::iri("http://example.org/people/" + n);
+  };
+  auto share_members = [&](std::size_t node, int count, const std::string& tag,
+                           const rdf::Term& target) {
+    std::vector<rdf::Triple> triples;
+    for (int i = 0; i < count; ++i) {
+      triples.push_back({person(tag + std::to_string(i)), knows, target});
+    }
+    bed.overlay().share_triples(bed.storage_addrs()[node], triples, 0);
+  };
+  share_members(0, 2, "c0_", person("club"));
+  share_members(1, 5, "c1_", person("club"));
+  share_members(2, 55, "c2_", person("club"));
+  for (std::size_t n = 0; n < 10; ++n) {
+    share_members(n, 9, "m" + std::to_string(n) + "_", person("mesh"));
+  }
+  bed.network().reset_stats();
+
+  const std::string club_q =
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "SELECT ?x WHERE { ?x foaf:knows <http://example.org/people/club> . }";
+  const std::string mesh_q =
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "SELECT ?x WHERE { ?x foaf:knows <http://example.org/people/mesh> . }";
+
+  struct Row {
+    const char* name;
+    dqp::ExecutionPolicy policy;
+  };
+  std::vector<Row> rows;
+  {
+    dqp::ExecutionPolicy p;
+    p.primitive = optimizer::PrimitiveStrategy::kBasic;
+    rows.push_back({"fixed basic", p});
+    p.primitive = optimizer::PrimitiveStrategy::kFrequencyChain;
+    rows.push_back({"fixed freq-chain", p});
+    dqp::ExecutionPolicy a;
+    a.adaptive = true;
+    a.objectives = {1.0, 0.0};
+    rows.push_back({"adaptive traffic", a});
+    a.objectives = {0.0, 1.0};
+    rows.push_back({"adaptive latency", a});
+    a.objectives = {1.0, 100.0};
+    rows.push_back({"adaptive mixed", a});
+  }
+
+  net::NodeAddress initiator = bed.storage_addrs().back();
+  std::cout << std::left << std::setw(18) << "policy" << std::right
+            << std::setw(16) << "club bytes" << std::setw(12) << "club ms"
+            << std::setw(14) << "mesh bytes" << std::setw(12) << "mesh ms"
+            << "   chosen plans\n";
+  for (const Row& row : rows) {
+    dqp::DistributedQueryProcessor proc(bed.overlay(), row.policy);
+    dqp::ExecutionReport club, mesh;
+    (void)proc.execute(club_q, initiator, &club);
+    (void)proc.execute(mesh_q, initiator, &mesh);
+    std::string chosen;
+    for (const dqp::ExecutionReport* r : {&club, &mesh}) {
+      for (const std::string& note : r->plan_notes) {
+        if (note.rfind("adaptive: ", 0) == 0) {
+          chosen += note.substr(note.rfind("-> ") + 3) + " ";
+        }
+      }
+    }
+    std::cout << std::left << std::setw(18) << row.name << std::right
+              << std::setw(16) << club.traffic.bytes << std::setw(12)
+              << std::fixed << std::setprecision(1) << club.response_time
+              << std::setw(14) << mesh.traffic.bytes << std::setw(12)
+              << mesh.response_time << "   " << chosen << "\n";
+  }
+  std::cout << "\nThe adaptive planner chains the skewed 3-provider target "
+               "and scatter/gathers the balanced 10-provider one — per "
+               "pattern, from the same frequency statistics the location "
+               "table already keeps.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace ahsw::common {
+
+std::uint64_t Rng::next() noexcept {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  return mix64(state_);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Debiased multiply-shift (Lemire). bound > 0.
+  while (true) {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept { return uniform() < p; }
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace ahsw::common

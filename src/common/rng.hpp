@@ -1,0 +1,63 @@
+// Deterministic random number generation for workloads and simulations.
+//
+// All stochastic behaviour in the repository flows through Rng so that every
+// test and benchmark is exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ahsw::common {
+
+/// SplitMix64-based PRNG: tiny state, excellent statistical quality for
+/// simulation purposes, and trivially seedable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipf-distributed sampler over ranks {0, .., n-1}: rank 0 is the most
+/// frequent. Used to generate realistically skewed term frequencies, which
+/// is what makes the location-table frequency optimizations interesting.
+class ZipfSampler {
+ public:
+  /// n: universe size; s: skew exponent (0 = uniform, ~1 = web-like skew).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw one rank.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t universe() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.0
+};
+
+}  // namespace ahsw::common

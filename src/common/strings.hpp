@@ -1,0 +1,32 @@
+// Small string utilities used by parsers and serializers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ahsw::common {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Escape a literal value for N-Triples output (backslash, quote, newline,
+/// carriage return, tab).
+[[nodiscard]] std::string escape_ntriples(std::string_view raw);
+
+/// Inverse of escape_ntriples for the same escape set plus \uXXXX passthrough.
+[[nodiscard]] std::string unescape_ntriples(std::string_view escaped);
+
+}  // namespace ahsw::common

@@ -1,0 +1,48 @@
+#include "net/network.hpp"
+
+namespace ahsw::net {
+
+std::string_view category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kRouting: return "routing";
+    case Category::kIndex: return "index";
+    case Category::kQuery: return "query";
+    case Category::kData: return "data";
+    case Category::kResult: return "result";
+  }
+  return "?";
+}
+
+TrafficStats TrafficStats::delta_since(const TrafficStats& base) const {
+  TrafficStats d;
+  d.messages = messages - base.messages;
+  d.bytes = bytes - base.bytes;
+  d.timeouts = timeouts - base.timeouts;
+  for (int i = 0; i < kCategoryCount; ++i) {
+    d.messages_by[i] = messages_by[i] - base.messages_by[i];
+    d.bytes_by[i] = bytes_by[i] - base.bytes_by[i];
+  }
+  return d;
+}
+
+SimTime Network::send(NodeAddress from, NodeAddress to, std::size_t bytes,
+                      SimTime now, Category category) {
+  if (from == to) return now;  // node-local: no network involved
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  auto c = static_cast<std::size_t>(category);
+  ++stats_.messages_by[c];
+  stats_.bytes_by[c] += bytes;
+  SimTime arrival = now + model_.latency(bytes);
+  if (tracer_) {
+    tracer_(MessageEvent{from, to, bytes, now, arrival, category});
+  }
+  return arrival;
+}
+
+SimTime Network::timeout(SimTime now) {
+  ++stats_.timeouts;
+  return now + model_.timeout_ms;
+}
+
+}  // namespace ahsw::net

@@ -1,0 +1,217 @@
+#include "optimizer/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+
+namespace ahsw::optimizer {
+
+std::string_view primitive_strategy_name(PrimitiveStrategy s) noexcept {
+  switch (s) {
+    case PrimitiveStrategy::kBasic: return "basic";
+    case PrimitiveStrategy::kChain: return "chain";
+    case PrimitiveStrategy::kFrequencyChain: return "frequency-chain";
+  }
+  return "?";
+}
+
+std::string_view join_site_policy_name(JoinSitePolicy p) noexcept {
+  switch (p) {
+    case JoinSitePolicy::kMoveSmall: return "move-small";
+    case JoinSitePolicy::kQuerySite: return "query-site";
+    case JoinSitePolicy::kThirdSite: return "third-site";
+  }
+  return "?";
+}
+
+std::uint64_t PatternStats::estimated_cardinality() const noexcept {
+  std::uint64_t n = 0;
+  for (const overlay::Provider& p : providers) n += p.frequency;
+  return n;
+}
+
+namespace {
+[[nodiscard]] std::set<std::string> vars_of(const rdf::TriplePattern& p) {
+  std::set<std::string> out;
+  if (const rdf::Variable* v = rdf::var_of(p.s)) out.insert(v->name);
+  if (const rdf::Variable* v = rdf::var_of(p.p)) out.insert(v->name);
+  if (const rdf::Variable* v = rdf::var_of(p.o)) out.insert(v->name);
+  return out;
+}
+}  // namespace
+
+std::vector<std::size_t> order_join_patterns(
+    const std::vector<PatternStats>& stats) {
+  std::vector<std::size_t> order;
+  std::vector<bool> placed(stats.size(), false);
+  std::set<std::string> bound;
+
+  for (std::size_t step = 0; step < stats.size(); ++step) {
+    std::size_t best = stats.size();
+    bool best_connected = false;
+    std::uint64_t best_card = 0;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      if (placed[i]) continue;
+      std::set<std::string> pv = vars_of(stats[i].pattern);
+      bool connected = bound.empty();
+      for (const std::string& v : pv) {
+        if (bound.count(v) > 0) {
+          connected = true;
+          break;
+        }
+      }
+      std::uint64_t card = stats[i].estimated_cardinality();
+      bool better;
+      if (best == stats.size()) {
+        better = true;
+      } else if (connected != best_connected) {
+        better = connected;  // connectivity beats cardinality
+      } else {
+        better = card < best_card;
+      }
+      if (better) {
+        best = i;
+        best_connected = connected;
+        best_card = card;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+    std::set<std::string> pv = vars_of(stats[best].pattern);
+    bound.insert(pv.begin(), pv.end());
+  }
+  return order;
+}
+
+std::vector<overlay::Provider> chain_order(
+    std::vector<overlay::Provider> providers, PrimitiveStrategy strategy) {
+  if (strategy == PrimitiveStrategy::kFrequencyChain) {
+    std::sort(providers.begin(), providers.end(),
+              [](const overlay::Provider& a, const overlay::Provider& b) {
+                if (a.frequency != b.frequency) {
+                  return a.frequency < b.frequency;
+                }
+                return a.address < b.address;
+              });
+  } else {
+    std::sort(providers.begin(), providers.end(),
+              [](const overlay::Provider& a, const overlay::Provider& b) {
+                return a.address < b.address;
+              });
+  }
+  return providers;
+}
+
+std::vector<net::NodeAddress> provider_overlap(
+    const std::vector<overlay::Provider>& a,
+    const std::vector<overlay::Provider>& b) {
+  std::set<net::NodeAddress> in_a;
+  for (const overlay::Provider& p : a) in_a.insert(p.address);
+  std::set<net::NodeAddress> out;
+  for (const overlay::Provider& p : b) {
+    if (in_a.count(p.address) > 0) out.insert(p.address);
+  }
+  return {out.begin(), out.end()};
+}
+
+net::NodeAddress choose_join_site(JoinSitePolicy policy,
+                                  const LocatedOperand& a,
+                                  const LocatedOperand& b,
+                                  net::NodeAddress query_site,
+                                  const std::vector<SiteCandidate>& candidates) {
+  switch (policy) {
+    case JoinSitePolicy::kQuerySite:
+      return query_site;
+    case JoinSitePolicy::kThirdSite: {
+      if (!candidates.empty()) {
+        const SiteCandidate* best = &candidates.front();
+        for (const SiteCandidate& c : candidates) {
+          if (c.capacity > best->capacity ||
+              (c.capacity == best->capacity && c.address < best->address)) {
+            best = &c;
+          }
+        }
+        return best->address;
+      }
+      [[fallthrough]];
+    }
+    case JoinSitePolicy::kMoveSmall:
+      // Ship the smaller operand: the join runs where the big data already
+      // is (Cornell & Yu). Ties resolve to `a`'s site for determinism.
+      return a.bytes >= b.bytes ? a.site : b.site;
+  }
+  return a.site;
+}
+
+std::vector<StrategyEstimate> estimate_primitive_strategies(
+    const std::vector<overlay::Provider>& providers,
+    const net::CostModel& cost, std::size_t row_bytes) {
+  std::vector<StrategyEstimate> out;
+  if (providers.empty()) return out;
+  const double row = static_cast<double>(row_bytes);
+  const double overhead = 64.0;
+
+  std::vector<double> sizes;
+  sizes.reserve(providers.size());
+  double total = 0;
+  double largest = 0;
+  for (const overlay::Provider& p : providers) {
+    sizes.push_back(static_cast<double>(p.frequency));
+    total += sizes.back();
+    largest = std::max(largest, sizes.back());
+  }
+  std::sort(sizes.begin(), sizes.end());
+
+  // Basic (scatter/gather at the index node): every provider ships its
+  // rows to the assembly site in parallel, the union ships once more to
+  // the initiator. Latency follows the largest parallel branch.
+  {
+    StrategyEstimate e;
+    e.strategy = PrimitiveStrategy::kBasic;
+    e.bytes = total * row + static_cast<double>(providers.size()) * overhead +
+              total * row;
+    e.latency_ms = cost.latency(static_cast<std::size_t>(overhead)) +
+                   cost.latency(static_cast<std::size_t>(largest * row)) +
+                   cost.latency(static_cast<std::size_t>(total * row));
+    out.push_back(e);
+  }
+
+  // Frequency chain: the accumulated union travels ascending-size hops
+  // (prefix sums), then the full result returns from the largest provider.
+  {
+    StrategyEstimate e;
+    e.strategy = PrimitiveStrategy::kFrequencyChain;
+    double prefix = 0;
+    e.latency_ms = cost.latency(static_cast<std::size_t>(overhead));
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+      prefix += sizes[i];
+      e.bytes += prefix * row + overhead;
+      e.latency_ms +=
+          cost.latency(static_cast<std::size_t>(prefix * row + overhead));
+    }
+    e.bytes += total * row;  // final result to the initiator
+    e.latency_ms += cost.latency(static_cast<std::size_t>(total * row));
+    out.push_back(e);
+  }
+  return out;
+}
+
+PrimitiveStrategy choose_primitive_strategy(
+    const std::vector<overlay::Provider>& providers,
+    const net::CostModel& cost, const ObjectiveWeights& weights) {
+  std::vector<StrategyEstimate> estimates =
+      estimate_primitive_strategies(providers, cost);
+  PrimitiveStrategy best = PrimitiveStrategy::kBasic;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const StrategyEstimate& e : estimates) {
+    double s = e.score(weights);
+    if (s < best_score) {
+      best_score = s;
+      best = e.strategy;
+    }
+  }
+  return best;
+}
+
+}  // namespace ahsw::optimizer

@@ -1,0 +1,127 @@
+// Global query optimization decisions (Sect. IV-C/D/E and Sect. II).
+//
+// Three families of decisions, all consumed by the distributed query
+// processor (src/dqp):
+//   1. chain ordering for one pattern's providers — the further-optimized
+//      strategy of Sect. IV-C visits providers in ascending frequency with
+//      the largest provider last;
+//   2. join ordering for conjunction graph patterns — AND is associative
+//      and commutative, so patterns evaluate in ascending estimated
+//      cardinality, keeping the plan connected (no cartesian products)
+//      whenever possible;
+//   3. join-site selection — move-small / query-site / third-site (Cornell
+//      & Yu; Ye et al.), applied to OPTIONAL and cross-index-node joins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "overlay/location_table.hpp"
+#include "rdf/triple.hpp"
+
+namespace ahsw::optimizer {
+
+/// How a primitive (single triple pattern) query is executed (Sect. IV-C).
+enum class PrimitiveStrategy {
+  kBasic,           // scatter/gather through the index node (assembly site)
+  kChain,           // in-network aggregation along a provider chain
+  kFrequencyChain,  // chain in ascending frequency, largest last -> initiator
+};
+
+/// Where a binary join/leftjoin/union of two located solution sets runs.
+enum class JoinSitePolicy {
+  kMoveSmall,  // ship the smaller operand to the larger operand's site
+  kQuerySite,  // ship both operands to the query initiator
+  kThirdSite,  // ship both to the highest-capacity candidate site (QoS)
+};
+
+[[nodiscard]] std::string_view primitive_strategy_name(
+    PrimitiveStrategy s) noexcept;
+[[nodiscard]] std::string_view join_site_policy_name(
+    JoinSitePolicy p) noexcept;
+
+/// Per-pattern statistics gathered from the two-level index.
+struct PatternStats {
+  rdf::TriplePattern pattern;
+  std::vector<overlay::Provider> providers;  // ascending frequency
+
+  /// Estimated result cardinality: the sum of provider frequencies (each
+  /// frequency counts matching triples at that provider; Table I).
+  [[nodiscard]] std::uint64_t estimated_cardinality() const noexcept;
+};
+
+/// Join order for a conjunction: indices into `stats`, cheapest first,
+/// preferring patterns that share a variable with those already placed
+/// (avoiding cartesian intermediates). Deterministic.
+[[nodiscard]] std::vector<std::size_t> order_join_patterns(
+    const std::vector<PatternStats>& stats);
+
+/// Chain order for one pattern's providers under the given strategy:
+/// kFrequencyChain sorts ascending by frequency (largest last, per
+/// Sect. IV-C "further optimization"); others keep address order.
+[[nodiscard]] std::vector<overlay::Provider> chain_order(
+    std::vector<overlay::Provider> providers, PrimitiveStrategy strategy);
+
+/// Storage nodes appearing in both provider lists (the overlap the
+/// conjunction optimization of Sect. IV-D exploits), ascending address.
+[[nodiscard]] std::vector<net::NodeAddress> provider_overlap(
+    const std::vector<overlay::Provider>& a,
+    const std::vector<overlay::Provider>& b);
+
+/// One operand of a binary operation: where it currently sits and how big
+/// it is on the wire.
+struct LocatedOperand {
+  net::NodeAddress site = net::kNoAddress;
+  std::size_t bytes = 0;
+};
+
+/// Candidate execution site with its capacity (third-site input).
+struct SiteCandidate {
+  net::NodeAddress address = net::kNoAddress;
+  double capacity = 1.0;
+};
+
+/// Pick the site for a binary operation over `a` and `b` issued by
+/// `query_site`. kMoveSmall returns the site of the larger operand;
+/// kQuerySite returns `query_site`; kThirdSite returns the highest-capacity
+/// candidate (ties by address; falls back to kMoveSmall without candidates).
+[[nodiscard]] net::NodeAddress choose_join_site(
+    JoinSitePolicy policy, const LocatedOperand& a, const LocatedOperand& b,
+    net::NodeAddress query_site, const std::vector<SiteCandidate>& candidates);
+
+/// Objective weighting for adaptive strategy selection — the "mixture of
+/// such objectives" the paper's Sect. V leaves as future work. Costs are
+/// combined as traffic_weight * bytes + latency_weight * milliseconds.
+struct ObjectiveWeights {
+  double traffic_weight = 1.0;
+  double latency_weight = 0.0;
+};
+
+/// Predicted cost of executing one primitive pattern under a strategy.
+struct StrategyEstimate {
+  PrimitiveStrategy strategy = PrimitiveStrategy::kBasic;
+  double bytes = 0;
+  double latency_ms = 0;
+
+  [[nodiscard]] double score(const ObjectiveWeights& w) const noexcept {
+    return w.traffic_weight * bytes + w.latency_weight * latency_ms;
+  }
+};
+
+/// Estimate Basic / FrequencyChain costs for a provider list using the
+/// location-table frequencies (each frequency ~ matching rows at that
+/// provider; `row_bytes` is the assumed serialized row size).
+[[nodiscard]] std::vector<StrategyEstimate> estimate_primitive_strategies(
+    const std::vector<overlay::Provider>& providers,
+    const net::CostModel& cost, std::size_t row_bytes = 48);
+
+/// The strategy minimizing the weighted objective over the estimates
+/// (deterministic tie-break: Basic first). This implements a per-pattern
+/// answer to the paper's open "good query plans under mixed objectives"
+/// question, using only information the index node already has.
+[[nodiscard]] PrimitiveStrategy choose_primitive_strategy(
+    const std::vector<overlay::Provider>& providers,
+    const net::CostModel& cost, const ObjectiveWeights& weights);
+
+}  // namespace ahsw::optimizer

@@ -1,0 +1,38 @@
+// Algebraic query rewriting (Sect. IV-G; Schmidt et al., ICDT 2010).
+//
+// The rewrites implemented here are the SPARQL-algebra equivalences the
+// paper leans on for optimization:
+//   - filter decomposition:  Filter(A && B, X) == Filter(A, Filter(B, X))
+//   - filter pushing over Join/Union and into the safe side of LeftJoin
+//   - filter-into-BGP pushing: a condition whose variables are all bound by
+//     one triple pattern attaches to that pattern, so storage nodes apply
+//     it during local matching and intermediate results shrink before they
+//     ever cross the network (the Fig. 9 example: Filter(C1,
+//     LeftJoin(BGP(P1 . P2), BGP(P3), true)) becomes
+//     LeftJoin(BGP(Filter(C1, P1) . P2), BGP(P3), true)).
+//
+// All rewrites preserve SPARQL semantics; the equivalence tests in
+// tests/optimizer/ check rewritten plans against unrewritten ones on
+// randomized data.
+#pragma once
+
+#include <vector>
+
+#include "sparql/algebra.hpp"
+
+namespace ahsw::optimizer {
+
+/// Split a condition into its top-level conjuncts: (A && B) && C -> A, B, C.
+[[nodiscard]] std::vector<sparql::ExprPtr> split_conjuncts(
+    const sparql::ExprPtr& e);
+
+/// Recombine conjuncts into a right-deep && chain (empty -> nullptr).
+[[nodiscard]] sparql::ExprPtr combine_conjuncts(
+    const std::vector<sparql::ExprPtr>& conjuncts);
+
+/// Apply filter decomposition + pushing through the whole tree. Returns a
+/// semantically equivalent plan in which every filter sits as deep as is
+/// safe, including inside BGPs as per-pattern pushed filters.
+[[nodiscard]] sparql::AlgebraPtr push_filters(const sparql::AlgebraPtr& a);
+
+}  // namespace ahsw::optimizer

@@ -1,0 +1,79 @@
+#include "overlay/keys.hpp"
+
+#include <cassert>
+
+#include "common/hash.hpp"
+
+namespace ahsw::overlay {
+
+std::string_view index_key_kind_name(IndexKeyKind k) noexcept {
+  switch (k) {
+    case IndexKeyKind::kS: return "S";
+    case IndexKeyKind::kP: return "P";
+    case IndexKeyKind::kO: return "O";
+    case IndexKeyKind::kSP: return "SP";
+    case IndexKeyKind::kPO: return "PO";
+    case IndexKeyKind::kSO: return "SO";
+  }
+  return "?";
+}
+
+namespace {
+/// Canonical byte form of a term for hashing: the full surface form, which
+/// distinguishes IRIs from equal-spelled literals.
+[[nodiscard]] std::string canonical(const rdf::Term& t) {
+  return t.to_string();
+}
+}  // namespace
+
+chord::Key index_key(IndexKeyKind kind, const rdf::Term& a) {
+  assert(kind == IndexKeyKind::kS || kind == IndexKeyKind::kP ||
+         kind == IndexKeyKind::kO);
+  return common::tagged_hash(static_cast<std::uint8_t>(kind), canonical(a));
+}
+
+chord::Key index_key(IndexKeyKind kind, const rdf::Term& a,
+                     const rdf::Term& b) {
+  assert(kind == IndexKeyKind::kSP || kind == IndexKeyKind::kPO ||
+         kind == IndexKeyKind::kSO);
+  return common::tagged_hash(static_cast<std::uint8_t>(kind), canonical(a),
+                             canonical(b));
+}
+
+std::array<chord::Key, kIndexKeyKinds> index_keys(const rdf::Triple& t) {
+  return {
+      index_key(IndexKeyKind::kS, t.s),
+      index_key(IndexKeyKind::kP, t.p),
+      index_key(IndexKeyKind::kO, t.o),
+      index_key(IndexKeyKind::kSP, t.s, t.p),
+      index_key(IndexKeyKind::kPO, t.p, t.o),
+      index_key(IndexKeyKind::kSO, t.s, t.o),
+  };
+}
+
+std::optional<PatternKey> key_for_pattern(const rdf::TriplePattern& p) {
+  const rdf::Term* s = p.bound_s();
+  const rdf::Term* pr = p.bound_p();
+  const rdf::Term* o = p.bound_o();
+  if (s != nullptr && pr != nullptr) {
+    return PatternKey{IndexKeyKind::kSP, index_key(IndexKeyKind::kSP, *s, *pr)};
+  }
+  if (pr != nullptr && o != nullptr) {
+    return PatternKey{IndexKeyKind::kPO, index_key(IndexKeyKind::kPO, *pr, *o)};
+  }
+  if (s != nullptr && o != nullptr) {
+    return PatternKey{IndexKeyKind::kSO, index_key(IndexKeyKind::kSO, *s, *o)};
+  }
+  if (s != nullptr) {
+    return PatternKey{IndexKeyKind::kS, index_key(IndexKeyKind::kS, *s)};
+  }
+  if (pr != nullptr) {
+    return PatternKey{IndexKeyKind::kP, index_key(IndexKeyKind::kP, *pr)};
+  }
+  if (o != nullptr) {
+    return PatternKey{IndexKeyKind::kO, index_key(IndexKeyKind::kO, *o)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace ahsw::overlay

@@ -1,0 +1,150 @@
+#include "overlay/location_table.hpp"
+
+#include <algorithm>
+
+namespace ahsw::overlay {
+
+void LocationTable::publish(chord::Key key, net::NodeAddress address,
+                            std::uint32_t frequency) {
+  if (frequency == 0) return;
+  std::vector<Provider>& row = rows_[key];
+  for (Provider& p : row) {
+    if (p.address == address) {
+      p.frequency += frequency;
+      return;
+    }
+  }
+  row.push_back(Provider{address, frequency});
+}
+
+bool LocationTable::retract(chord::Key key, net::NodeAddress address,
+                            std::uint32_t frequency) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  std::vector<Provider>& row = it->second;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].address != address) continue;
+    if (row[i].frequency <= frequency) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      row[i].frequency -= frequency;
+    }
+    if (row.empty()) rows_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void LocationTable::upsert(chord::Key key, net::NodeAddress address,
+                           std::uint32_t frequency) {
+  if (frequency == 0) {
+    purge(key, address);
+    return;
+  }
+  std::vector<Provider>& row = rows_[key];
+  for (Provider& p : row) {
+    if (p.address == address) {
+      p.frequency = frequency;
+      return;
+    }
+  }
+  row.push_back(Provider{address, frequency});
+}
+
+void LocationTable::reconcile(
+    const std::map<chord::Key, std::vector<Provider>>& rows) {
+  for (const auto& [key, incoming] : rows) {
+    std::vector<Provider>& row = rows_[key];
+    for (const Provider& in : incoming) {
+      bool found = false;
+      for (Provider& p : row) {
+        if (p.address == in.address) {
+          p.frequency = std::max(p.frequency, in.frequency);
+          found = true;
+          break;
+        }
+      }
+      if (!found) row.push_back(in);
+    }
+    if (row.empty()) rows_.erase(key);
+  }
+}
+
+bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  std::vector<Provider>& row = it->second;
+  auto pos = std::remove_if(row.begin(), row.end(), [&](const Provider& p) {
+    return p.address == address;
+  });
+  bool changed = pos != row.end();
+  row.erase(pos, row.end());
+  if (row.empty()) rows_.erase(it);
+  return changed;
+}
+
+void LocationTable::purge_everywhere(net::NodeAddress address) {
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    std::vector<Provider>& row = it->second;
+    row.erase(std::remove_if(row.begin(), row.end(),
+                             [&](const Provider& p) {
+                               return p.address == address;
+                             }),
+              row.end());
+    it = row.empty() ? rows_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<Provider> LocationTable::lookup(chord::Key key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return {};
+  std::vector<Provider> out = it->second;
+  std::sort(out.begin(), out.end(), [](const Provider& a, const Provider& b) {
+    if (a.frequency != b.frequency) return a.frequency < b.frequency;
+    return a.address < b.address;
+  });
+  return out;
+}
+
+std::map<chord::Key, std::vector<Provider>> LocationTable::extract_range(
+    chord::Key lo, chord::Key hi) {
+  return extract_range_mapped(lo, hi, [](chord::Key k) { return k; });
+}
+
+std::map<chord::Key, std::vector<Provider>> LocationTable::extract_range_mapped(
+    chord::Key lo, chord::Key hi,
+    const std::function<chord::Key(chord::Key)>& to_ring) {
+  std::map<chord::Key, std::vector<Provider>> out;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (chord::in_open_closed(to_ring(it->first), lo, hi)) {
+      out.emplace(it->first, std::move(it->second));
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void LocationTable::absorb(
+    const std::map<chord::Key, std::vector<Provider>>& rows) {
+  for (const auto& [key, providers] : rows) {
+    for (const Provider& p : providers) {
+      publish(key, p.address, p.frequency);
+    }
+  }
+}
+
+std::size_t LocationTable::entry_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, row] : rows_) n += row.size();
+  return n;
+}
+
+std::size_t LocationTable::byte_size() const noexcept {
+  std::size_t n = 8;
+  for (const auto& [key, row] : rows_) n += 8 + 12 * row.size();
+  return n;
+}
+
+}  // namespace ahsw::overlay

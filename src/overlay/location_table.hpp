@@ -1,0 +1,102 @@
+// The location table of an index node (Sect. III-B, Table I).
+//
+// Each row maps a key K_i (the hash of one or two triple attributes) to the
+// list of storage nodes sharing triples with that attribute value, together
+// with a frequency: how many of that node's triples share the hash. The
+// frequency is the statistic the paper's optimizations consume (chain
+// ordering in Sect. IV-C, join ordering / site selection in Sect. IV-D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "chord/ring.hpp"
+#include "net/network.hpp"
+
+namespace ahsw::overlay {
+
+/// One storage node entry of a location-table row.
+struct Provider {
+  net::NodeAddress address = net::kNoAddress;
+  std::uint32_t frequency = 0;  // matching triples at that node
+
+  friend bool operator==(const Provider&, const Provider&) = default;
+};
+
+class LocationTable {
+ public:
+  /// Add `frequency` matching triples for (key, address); merges with an
+  /// existing entry for the same provider.
+  void publish(chord::Key key, net::NodeAddress address,
+               std::uint32_t frequency);
+
+  /// Decrease the frequency for (key, address) by `frequency`; removes the
+  /// entry at zero. Returns true if something changed.
+  bool retract(chord::Key key, net::NodeAddress address,
+               std::uint32_t frequency);
+
+  /// Set the frequency for (key, address) to exactly `frequency`
+  /// (snapshot semantics: used by replica maintenance, where repeated
+  /// writes must be idempotent). frequency == 0 removes the entry.
+  void upsert(chord::Key key, net::NodeAddress address,
+              std::uint32_t frequency);
+
+  /// Merge a snapshot of rows taking the max frequency per provider
+  /// (idempotent recovery merge: several replica holders may push the same
+  /// row without inflating it).
+  void reconcile(const std::map<chord::Key, std::vector<Provider>>& rows);
+
+  /// Drop a provider from one row entirely (lazy repair after a storage
+  /// node failure, Sect. III-D). Returns true if it was present.
+  bool purge(chord::Key key, net::NodeAddress address);
+
+  /// Drop a provider from every row (bulk repair).
+  void purge_everywhere(net::NodeAddress address);
+
+  /// Providers for a key; empty if unknown. Sorted by ascending frequency
+  /// (the order the further-optimized chain strategy wants), ties by
+  /// address for determinism.
+  [[nodiscard]] std::vector<Provider> lookup(chord::Key key) const;
+
+  /// Remove and return all rows with key in (lo, hi] on the ring — the
+  /// slice handed to a joining index node (Sect. III-C).
+  [[nodiscard]] std::map<chord::Key, std::vector<Provider>> extract_range(
+      chord::Key lo, chord::Key hi);
+
+  /// Same, but ring position is `to_ring(key)` instead of the key itself.
+  /// Rows are keyed by the full hash Kj (so distinct keys never merge), while
+  /// ownership lives in the m-bit ring space; this mapping bridges the two.
+  [[nodiscard]] std::map<chord::Key, std::vector<Provider>>
+  extract_range_mapped(chord::Key lo, chord::Key hi,
+                       const std::function<chord::Key(chord::Key)>& to_ring);
+
+  /// Merge rows (from a slice transfer or replica activation).
+  void absorb(const std::map<chord::Key, std::vector<Provider>>& rows);
+
+  /// Remove one row entirely.
+  void erase_row(chord::Key key) { rows_.erase(key); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  /// Serialized size (for charging slice transfers / replication traffic).
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+  /// Serialized size of one provider list response.
+  [[nodiscard]] static std::size_t response_bytes(std::size_t providers) {
+    return 16 + 12 * providers;
+  }
+
+  [[nodiscard]] const std::map<chord::Key, std::vector<Provider>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::map<chord::Key, std::vector<Provider>> rows_;
+};
+
+}  // namespace ahsw::overlay

@@ -1,0 +1,394 @@
+#include "overlay/overlay.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace ahsw::overlay {
+
+namespace {
+constexpr std::size_t kPublishBytes = 24;   // key + address + frequency
+constexpr std::size_t kRequestBytes = 32;   // pattern key + requester
+}  // namespace
+
+HybridOverlay::HybridOverlay(net::Network& network, OverlayConfig config)
+    : net_(&network),
+      config_(config),
+      ring_(network, config.ring),
+      id_rng_(config.seed) {
+  ring_.set_transfer_hook([this](chord::Key old_owner, chord::Key new_owner,
+                                 chord::Key lo, chord::Key hi,
+                                 net::SimTime when) {
+    on_transfer(old_owner, new_owner, lo, hi, when);
+  });
+}
+
+chord::Key HybridOverlay::add_index_node(net::SimTime now) {
+  chord::Key id = ring_.truncate(id_rng_.next());
+  while (ring_.contains(id)) id = ring_.truncate(id_rng_.next());
+  return add_index_node_with_id(id, now);
+}
+
+chord::Key HybridOverlay::add_index_node_with_id(chord::Key id,
+                                                 net::SimTime now) {
+  id = ring_.truncate(id);
+  net::NodeAddress addr = net_->allocate_address();
+  if (ring_.size() == 0) {
+    ring_.create(addr, id);
+  } else {
+    // Bootstrap through any live ring node (lowest id, deterministically).
+    chord::Key bootstrap = ring_.live_ids().front();
+    ring_.join(addr, id, bootstrap, now);
+  }
+  IndexNodeState state;
+  state.id = id;
+  state.address = addr;
+  index_.emplace(id, std::move(state));
+  return id;
+}
+
+net::NodeAddress HybridOverlay::add_storage_node() {
+  assert(!index_.empty());
+  std::vector<chord::Key> live = ring_.live_ids();
+  chord::Key target = live[attach_counter_++ % live.size()];
+  return add_storage_node_attached(target);
+}
+
+net::NodeAddress HybridOverlay::add_storage_node_attached(
+    chord::Key index_id) {
+  assert(index_.count(index_id) > 0);
+  StorageNodeState s;
+  s.address = net_->allocate_address();
+  s.attached_index = index_id;
+  net::NodeAddress addr = s.address;
+  storage_.emplace(addr, std::move(s));
+  return addr;
+}
+
+std::vector<net::NodeAddress> HybridOverlay::live_storage_addresses() const {
+  std::vector<net::NodeAddress> out;
+  for (const auto& [addr, s] : storage_) {
+    if (!net_->is_failed(addr)) out.push_back(addr);
+  }
+  return out;
+}
+
+chord::Key HybridOverlay::entry_ring_node(net::NodeAddress requester) {
+  auto si = storage_.find(requester);
+  if (si == storage_.end()) {
+    // An index node fields its own requests.
+    for (const auto& [id, ix] : index_) {
+      if (ix.address == requester) return id;
+    }
+    assert(false && "unknown requester address");
+    return 0;
+  }
+  StorageNodeState& s = si->second;
+  if (!ring_.contains(s.attached_index) ||
+      net_->is_failed(ring_.address_of(s.attached_index))) {
+    // Re-attach to the lowest live index node (deterministic).
+    std::vector<chord::Key> live = ring_.live_ids();
+    assert(!live.empty() && "no live index nodes");
+    s.attached_index = live.front();
+  }
+  return s.attached_index;
+}
+
+void HybridOverlay::on_transfer(chord::Key old_owner, chord::Key new_owner,
+                                chord::Key lo, chord::Key hi,
+                                net::SimTime when) {
+  auto oi = index_.find(old_owner);
+  auto ni = index_.find(new_owner);
+  if (oi == index_.end()) return;
+  // The new owner may not be registered yet during its own join; stash the
+  // slice under its id — add_index_node_with_id registers right after join,
+  // so create the state eagerly here.
+  if (ni == index_.end()) {
+    IndexNodeState fresh;
+    fresh.id = new_owner;
+    fresh.address = ring_.contains(new_owner) ? ring_.address_of(new_owner)
+                                              : net::kNoAddress;
+    ni = index_.emplace(new_owner, std::move(fresh)).first;
+  }
+  std::map<chord::Key, std::vector<Provider>> slice =
+      oi->second.table.extract_range_mapped(
+          lo, hi, [this](chord::Key k) { return ring_.truncate(k); });
+  if (slice.empty()) return;
+  std::size_t bytes = 8;
+  for (const auto& [key, row] : slice) bytes += 8 + 12 * row.size();
+  net_->send(oi->second.address, ni->second.address, bytes, when,
+             net::Category::kIndex);
+  ni->second.table.absorb(slice);
+  // Re-replicate the transferred rows from their new owner: replica
+  // placement follows ownership, otherwise a later crash of the new owner
+  // would lose rows whose replicas still trail the old owner.
+  for (const auto& [key, row] : slice) {
+    for (const Provider& p : row) {
+      replicate_row(ni->second, key, p.address, when);
+    }
+  }
+}
+
+void HybridOverlay::replicate_row(IndexNodeState& owner, chord::Key key,
+                                  net::NodeAddress provider,
+                                  net::SimTime now) {
+  if (config_.replication_factor <= 1) return;
+  if (!ring_.contains(owner.id)) return;
+  // Replicas carry a snapshot of the owner's current entry, so repeated
+  // replication (publish, slice transfer, recovery) is idempotent.
+  std::uint32_t freq = 0;
+  for (const Provider& p : owner.table.lookup(key)) {
+    if (p.address == provider) freq = p.frequency;
+  }
+  const chord::NodeState& rs = ring_.state(owner.id);
+  int copies = 0;
+  for (chord::Key succ : rs.successors) {
+    if (copies >= config_.replication_factor - 1) break;
+    auto it = index_.find(succ);
+    if (it == index_.end() || succ == owner.id) continue;
+    net_->send(owner.address, it->second.address, kPublishBytes, now,
+               net::Category::kIndex);
+    it->second.replicas.upsert(key, provider, freq);
+    ++copies;
+  }
+}
+
+net::SimTime HybridOverlay::publish_key(net::NodeAddress from, chord::Key key,
+                                        std::uint32_t freq, bool retract,
+                                        net::SimTime now) {
+  chord::Key entry = entry_ring_node(from);
+  net::NodeAddress entry_addr = ring_.address_of(entry);
+  net::SimTime t =
+      net_->send(from, entry_addr, kPublishBytes, now, net::Category::kIndex);
+  // Rows are keyed by the full hash Kj; the ring routes its truncation.
+  chord::Ring::LookupResult lr =
+      ring_.find_successor(entry, ring_.truncate(key), t);
+  if (!lr.ok) return t;
+  t = lr.completed_at;
+  t = net_->send(entry_addr, lr.owner_address, kPublishBytes, t,
+                 net::Category::kIndex);
+  auto it = index_.find(lr.owner);
+  if (it == index_.end()) return t;
+  if (retract) {
+    it->second.table.retract(key, from, freq);
+  } else {
+    it->second.table.publish(key, from, freq);
+  }
+  replicate_row(it->second, key, from, t);
+  return t;
+}
+
+net::SimTime HybridOverlay::share_triples(
+    net::NodeAddress addr, const std::vector<rdf::Triple>& triples,
+    net::SimTime now) {
+  StorageNodeState& s = storage_.at(addr);
+  const std::size_t kinds = config_.pair_keys ? kIndexKeyKinds : 3u;
+  std::map<chord::Key, std::uint32_t> delta;
+  for (const rdf::Triple& t : triples) {
+    if (!s.store.insert(t)) continue;  // duplicate: nothing to publish
+    std::array<chord::Key, kIndexKeyKinds> keys = index_keys(t);
+    for (std::size_t k = 0; k < kinds; ++k) ++delta[keys[k]];
+  }
+  // Publishes for distinct keys proceed in parallel; completion is the max.
+  net::SimTime latest = now;
+  for (const auto& [key, freq] : delta) {
+    latest = std::max(latest, publish_key(addr, key, freq, false, now));
+    s.published[key] += freq;
+  }
+  return latest;
+}
+
+net::SimTime HybridOverlay::unshare_triples(
+    net::NodeAddress addr, const std::vector<rdf::Triple>& triples,
+    net::SimTime now) {
+  StorageNodeState& s = storage_.at(addr);
+  const std::size_t kinds = config_.pair_keys ? kIndexKeyKinds : 3u;
+  std::map<chord::Key, std::uint32_t> delta;
+  for (const rdf::Triple& t : triples) {
+    if (!s.store.erase(t)) continue;
+    std::array<chord::Key, kIndexKeyKinds> keys = index_keys(t);
+    for (std::size_t k = 0; k < kinds; ++k) ++delta[keys[k]];
+  }
+  net::SimTime latest = now;
+  for (const auto& [key, freq] : delta) {
+    latest = std::max(latest, publish_key(addr, key, freq, true, now));
+    auto it = s.published.find(key);
+    if (it != s.published.end()) {
+      it->second = it->second > freq ? it->second - freq : 0;
+      if (it->second == 0) s.published.erase(it);
+    }
+  }
+  return latest;
+}
+
+std::optional<chord::Key> HybridOverlay::pattern_row_key(
+    const rdf::TriplePattern& p) const {
+  std::optional<PatternKey> pk = key_for_pattern(p);
+  if (!pk.has_value()) return std::nullopt;
+  if (!config_.pair_keys && (pk->kind == IndexKeyKind::kSP ||
+                             pk->kind == IndexKeyKind::kPO ||
+                             pk->kind == IndexKeyKind::kSO)) {
+    // Three-key ablation mode: downgrade to the most selective single
+    // bound attribute (subject, then object, then predicate). Providers
+    // are an over-approximation; they filter locally.
+    if (const rdf::Term* s = p.bound_s()) return index_key(IndexKeyKind::kS, *s);
+    if (const rdf::Term* o = p.bound_o()) return index_key(IndexKeyKind::kO, *o);
+    if (const rdf::Term* pr = p.bound_p()) return index_key(IndexKeyKind::kP, *pr);
+  }
+  return pk->key;
+}
+
+HybridOverlay::Located HybridOverlay::locate(net::NodeAddress requester,
+                                             const rdf::TriplePattern& p,
+                                             net::SimTime now) {
+  Located res;
+  std::optional<chord::Key> pk = pattern_row_key(p);
+  if (!pk.has_value()) {
+    // (?s, ?p, ?o): the index cannot narrow anything — flood all providers.
+    res.broadcast = true;
+    res.ok = true;
+    res.completed_at = now;
+    for (net::NodeAddress addr : live_storage_addresses()) {
+      res.providers.push_back(Provider{
+          addr, static_cast<std::uint32_t>(storage_.at(addr).store.size())});
+    }
+    return res;
+  }
+
+  chord::Key key = *pk;
+  chord::Key entry = entry_ring_node(requester);
+  net::NodeAddress entry_addr = ring_.address_of(entry);
+  net::SimTime t = net_->send(requester, entry_addr, kRequestBytes, now,
+                              net::Category::kIndex);
+  chord::Ring::LookupResult lr =
+      ring_.find_successor(entry, ring_.truncate(key), t);
+  if (!lr.ok) return res;
+  t = net_->send(entry_addr, lr.owner_address, kRequestBytes,
+                 lr.completed_at, net::Category::kIndex);
+  res.hops = lr.hops;
+  res.index_node = lr.owner;
+
+  auto it = index_.find(lr.owner);
+  if (it == index_.end()) return res;
+  res.providers = it->second.table.lookup(key);
+  res.ok = true;
+  res.completed_at =
+      net_->send(lr.owner_address, requester,
+                 LocationTable::response_bytes(res.providers.size()), t,
+                 net::Category::kIndex);
+  return res;
+}
+
+net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
+                                                 const rdf::TriplePattern& p,
+                                                 net::NodeAddress dead,
+                                                 net::SimTime now) {
+  std::optional<chord::Key> pk = pattern_row_key(p);
+  if (!pk.has_value()) return now;
+  chord::Key key = *pk;
+  chord::Key owner = ring_.oracle_successor(ring_.truncate(key));
+  auto it = index_.find(owner);
+  if (it == index_.end()) return now;
+  net::SimTime t = net_->send(reporter, it->second.address, kPublishBytes,
+                              now, net::Category::kIndex);
+  it->second.table.purge(key, dead);
+  return t;
+}
+
+void HybridOverlay::index_node_leave(chord::Key id, net::SimTime now) {
+  assert(index_.count(id) > 0);
+  ring_.leave(id, now);  // fires the transfer hook: table moves to successor
+  index_.erase(id);
+}
+
+void HybridOverlay::index_node_fail(chord::Key id) {
+  assert(index_.count(id) > 0);
+  ring_.fail(id);
+}
+
+void HybridOverlay::storage_node_fail(net::NodeAddress addr) {
+  assert(storage_.count(addr) > 0);
+  net_->fail(addr);
+}
+
+net::SimTime HybridOverlay::storage_node_leave(net::NodeAddress addr,
+                                               net::SimTime now) {
+  StorageNodeState& s = storage_.at(addr);
+  net::SimTime latest = now;
+  std::map<chord::Key, std::uint32_t> published = s.published;
+  for (const auto& [key, freq] : published) {
+    latest = std::max(latest, publish_key(addr, key, freq, true, now));
+  }
+  storage_.erase(addr);
+  return latest;
+}
+
+void HybridOverlay::repair(net::SimTime now) {
+  // Drop ring state of failed index nodes, then promote replica rows whose
+  // arc the survivors inherited.
+  std::vector<chord::Key> failed;
+  for (const auto& [id, ix] : index_) {
+    if (ring_.contains(id) && net_->is_failed(ix.address)) failed.push_back(id);
+  }
+  ring_.repair(now);
+  for (chord::Key f : failed) index_.erase(f);
+
+  // Recovery reconciliation: every surviving replica holder routes its
+  // rows to the key's *current* oracle owner (which, after arbitrary join/
+  // crash interleavings, need not be the holder itself). reconcile() is a
+  // max-merge, so several holders pushing the same row stay idempotent;
+  // owners then re-seed replicas at their own successors.
+  std::vector<chord::Key> live;
+  for (const auto& [id, ix] : index_) {
+    if (ring_.contains(id)) live.push_back(id);
+  }
+  for (chord::Key holder_id : live) {
+    IndexNodeState& holder = index_.at(holder_id);
+    std::vector<chord::Key> promoted;
+    for (const auto& [key, row] : holder.replicas.rows()) {
+      chord::Key owner_id = ring_.oracle_successor(ring_.truncate(key));
+      auto oi = index_.find(owner_id);
+      if (oi == index_.end()) continue;
+      if (owner_id != holder_id) {
+        net_->send(holder.address, oi->second.address,
+                   8 + 12 * row.size(), now, net::Category::kIndex);
+      } else {
+        promoted.push_back(key);
+      }
+      oi->second.table.reconcile({{key, row}});
+    }
+    for (chord::Key key : promoted) holder.replicas.erase_row(key);
+  }
+  // Owners re-replicate every row they now hold whose replicas may be
+  // stale (conservatively: all of them once per repair).
+  for (chord::Key owner_id : live) {
+    IndexNodeState& owner = index_.at(owner_id);
+    std::map<chord::Key, std::vector<Provider>> rows = owner.table.rows();
+    for (const auto& [key, row] : rows) {
+      for (const Provider& p : row) {
+        replicate_row(owner, key, p.address, now);
+      }
+    }
+  }
+}
+
+net::SimTime HybridOverlay::republish_all(net::SimTime now) {
+  net::SimTime latest = now;
+  for (auto& [addr, s] : storage_) {
+    if (net_->is_failed(addr)) continue;
+    for (const auto& [key, freq] : s.published) {
+      latest = std::max(latest, publish_key(addr, key, freq, false, now));
+    }
+  }
+  return latest;
+}
+
+rdf::TripleStore HybridOverlay::merged_store() const {
+  rdf::TripleStore merged;
+  for (const auto& [addr, s] : storage_) {
+    if (net_->is_failed(addr)) continue;
+    s.store.for_each([&](const rdf::Triple& t) { merged.insert(t); });
+  }
+  return merged;
+}
+
+}  // namespace ahsw::overlay

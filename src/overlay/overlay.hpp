@@ -1,0 +1,196 @@
+// The hybrid P2P overlay (Sect. III): index nodes on a Chord ring, storage
+// nodes attached to index nodes, and the two-level distributed index that
+// maps a triple-pattern key to the storage nodes providing matching triples.
+//
+// Level 1: Chord maps Hash(attributes) -> the index node owning that key.
+// Level 2: that index node's location table maps the key -> providers with
+// frequencies (Table I).
+//
+// Data never leaves its provider: storage nodes publish only (key, address,
+// frequency) entries — the paper's core departure from RDFPeers.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "chord/ring.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "overlay/keys.hpp"
+#include "overlay/location_table.hpp"
+#include "rdf/store.hpp"
+
+namespace ahsw::overlay {
+
+struct OverlayConfig {
+  chord::RingConfig ring;
+  /// Copies of every location-table row: 1 = primary only (no fault
+  /// tolerance), k = primary + (k-1) ring successors (Sect. III-D).
+  int replication_factor = 1;
+  /// Seed for identifier generation.
+  std::uint64_t seed = 0x5eed;
+  /// The paper's six-key scheme (S, P, O, SP, PO, SO). Setting this to
+  /// false publishes only the three RDFPeers-style single-attribute keys;
+  /// two-attribute patterns then locate through their most selective single
+  /// attribute and over-approximate the provider set (ablation of the
+  /// design choice in Sect. III-B).
+  bool pair_keys = true;
+};
+
+/// An index node: a ring member hosting a location-table shard.
+struct IndexNodeState {
+  chord::Key id = 0;
+  net::NodeAddress address = net::kNoAddress;
+  LocationTable table;     // rows this node owns (primary)
+  LocationTable replicas;  // rows replicated from ring predecessors
+};
+
+/// A storage node: keeps its own triples, attaches to one index node.
+struct StorageNodeState {
+  net::NodeAddress address = net::kNoAddress;
+  chord::Key attached_index = 0;
+  rdf::TripleStore store;
+  /// Keys this node has published, with frequencies (for retraction on
+  /// departure and republication after index-layer data loss).
+  std::map<chord::Key, std::uint32_t> published;
+  /// Relative capacity, the QoS attribute consumed by the third-site join
+  /// strategy (Ye et al.; Sect. II of the paper).
+  double capacity = 1.0;
+};
+
+class HybridOverlay {
+ public:
+  explicit HybridOverlay(net::Network& network, OverlayConfig config = {});
+
+  // -- membership ---------------------------------------------------------
+
+  /// Add an index node with a pseudo-random identifier.
+  chord::Key add_index_node(net::SimTime now = 0);
+  /// Add an index node with an explicit ring identifier (paper topology
+  /// tests use the Fig. 1 ids in a 4-bit space).
+  chord::Key add_index_node_with_id(chord::Key id, net::SimTime now = 0);
+
+  /// Add a storage node attached round-robin to a live index node.
+  net::NodeAddress add_storage_node();
+  /// Add a storage node attached to a specific index node.
+  net::NodeAddress add_storage_node_attached(chord::Key index_id);
+
+  /// Graceful index-node departure: the successor inherits the location
+  /// table (Sect. III-D).
+  void index_node_leave(chord::Key id, net::SimTime now);
+  /// Crash an index node (no notification; replicas mask the loss).
+  void index_node_fail(chord::Key id);
+  /// Crash a storage node; location tables stay stale until lazy repair.
+  void storage_node_fail(net::NodeAddress addr);
+  /// Graceful storage departure: retract every published entry.
+  net::SimTime storage_node_leave(net::NodeAddress addr, net::SimTime now);
+
+  /// Ring repair + promotion of replica rows to their new owners.
+  void repair(net::SimTime now);
+  /// Have every live storage node republish its index entries (the lazy
+  /// fallback when replication is off and index state was lost).
+  net::SimTime republish_all(net::SimTime now);
+
+  // -- data ----------------------------------------------------------------
+
+  /// Insert triples at a storage node and publish the six index keys per
+  /// triple (aggregated per key). Returns the completion time.
+  net::SimTime share_triples(net::NodeAddress addr,
+                             const std::vector<rdf::Triple>& triples,
+                             net::SimTime now);
+  /// Remove triples and retract the matching index entries.
+  net::SimTime unshare_triples(net::NodeAddress addr,
+                               const std::vector<rdf::Triple>& triples,
+                               net::SimTime now);
+
+  // -- query support --------------------------------------------------------
+
+  struct Located {
+    std::vector<Provider> providers;  // ascending frequency
+    chord::Key index_node = 0;        // owner that served the row
+    int hops = 0;                     // ring routing hops
+    bool broadcast = false;           // fully unbound pattern: flood instead
+    bool ok = false;
+    net::SimTime completed_at = 0;
+  };
+
+  /// Resolve the providers of a triple pattern through the two-level index
+  /// (Fig. 2): requester -> its index node -> ring lookup -> owner's
+  /// location table -> provider list back to the requester. For the fully
+  /// unbound pattern, sets `broadcast` and lists all live storage nodes.
+  Located locate(net::NodeAddress requester, const rdf::TriplePattern& p,
+                 net::SimTime now);
+
+  /// Lazy location-table repair (Sect. III-D): after a query timeout on
+  /// `dead`, the reporter tells the owning index node to drop its entries.
+  net::SimTime report_dead_provider(net::NodeAddress reporter,
+                                    const rdf::TriplePattern& p,
+                                    net::NodeAddress dead, net::SimTime now);
+
+  // -- accessors ----------------------------------------------------------------
+
+  [[nodiscard]] rdf::TripleStore& store_of(net::NodeAddress addr) {
+    return storage_.at(addr).store;
+  }
+  [[nodiscard]] const rdf::TripleStore& store_of(net::NodeAddress addr) const {
+    return storage_.at(addr).store;
+  }
+  [[nodiscard]] StorageNodeState& storage_state(net::NodeAddress addr) {
+    return storage_.at(addr);
+  }
+  [[nodiscard]] const std::map<chord::Key, IndexNodeState>& index_nodes()
+      const noexcept {
+    return index_;
+  }
+  [[nodiscard]] const std::map<net::NodeAddress, StorageNodeState>&
+  storage_nodes() const noexcept {
+    return storage_;
+  }
+  [[nodiscard]] bool is_storage_node(net::NodeAddress addr) const {
+    return storage_.count(addr) > 0;
+  }
+  /// Live storage-node addresses, ascending.
+  [[nodiscard]] std::vector<net::NodeAddress> live_storage_addresses() const;
+
+  [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  [[nodiscard]] chord::Ring& ring() noexcept { return ring_; }
+  [[nodiscard]] const chord::Ring& ring() const noexcept { return ring_; }
+  [[nodiscard]] const OverlayConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The ring node that fields DHT requests for `requester`: itself for an
+  /// index node, the attached index node for a storage node (re-attaching
+  /// to a live one first if the old attachment died).
+  [[nodiscard]] chord::Key entry_ring_node(net::NodeAddress requester);
+
+  /// A merged store containing every live storage node's triples — the
+  /// single-site oracle distributed execution is validated against.
+  [[nodiscard]] rdf::TripleStore merged_store() const;
+
+ private:
+  /// The location-table row key a pattern resolves through, honoring the
+  /// pair_keys ablation (nullopt for the fully unbound pattern).
+  [[nodiscard]] std::optional<chord::Key> pattern_row_key(
+      const rdf::TriplePattern& p) const;
+
+  /// Deliver one publish/retract to the owning index node (+ replicas).
+  net::SimTime publish_key(net::NodeAddress from, chord::Key key,
+                           std::uint32_t freq, bool retract, net::SimTime now);
+  /// Push a snapshot of the owner's current (key, provider) entry to the
+  /// owner's replica successors (idempotent; 0 removes the replica entry).
+  void replicate_row(IndexNodeState& owner, chord::Key key,
+                     net::NodeAddress provider, net::SimTime now);
+  void on_transfer(chord::Key old_owner, chord::Key new_owner, chord::Key lo,
+                   chord::Key hi, net::SimTime when);
+
+  net::Network* net_;
+  OverlayConfig config_;
+  chord::Ring ring_;
+  std::map<chord::Key, IndexNodeState> index_;
+  std::map<net::NodeAddress, StorageNodeState> storage_;
+  common::Rng id_rng_;
+  std::size_t attach_counter_ = 0;
+};
+
+}  // namespace ahsw::overlay

@@ -1,0 +1,18 @@
+#include "rdf/dictionary.hpp"
+
+namespace ahsw::rdf {
+
+TermId TermDictionary::intern(const Term& t) {
+  auto [it, inserted] =
+      ids_.try_emplace(t, static_cast<TermId>(terms_.size()));
+  if (inserted) terms_.push_back(t);
+  return it->second;
+}
+
+std::optional<TermId> TermDictionary::find(const Term& t) const {
+  auto it = ids_.find(t);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ahsw::rdf

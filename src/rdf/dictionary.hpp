@@ -1,0 +1,37 @@
+// Term dictionary: interns RDF terms to dense 32-bit ids.
+//
+// The triple store keys its orderings on ids instead of full terms, which
+// keeps index nodes cheap and makes equality comparisons O(1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.hpp"
+
+namespace ahsw::rdf {
+
+using TermId = std::uint32_t;
+inline constexpr TermId kInvalidTermId = 0xffffffffu;
+
+class TermDictionary {
+ public:
+  /// Intern a term, returning its id (existing or freshly assigned).
+  TermId intern(const Term& t);
+
+  /// Id of a term if already interned.
+  [[nodiscard]] std::optional<TermId> find(const Term& t) const;
+
+  /// Term for an id previously returned by intern(). Precondition: valid id.
+  [[nodiscard]] const Term& term(TermId id) const { return terms_.at(id); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+
+ private:
+  std::unordered_map<Term, TermId, TermHash> ids_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace ahsw::rdf

@@ -1,0 +1,155 @@
+#include "rdf/ntriples.hpp"
+
+#include "common/strings.hpp"
+
+namespace ahsw::rdf {
+
+namespace {
+
+/// Cursor over one statement line.
+class LineCursor {
+ public:
+  LineCursor(std::string_view text, std::size_t line_no)
+      : text_(text), line_(line_no) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char take() {
+    if (at_end()) fail("unexpected end of line");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (at_end() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  /// Consume characters until (excluding) `stop`; `stop` is then consumed.
+  std::string_view until(char stop) {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != stop) ++pos_;
+    if (at_end()) fail(std::string("unterminated token, expected '") + stop +
+                       "'");
+    std::string_view out = text_.substr(start, pos_ - start);
+    ++pos_;
+    return out;
+  }
+
+  /// Consume a quoted literal body honoring backslash escapes; the closing
+  /// quote is consumed.
+  std::string quoted() {
+    std::string raw;
+    while (true) {
+      if (at_end()) fail("unterminated literal");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      raw += c;
+      if (c == '\\') {
+        if (at_end()) fail("dangling escape");
+        raw += text_[pos_++];
+      }
+    }
+    return common::unescape_ntriples(raw);
+  }
+
+  /// Consume a bare token (blank-node label or language tag).
+  std::string_view bare() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ' && text_[pos_] != '\t' &&
+           text_[pos_] != '.') {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw NTriplesError(line_, what);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_;
+};
+
+Term parse_term(LineCursor& cur, bool allow_literal) {
+  cur.skip_ws();
+  if (cur.at_end()) cur.fail("missing term");
+  char c = cur.peek();
+  if (c == '<') {
+    cur.take();
+    return Term::iri(std::string(cur.until('>')));
+  }
+  if (c == '_') {
+    cur.take();
+    cur.expect(':');
+    return Term::blank(std::string(cur.bare()));
+  }
+  if (c == '"') {
+    if (!allow_literal) cur.fail("literal not allowed in this position");
+    cur.take();
+    std::string value = cur.quoted();
+    if (!cur.at_end() && cur.peek() == '@') {
+      cur.take();
+      return Term::lang_literal(std::move(value), std::string(cur.bare()));
+    }
+    if (!cur.at_end() && cur.peek() == '^') {
+      cur.take();
+      cur.expect('^');
+      cur.expect('<');
+      return Term::typed_literal(std::move(value),
+                                 std::string(cur.until('>')));
+    }
+    return Term::literal(std::move(value));
+  }
+  cur.fail("unrecognized term start");
+}
+
+}  // namespace
+
+Triple parse_ntriples_line(std::string_view line, std::size_t line_no) {
+  LineCursor cur(line, line_no);
+  Triple t;
+  t.s = parse_term(cur, /*allow_literal=*/false);
+  t.p = parse_term(cur, /*allow_literal=*/false);
+  if (!t.p.is_iri()) cur.fail("predicate must be an IRI");
+  t.o = parse_term(cur, /*allow_literal=*/true);
+  cur.skip_ws();
+  cur.expect('.');
+  cur.skip_ws();
+  if (!cur.at_end()) cur.fail("trailing characters after '.'");
+  return t;
+}
+
+std::vector<Triple> parse_ntriples(std::string_view document) {
+  std::vector<Triple> out;
+  std::size_t line_no = 0;
+  for (std::string_view raw : common::split(document, '\n')) {
+    ++line_no;
+    std::string_view line = common::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    out.push_back(parse_ntriples_line(line, line_no));
+  }
+  return out;
+}
+
+std::string to_ntriples(const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += t.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ahsw::rdf

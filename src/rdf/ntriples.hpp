@@ -1,0 +1,42 @@
+// N-Triples reader and writer (the line-based RDF exchange syntax).
+//
+// Storage nodes load their shared datasets from N-Triples documents; the
+// workload generators emit N-Triples so that every synthetic dataset can be
+// dumped and inspected.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/triple.hpp"
+
+namespace ahsw::rdf {
+
+/// Raised on malformed N-Triples input; carries the 1-based line number.
+class NTriplesError : public std::runtime_error {
+ public:
+  NTriplesError(std::size_t line, const std::string& what)
+      : std::runtime_error("N-Triples line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a whole N-Triples document. Blank lines and '#' comments are
+/// skipped. Throws NTriplesError on malformed input.
+[[nodiscard]] std::vector<Triple> parse_ntriples(std::string_view document);
+
+/// Parse a single N-Triples statement (one line, without trailing newline).
+[[nodiscard]] Triple parse_ntriples_line(std::string_view line,
+                                         std::size_t line_no = 1);
+
+/// Serialize triples, one statement per line.
+[[nodiscard]] std::string to_ntriples(const std::vector<Triple>& triples);
+
+}  // namespace ahsw::rdf

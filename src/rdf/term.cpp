@@ -1,0 +1,102 @@
+#include "rdf/term.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+
+namespace ahsw::rdf {
+
+Term Term::iri(std::string value) {
+  Term t;
+  t.kind_ = TermKind::kIri;
+  t.lexical_ = std::move(value);
+  return t;
+}
+
+Term Term::literal(std::string value) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(value);
+  return t;
+}
+
+Term Term::lang_literal(std::string value, std::string lang) {
+  Term t = literal(std::move(value));
+  t.lang_ = std::move(lang);
+  return t;
+}
+
+Term Term::typed_literal(std::string value, std::string datatype_iri) {
+  Term t = literal(std::move(value));
+  t.datatype_ = std::move(datatype_iri);
+  return t;
+}
+
+Term Term::blank(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlank;
+  t.lexical_ = std::move(label);
+  return t;
+}
+
+Term Term::integer(long long v) {
+  return typed_literal(std::to_string(v), std::string(xsd::kInteger));
+}
+
+Term Term::real(double v) {
+  std::ostringstream os;
+  os << v;
+  return typed_literal(os.str(), std::string(xsd::kDouble));
+}
+
+bool Term::numeric_value(double& out) const noexcept {
+  if (kind_ != TermKind::kLiteral) return false;
+  if (!datatype_.empty() && datatype_ != xsd::kInteger &&
+      datatype_ != xsd::kDouble) {
+    return false;
+  }
+  if (lexical_.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(lexical_.c_str(), &end);
+  if (errno != 0 || end != lexical_.c_str() + lexical_.size()) return false;
+  out = v;
+  return true;
+}
+
+std::string Term::to_string() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + lexical_ + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + common::escape_ntriples(lexical_) + "\"";
+      if (!lang_.empty()) {
+        out += "@" + lang_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.to_string();
+}
+
+std::size_t TermHash::operator()(const Term& t) const noexcept {
+  std::uint64_t h =
+      common::tagged_hash(static_cast<std::uint8_t>(t.kind()), t.lexical());
+  if (!t.datatype().empty()) h ^= common::tagged_hash(0x10, t.datatype());
+  if (!t.lang().empty()) h ^= common::tagged_hash(0x11, t.lang());
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ahsw::rdf

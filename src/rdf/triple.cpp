@@ -1,0 +1,58 @@
+#include "rdf/triple.hpp"
+
+#include <ostream>
+
+namespace ahsw::rdf {
+
+std::string Triple::to_string() const {
+  return s.to_string() + " " + p.to_string() + " " + o.to_string() + " .";
+}
+
+std::ostream& operator<<(std::ostream& os, const Triple& t) {
+  return os << t.to_string();
+}
+
+std::size_t TripleHash::operator()(const Triple& t) const noexcept {
+  TermHash th;
+  std::size_t h = th(t.s);
+  h = h * 0x9e3779b97f4a7c15ULL + th(t.p);
+  h = h * 0x9e3779b97f4a7c15ULL + th(t.o);
+  return h;
+}
+
+namespace {
+[[nodiscard]] std::string pattern_term_to_string(const PatternTerm& pt) {
+  if (const Variable* v = var_of(pt)) return "?" + v->name;
+  return std::get<Term>(pt).to_string();
+}
+
+[[nodiscard]] bool position_matches(const PatternTerm& pt,
+                                    const Term& t) noexcept {
+  const Term* bound = term_of(pt);
+  return bound == nullptr || *bound == t;
+}
+}  // namespace
+
+bool TriplePattern::matches(const Triple& t) const noexcept {
+  return position_matches(s, t.s) && position_matches(p, t.p) &&
+         position_matches(o, t.o);
+}
+
+std::string TriplePattern::to_string() const {
+  return pattern_term_to_string(s) + " " + pattern_term_to_string(p) + " " +
+         pattern_term_to_string(o);
+}
+
+std::size_t TriplePattern::byte_size() const noexcept {
+  auto one = [](const PatternTerm& pt) -> std::size_t {
+    if (const Variable* v = var_of(pt)) return v->name.size() + 1;
+    return std::get<Term>(pt).byte_size();
+  };
+  return one(s) + one(p) + one(o);
+}
+
+std::ostream& operator<<(std::ostream& os, const TriplePattern& p) {
+  return os << p.to_string();
+}
+
+}  // namespace ahsw::rdf

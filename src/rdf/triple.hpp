@@ -1,0 +1,93 @@
+// RDF triples and triple patterns.
+//
+// A TriplePattern is a triple whose positions may be variables; the eight
+// bound/unbound combinations ((s,p,o) ... (?s,?p,?o)) are exactly the
+// primitive query forms of Cai & Frank that the paper's two-level index
+// serves (Sect. IV-C).
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "rdf/term.hpp"
+
+namespace ahsw::rdf {
+
+/// One RDF statement (s, p, o).
+struct Triple {
+  Term s;
+  Term p;
+  Term o;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return s.byte_size() + p.byte_size() + o.byte_size();
+  }
+
+  friend std::strong_ordering operator<=>(const Triple&, const Triple&) =
+      default;
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Triple& t);
+
+struct TripleHash {
+  [[nodiscard]] std::size_t operator()(const Triple& t) const noexcept;
+};
+
+/// A SPARQL query variable, e.g. ?x. The stored name excludes the '?'.
+struct Variable {
+  std::string name;
+
+  friend std::strong_ordering operator<=>(const Variable&,
+                                          const Variable&) = default;
+  friend bool operator==(const Variable&, const Variable&) = default;
+};
+
+/// A pattern position: either a concrete term or a variable.
+using PatternTerm = std::variant<Term, Variable>;
+
+[[nodiscard]] inline bool is_var(const PatternTerm& pt) noexcept {
+  return std::holds_alternative<Variable>(pt);
+}
+[[nodiscard]] inline const Term* term_of(const PatternTerm& pt) noexcept {
+  return std::get_if<Term>(&pt);
+}
+[[nodiscard]] inline const Variable* var_of(const PatternTerm& pt) noexcept {
+  return std::get_if<Variable>(&pt);
+}
+
+/// Triple pattern: the basic building block of SPARQL graph patterns.
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  /// Concrete term at each position, or nullptr if it is a variable.
+  [[nodiscard]] const Term* bound_s() const noexcept { return term_of(s); }
+  [[nodiscard]] const Term* bound_p() const noexcept { return term_of(p); }
+  [[nodiscard]] const Term* bound_o() const noexcept { return term_of(o); }
+
+  /// Number of concrete (non-variable) positions, 0..3.
+  [[nodiscard]] int bound_count() const noexcept {
+    return (bound_s() ? 1 : 0) + (bound_p() ? 1 : 0) + (bound_o() ? 1 : 0);
+  }
+
+  /// Whether `t` matches this pattern ignoring variable-sharing constraints
+  /// (the query engine enforces those through bindings).
+  [[nodiscard]] bool matches(const Triple& t) const noexcept;
+
+  /// Surface form, e.g. `?x <http://p> "v"`.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const TriplePattern& p);
+
+}  // namespace ahsw::rdf

@@ -1,0 +1,126 @@
+// RDFPeers baseline (Cai & Frank, WWW 2004) — the comparator the paper
+// positions itself against (Sect. I/II).
+//
+// RDFPeers is a *storage* network: every shared triple is stored at three
+// places on the Chord ring — the successors of Hash(s), Hash(p) and
+// Hash(o) — so the data leaves its provider. Queries route to the node
+// owning a bound attribute and match locally; conjunctive multi-attribute
+// queries (triple patterns sharing one subject variable) resolve by the
+// recursive candidate-subject intersection walk of the original paper, and
+// numeric range queries use a locality-preserving hash over object values.
+//
+// Implemented on the same Chord ring and simulated network as the hybrid
+// overlay, so `bench_baseline` can compare the two designs on identical
+// workloads: placement traffic, per-node storage load, provider autonomy
+// (what fraction of your data stays on your device) and query cost.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "chord/ring.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "rdf/store.hpp"
+#include "sparql/solution.hpp"
+
+namespace ahsw::rdfpeers {
+
+struct RepositoryConfig {
+  chord::RingConfig ring;
+  /// Numeric object values in [numeric_min, numeric_max] map monotonically
+  /// onto the identifier ring (RDFPeers' locality-preserving hashing),
+  /// enabling range queries at the price of load skew.
+  double numeric_min = 0.0;
+  double numeric_max = 1000.0;
+};
+
+/// Per-ring-node storage state.
+struct PeerState {
+  chord::Key id = 0;
+  net::NodeAddress address = net::kNoAddress;
+  rdf::TripleStore store;  // triples this peer was assigned
+};
+
+class Repository {
+ public:
+  Repository(net::Network& network, RepositoryConfig config = {});
+
+  /// Add a peer with a pseudo-random identifier; returns its ring id.
+  chord::Key add_peer(net::SimTime now = 0);
+
+  // -- data placement -----------------------------------------------------
+
+  /// Store one triple at its three attribute successors (charged: each
+  /// placement = ring lookup + full triple shipment). `from` is the
+  /// publishing peer. Returns the completion time.
+  net::SimTime store_triple(chord::Key from, const rdf::Triple& t,
+                            net::SimTime now);
+  net::SimTime store_triples(chord::Key from,
+                             const std::vector<rdf::Triple>& triples,
+                             net::SimTime now);
+
+  // -- queries --------------------------------------------------------------
+
+  struct Resolution {
+    sparql::SolutionSet solutions;
+    int hops = 0;                 // ring routing hops
+    bool ok = false;
+    net::SimTime completed_at = 0;
+  };
+
+  /// Resolve one triple pattern: route to the owner of the most selective
+  /// bound attribute (s, then o, then p), match locally, return the
+  /// mappings to the requester. A fully unbound pattern floods all peers.
+  Resolution resolve_pattern(chord::Key from, const rdf::TriplePattern& p,
+                             net::SimTime now);
+
+  /// RDFPeers' conjunctive multi-attribute query: patterns of the form
+  /// (?s, p_i, o_i) sharing one subject variable. The candidate subject set
+  /// travels the ring: resolved against the owner of (p_1, o_1)'s object,
+  /// then intersected at the owner of (p_2, o_2), ... Final candidates
+  /// return to the requester.
+  Resolution resolve_conjunctive(chord::Key from,
+                                 const std::vector<rdf::TriplePattern>& ps,
+                                 net::SimTime now);
+
+  /// Disjunctive object query: (?s, p, o) for o in `alternatives`; each
+  /// alternative routes to its own owner, results union at the requester.
+  Resolution resolve_disjunctive(chord::Key from, const rdf::Term& predicate,
+                                 const std::vector<rdf::Term>& alternatives,
+                                 net::SimTime now);
+
+  /// Numeric range query (?s, p, ?o) with lo <= o <= hi: walk the ring
+  /// segment [locality_hash(lo), locality_hash(hi)] successor by successor,
+  /// matching locally at each peer (the range-ordering walk of RDFPeers).
+  Resolution resolve_range(chord::Key from, const rdf::Term& predicate,
+                           double lo, double hi, net::SimTime now);
+
+  // -- introspection -------------------------------------------------------
+
+  /// Monotone map from a numeric value to a ring position.
+  [[nodiscard]] chord::Key locality_hash(double v) const noexcept;
+
+  [[nodiscard]] const std::map<chord::Key, PeerState>& peers() const noexcept {
+    return peers_;
+  }
+  [[nodiscard]] chord::Ring& ring() noexcept { return ring_; }
+  /// Triples stored per peer (the storage-load distribution RDFPeers pays).
+  [[nodiscard]] std::vector<std::size_t> storage_loads() const;
+
+ private:
+  /// Place a payload at successor(key): lookup + shipment; returns owner.
+  std::optional<chord::Key> place(chord::Key from, chord::Key key,
+                                  std::size_t bytes, net::SimTime& now,
+                                  int& hops);
+
+  net::Network* net_;
+  RepositoryConfig config_;
+  chord::Ring ring_;
+  std::map<chord::Key, PeerState> peers_;
+  common::Rng id_rng_;
+};
+
+}  // namespace ahsw::rdfpeers

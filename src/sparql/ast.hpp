@@ -1,0 +1,81 @@
+// Abstract syntax tree for parsed SPARQL queries.
+//
+// Mirrors the paper's four building blocks (Sect. IV-A): query form,
+// dataset clause, graph pattern, and solution sequence modifiers. The AST
+// is the output of the Query Parser stage in the Fig. 3 workflow; the
+// Query Transformation stage turns it into SPARQL algebra (algebra.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.hpp"
+#include "sparql/expr.hpp"
+
+namespace ahsw::sparql {
+
+enum class QueryForm { kSelect, kConstruct, kAsk, kDescribe };
+
+struct GroupPattern;
+
+/// One syntactic element inside a group graph pattern.
+struct GroupElement {
+  enum class Kind {
+    kTriple,    // a triple pattern from a triples block
+    kOptional,  // OPTIONAL { ... }           groups[0]
+    kUnion,     // { ... } UNION { ... } ...  groups[0..n]
+    kGroup,     // nested { ... }             groups[0]
+    kFilter,    // FILTER(expr)
+  };
+
+  Kind kind = Kind::kTriple;
+  rdf::TriplePattern triple;             // kTriple
+  std::vector<GroupPattern> groups;      // kOptional / kUnion / kGroup
+  ExprPtr filter;                        // kFilter
+};
+
+/// `{ ... }` — an ordered list of elements.
+struct GroupPattern {
+  std::vector<GroupElement> elements;
+};
+
+/// ORDER BY condition.
+struct OrderCondition {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A parsed SPARQL query.
+struct Query {
+  QueryForm form = QueryForm::kSelect;
+
+  // Solution sequence modifiers.
+  bool distinct = false;
+  bool reduced = false;
+  bool select_all = false;                 // SELECT *
+  std::vector<std::string> select_vars;    // names without '?'
+  std::vector<OrderCondition> order_by;
+  std::optional<std::uint64_t> limit;
+  std::uint64_t offset = 0;
+
+  // Dataset clause. Empty => the implicit dataset: the union of all triples
+  // stored at all storage nodes (the ad-hoc case the paper focuses on).
+  std::vector<std::string> from;
+  std::vector<std::string> from_named;
+
+  GroupPattern where;
+
+  // CONSTRUCT template / DESCRIBE targets.
+  std::vector<rdf::TriplePattern> construct_template;
+  std::vector<rdf::PatternTerm> describe_targets;
+
+  /// Variables referenced anywhere in the WHERE clause, sorted.
+  [[nodiscard]] std::vector<std::string> pattern_variables() const;
+};
+
+/// Parse a SPARQL query string. Throws QuerySyntaxError on bad input.
+[[nodiscard]] Query parse_query(std::string_view text);
+
+}  // namespace ahsw::sparql

@@ -1,0 +1,394 @@
+#include "sparql/eval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace ahsw::sparql {
+
+namespace {
+
+/// Bind the variables of `p` against a concrete triple, extending `base`.
+/// Returns false on conflict (repeated variable bound to different terms or
+/// disagreement with an existing binding).
+bool bind_triple(const rdf::TriplePattern& p, const rdf::Triple& t,
+                 const Binding& base, Binding& out) {
+  out = base;
+  auto bind_pos = [&](const rdf::PatternTerm& pt,
+                      const rdf::Term& value) -> bool {
+    if (const rdf::Variable* v = rdf::var_of(pt)) {
+      if (const rdf::Term* existing = out.get(v->name)) {
+        return *existing == value;
+      }
+      out.set(v->name, value);
+      return true;
+    }
+    return std::get<rdf::Term>(pt) == value;
+  };
+  return bind_pos(p.s, t.s) && bind_pos(p.p, t.p) && bind_pos(p.o, t.o);
+}
+
+/// Substitute variables bound in `b` into `p` to narrow the index scan.
+rdf::TriplePattern substituted(const rdf::TriplePattern& p, const Binding& b) {
+  auto sub = [&](const rdf::PatternTerm& pt) -> rdf::PatternTerm {
+    if (const rdf::Variable* v = rdf::var_of(pt)) {
+      if (const rdf::Term* t = b.get(v->name)) return *t;
+    }
+    return pt;
+  };
+  return rdf::TriplePattern{sub(p.s), sub(p.p), sub(p.o)};
+}
+
+/// Selectivity heuristic for greedy BGP ordering: more bound positions (after
+/// substitution of already-certain variables) evaluate first.
+std::size_t pick_next(const std::vector<BgpPattern>& bgp,
+                      const std::vector<bool>& done,
+                      const std::set<std::string>& bound_vars) {
+  std::size_t best = bgp.size();
+  int best_score = -1;
+  for (std::size_t i = 0; i < bgp.size(); ++i) {
+    if (done[i]) continue;
+    const rdf::TriplePattern& p = bgp[i].pattern;
+    int score = 0;
+    bool shares = false;
+    auto pos_score = [&](const rdf::PatternTerm& pt) {
+      if (const rdf::Variable* v = rdf::var_of(pt)) {
+        if (bound_vars.count(v->name) > 0) {
+          score += 2;
+          shares = true;
+        }
+      } else {
+        score += 2;
+      }
+    };
+    pos_score(p.s);
+    pos_score(p.p);
+    pos_score(p.o);
+    if (shares || bound_vars.empty()) score += 1;  // avoid cartesian products
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  assert(best < bgp.size());
+  return best;
+}
+
+}  // namespace
+
+SolutionSet LocalEngine::match_pattern(const BgpPattern& p) const {
+  SolutionSet out;
+  Binding empty;
+  store_->match(p.pattern, [&](const rdf::Triple& t) {
+    Binding b;
+    if (bind_triple(p.pattern, t, empty, b)) {
+      if (p.pushed_filter == nullptr || satisfies(*p.pushed_filter, b)) {
+        out.add(std::move(b));
+      }
+    }
+  });
+  return out;
+}
+
+SolutionSet LocalEngine::extend(const SolutionSet& input,
+                                const BgpPattern& p) const {
+  SolutionSet out;
+  for (const Binding& base : input.rows()) {
+    rdf::TriplePattern concrete = substituted(p.pattern, base);
+    store_->match(concrete, [&](const rdf::Triple& t) {
+      Binding b;
+      if (bind_triple(p.pattern, t, base, b)) {
+        if (p.pushed_filter == nullptr || satisfies(*p.pushed_filter, b)) {
+          out.add(std::move(b));
+        }
+      }
+    });
+  }
+  return out;
+}
+
+SolutionSet LocalEngine::evaluate_bgp(
+    const std::vector<BgpPattern>& bgp) const {
+  // The empty BGP has exactly one solution: the empty mapping (W3C).
+  SolutionSet acc;
+  acc.add(Binding{});
+  if (bgp.empty()) return acc;
+
+  std::vector<bool> done(bgp.size(), false);
+  std::set<std::string> bound_vars;
+  for (std::size_t step = 0; step < bgp.size(); ++step) {
+    std::size_t i = pick_next(bgp, done, bound_vars);
+    done[i] = true;
+    acc = extend(acc, bgp[i]);
+    if (acc.empty()) return acc;
+    auto add_var = [&](const rdf::PatternTerm& pt) {
+      if (const rdf::Variable* v = rdf::var_of(pt)) bound_vars.insert(v->name);
+    };
+    add_var(bgp[i].pattern.s);
+    add_var(bgp[i].pattern.p);
+    add_var(bgp[i].pattern.o);
+  }
+  return acc;
+}
+
+SolutionSet LocalEngine::evaluate(const Algebra& a) const {
+  switch (a.kind) {
+    case AlgebraKind::kBgp:
+      return evaluate_bgp(a.bgp);
+    case AlgebraKind::kJoin:
+      return join(evaluate(*a.left), evaluate(*a.right));
+    case AlgebraKind::kLeftJoin:
+      return left_join_conditioned(evaluate(*a.left), evaluate(*a.right),
+                                   a.expr);
+    case AlgebraKind::kUnion:
+      return set_union(evaluate(*a.left), evaluate(*a.right));
+    case AlgebraKind::kFilter: {
+      SolutionSet in = evaluate(*a.left);
+      SolutionSet out;
+      for (const Binding& b : in.rows()) {
+        if (satisfies(*a.expr, b)) out.add(b);
+      }
+      return out;
+    }
+    case AlgebraKind::kProject: {
+      SolutionSet in = evaluate(*a.left);
+      SolutionSet out;
+      for (const Binding& b : in.rows()) out.add(b.projected(a.vars));
+      return out;
+    }
+    case AlgebraKind::kDistinct: {
+      SolutionSet in = evaluate(*a.left);
+      in.normalize();
+      auto& rows = in.rows();
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      return in;
+    }
+    case AlgebraKind::kReduced: {
+      SolutionSet in = evaluate(*a.left);
+      auto& rows = in.rows();
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      return in;
+    }
+    case AlgebraKind::kOrderBy: {
+      SolutionSet in = evaluate(*a.left);
+      order_solutions(in, a.order);
+      return in;
+    }
+    case AlgebraKind::kSlice: {
+      SolutionSet in = evaluate(*a.left);
+      auto& rows = in.rows();
+      std::size_t off = std::min<std::size_t>(rows.size(), a.offset);
+      rows.erase(rows.begin(),
+                 rows.begin() + static_cast<std::ptrdiff_t>(off));
+      if (a.limit.has_value() && rows.size() > *a.limit) {
+        rows.resize(*a.limit);
+      }
+      return in;
+    }
+  }
+  return {};
+}
+
+void order_solutions(SolutionSet& set,
+                     const std::vector<OrderCondition>& order) {
+  auto value_less = [](const ExprValue& x, const ExprValue& y) -> int {
+    // Errors / unbound sort lowest, then by numeric value, then by term
+    // surface form.
+    if (!x && !y) return 0;
+    if (!x) return -1;
+    if (!y) return 1;
+    double nx = 0.0, ny = 0.0;
+    if (x->numeric_value(nx) && y->numeric_value(ny)) {
+      if (nx < ny) return -1;
+      if (nx > ny) return 1;
+      return 0;
+    }
+    std::string sx = x->to_string();
+    std::string sy = y->to_string();
+    return sx.compare(sy) < 0 ? -1 : (sx == sy ? 0 : 1);
+  };
+  std::stable_sort(
+      set.rows().begin(), set.rows().end(),
+      [&](const Binding& a, const Binding& b) {
+        for (const OrderCondition& cond : order) {
+          ExprValue va = evaluate(*cond.expr, a);
+          ExprValue vb = evaluate(*cond.expr, b);
+          int c = value_less(va, vb);
+          if (c != 0) return cond.ascending ? c < 0 : c > 0;
+        }
+        return false;
+      });
+}
+
+std::size_t QueryResult::byte_size() const noexcept {
+  std::size_t n = solutions.byte_size() + 1;
+  for (const rdf::Triple& t : graph) n += t.byte_size();
+  return n;
+}
+
+std::string QueryResult::to_string() const {
+  switch (form) {
+    case QueryForm::kAsk:
+      return ask_answer ? "true" : "false";
+    case QueryForm::kSelect:
+      return solutions.to_string();
+    default: {
+      std::string out;
+      for (const rdf::Triple& t : graph) {
+        out += t.to_string();
+        out += '\n';
+      }
+      return out;
+    }
+  }
+}
+
+namespace {
+
+/// Instantiate a CONSTRUCT template against solutions; rows that leave any
+/// template position unbound are skipped (per spec), duplicates removed.
+std::vector<rdf::Triple> instantiate_template(
+    const std::vector<rdf::TriplePattern>& tmpl, const SolutionSet& sols) {
+  std::set<rdf::Triple> out;
+  for (const Binding& b : sols.rows()) {
+    for (const rdf::TriplePattern& tp : tmpl) {
+      rdf::TriplePattern concrete = substituted(tp, b);
+      if (concrete.bound_count() != 3) continue;
+      out.insert(rdf::Triple{*concrete.bound_s(), *concrete.bound_p(),
+                             *concrete.bound_o()});
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+/// All triples mentioning `t` as subject or object.
+void describe_term(const rdf::Term& t, const rdf::TripleStore& store,
+                   std::set<rdf::Triple>& out) {
+  for (const rdf::Triple& tr :
+       store.match(rdf::TriplePattern{t, rdf::Variable{"p"},
+                                      rdf::Variable{"o"}})) {
+    out.insert(tr);
+  }
+  for (const rdf::Triple& tr :
+       store.match(rdf::TriplePattern{rdf::Variable{"s"}, rdf::Variable{"p"},
+                                      t})) {
+    out.insert(tr);
+  }
+}
+
+}  // namespace
+
+QueryResult finalize_result(const Query& q, SolutionSet raw,
+                            const rdf::TripleStore* store) {
+  QueryResult res;
+  res.form = q.form;
+
+  if (q.order_by.empty()) {
+    raw.normalize();  // deterministic output when no explicit order given
+  } else {
+    order_solutions(raw, q.order_by);
+  }
+
+  switch (q.form) {
+    case QueryForm::kAsk:
+      res.ask_answer = !raw.empty();
+      return res;
+
+    case QueryForm::kConstruct:
+      res.graph = instantiate_template(q.construct_template, raw);
+      return res;
+
+    case QueryForm::kDescribe: {
+      if (store == nullptr) return res;
+      std::set<rdf::Triple> triples;
+      for (const rdf::PatternTerm& target : q.describe_targets) {
+        if (const rdf::Term* t = rdf::term_of(target)) {
+          describe_term(*t, *store, triples);
+        } else {
+          const rdf::Variable& v = std::get<rdf::Variable>(target);
+          for (const Binding& b : raw.rows()) {
+            if (const rdf::Term* bound_term = b.get(v.name)) {
+              describe_term(*bound_term, *store, triples);
+            }
+          }
+        }
+      }
+      res.graph.assign(triples.begin(), triples.end());
+      return res;
+    }
+
+    case QueryForm::kSelect:
+      break;
+  }
+
+  // SELECT: projection, distinct/reduced, slice.
+  res.variables =
+      q.select_all ? q.pattern_variables() : q.select_vars;
+  SolutionSet projected;
+  for (const Binding& b : raw.rows()) {
+    projected.add(b.projected(res.variables));
+  }
+  if (q.distinct) {
+    std::set<Binding> seen;
+    SolutionSet unique;
+    for (Binding& b : projected.rows()) {
+      if (seen.insert(b).second) unique.add(std::move(b));
+    }
+    projected = std::move(unique);
+  } else if (q.reduced) {
+    auto& rows = projected.rows();
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+  auto& rows = projected.rows();
+  std::size_t off = std::min<std::size_t>(rows.size(), q.offset);
+  rows.erase(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(off));
+  if (q.limit.has_value() && rows.size() > *q.limit) rows.resize(*q.limit);
+  res.solutions = std::move(projected);
+  return res;
+}
+
+SolutionSet left_join_conditioned(const SolutionSet& a, const SolutionSet& b,
+                                  const ExprPtr& cond) {
+  if (cond == nullptr) return left_join(a, b);
+  // LeftJoin(O1, O2, F): u1 extends with every compatible u2 whose merge
+  // satisfies F, and survives unextended iff no such u2 exists.
+  SolutionSet out;
+  for (const Binding& u1 : a.rows()) {
+    bool extended = false;
+    for (const Binding& u2 : b.rows()) {
+      if (u1.compatible(u2)) {
+        Binding m = u1.merged(u2);
+        if (satisfies(*cond, m)) {
+          out.add(std::move(m));
+          extended = true;
+        }
+      }
+    }
+    if (!extended) out.add(u1);
+  }
+  return out;
+}
+
+SolutionSet filter_set(const SolutionSet& in, const Expr& e) {
+  SolutionSet out;
+  for (const Binding& b : in.rows()) {
+    if (satisfies(e, b)) out.add(b);
+  }
+  return out;
+}
+
+SolutionSet deduplicated(SolutionSet in) {
+  in.normalize();
+  auto& rows = in.rows();
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return in;
+}
+
+QueryResult execute_local(const Query& q, const rdf::TripleStore& store) {
+  LocalEngine engine(store);
+  AlgebraPtr pattern = translate_pattern(q.where);
+  SolutionSet raw = engine.evaluate(*pattern);
+  return finalize_result(q, std::move(raw), &store);
+}
+
+}  // namespace ahsw::sparql

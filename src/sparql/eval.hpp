@@ -1,0 +1,87 @@
+// Local SPARQL evaluation over one triple store.
+//
+// This is the "Local Query Execution" box of the paper's Fig. 3 workflow:
+// every storage node runs this engine against its own RDF repository when a
+// sub-query is shipped to it. The same engine evaluated against a merged
+// store acts as the oracle that distributed execution is tested against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rdf/store.hpp"
+#include "sparql/algebra.hpp"
+#include "sparql/ast.hpp"
+#include "sparql/solution.hpp"
+
+namespace ahsw::sparql {
+
+/// Evaluation engine bound to a triple store.
+class LocalEngine {
+ public:
+  explicit LocalEngine(const rdf::TripleStore& store) : store_(&store) {}
+
+  /// Evaluate any algebra expression to a solution set.
+  [[nodiscard]] SolutionSet evaluate(const Algebra& a) const;
+
+  /// Evaluate a BGP with binding propagation (patterns are greedily ordered
+  /// by selectivity: most-bound first, preferring ones sharing variables
+  /// with those already evaluated).
+  [[nodiscard]] SolutionSet evaluate_bgp(
+      const std::vector<BgpPattern>& bgp) const;
+
+  /// Solutions of one triple pattern, with repeated-variable consistency
+  /// (e.g. `?x p ?x`) enforced and any pushed filter applied.
+  [[nodiscard]] SolutionSet match_pattern(const BgpPattern& p) const;
+
+ private:
+  /// Extend each binding in `input` with matches of `p`.
+  [[nodiscard]] SolutionSet extend(const SolutionSet& input,
+                                   const BgpPattern& p) const;
+
+  const rdf::TripleStore* store_;
+};
+
+/// Result of running a full query.
+struct QueryResult {
+  QueryForm form = QueryForm::kSelect;
+  std::vector<std::string> variables;  // SELECT projection
+  SolutionSet solutions;               // SELECT
+  bool ask_answer = false;             // ASK
+  std::vector<rdf::Triple> graph;      // CONSTRUCT / DESCRIBE
+
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Sort `set` according to ORDER BY conditions (stable; unbound orders
+/// lowest, numeric before lexical comparison). Exposed for reuse by the
+/// distributed post-processing stage.
+void order_solutions(SolutionSet& set,
+                     const std::vector<OrderCondition>& order);
+
+/// Apply Project/Distinct/Reduced/OrderBy/Slice modifiers of `q` to a raw
+/// pattern-matching result (used by the distributed processor's
+/// post-processing stage at the query initiator).
+[[nodiscard]] QueryResult finalize_result(const Query& q, SolutionSet raw,
+                                          const rdf::TripleStore* store);
+
+/// Parse-transform-evaluate a whole query against one local store.
+[[nodiscard]] QueryResult execute_local(const Query& q,
+                                        const rdf::TripleStore& store);
+
+/// LeftJoin with an optional condition (SPARQL OPTIONAL semantics): each
+/// left row extends with every compatible right row satisfying `cond`, or
+/// survives alone when none does. cond == nullptr means `true`.
+[[nodiscard]] SolutionSet left_join_conditioned(const SolutionSet& a,
+                                                const SolutionSet& b,
+                                                const ExprPtr& cond);
+
+/// Rows of `in` satisfying `e`.
+[[nodiscard]] SolutionSet filter_set(const SolutionSet& in, const Expr& e);
+
+/// Canonically sorted with duplicates removed (set semantics, used at every
+/// in-network merge point of the distributed processor).
+[[nodiscard]] SolutionSet deduplicated(SolutionSet in);
+
+}  // namespace ahsw::sparql

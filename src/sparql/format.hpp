@@ -1,0 +1,22 @@
+// Plain-text table rendering of query results (the kind of output a
+// SPARQL endpoint's console client would show). Used by the shell tool and
+// handy in examples/tests.
+#pragma once
+
+#include <string>
+
+#include "sparql/eval.hpp"
+
+namespace ahsw::sparql {
+
+/// Render a SELECT result as an aligned ASCII table:
+///
+///   | x                    | name        |
+///   |----------------------|-------------|
+///   | <http://people/bob>  | "Bob Jones" |
+///   2 rows
+///
+/// ASK renders as `yes` / `no`; CONSTRUCT/DESCRIBE as N-Triples statements.
+[[nodiscard]] std::string to_table(const QueryResult& result);
+
+}  // namespace ahsw::sparql

@@ -1,0 +1,277 @@
+#include "sparql/lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ahsw::sparql {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT",   "CONSTRUCT", "DESCRIBE", "ASK",    "WHERE",  "PREFIX",
+    "BASE",     "FROM",      "NAMED",    "FILTER", "OPTIONAL",
+    "UNION",    "ORDER",     "BY",       "ASC",    "DESC",   "LIMIT",
+    "OFFSET",   "DISTINCT",  "REDUCED",  "REGEX",  "BOUND",  "STR",
+    "LANG",     "DATATYPE",  "ISIRI",    "ISURI",  "ISLITERAL",
+    "ISBLANK",  "TRUE",      "FALSE",
+};
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_ws_and_comments();
+      Token t = next_token();
+      bool end = t.kind == TokenKind::kEnd;
+      out.push_back(std::move(t));
+      if (end) break;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    while (!at_end()) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '#') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw QuerySyntaxError(line_, column_, what);
+  }
+
+  Token make(TokenKind kind, std::string text = {}) const {
+    return Token{kind, std::move(text), start_line_, start_column_};
+  }
+
+  Token next_token() {
+    start_line_ = line_;
+    start_column_ = column_;
+    if (at_end()) return make(TokenKind::kEnd);
+
+    char c = peek();
+    if (c == '<') return lex_iri();
+    if (c == '"' || c == '\'') return lex_string();
+    if (c == '?' || c == '$') return lex_var();
+    if (c == '@') return lex_lang_tag();
+    if (c == '_' && peek(1) == ':') return lex_blank();
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) return lex_number();
+    if (is_ident_start(c) || c == ':') return lex_name();
+
+    advance();
+    switch (c) {
+      case '{': return make(TokenKind::kLBrace);
+      case '}': return make(TokenKind::kRBrace);
+      case '(': return make(TokenKind::kLParen);
+      case ')': return make(TokenKind::kRParen);
+      case '.': return make(TokenKind::kDot);
+      case ';': return make(TokenKind::kSemicolon);
+      case ',': return make(TokenKind::kComma);
+      case '*': return make(TokenKind::kStar);
+      case '+': return make(TokenKind::kPlus);
+      case '-': return make(TokenKind::kMinus);
+      case '/': return make(TokenKind::kSlash);
+      case '=': return make(TokenKind::kEq);
+      case '^':
+        if (peek() == '^') {
+          advance();
+          return make(TokenKind::kDoubleCaret);
+        }
+        fail("unexpected '^'");
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kNe);
+        }
+        return make(TokenKind::kBang);
+      case '<':
+        break;  // unreachable; handled by lex_iri
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kGe);
+        }
+        return make(TokenKind::kGt);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokenKind::kAndAnd);
+        }
+        fail("unexpected '&'");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokenKind::kOrOr);
+        }
+        fail("unexpected '|'");
+      default:
+        break;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Token lex_iri() {
+    advance();  // '<'
+    // '<' may also be the less-than operator: an IRIREF has no spaces and a
+    // closing '>' before any whitespace.
+    std::string text;
+    std::size_t probe = pos_;
+    bool is_iri = false;
+    while (probe < src_.size()) {
+      char c = src_[probe];
+      if (c == '>') {
+        is_iri = true;
+        break;
+      }
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') break;
+      ++probe;
+    }
+    if (!is_iri) {
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::kLe);
+      }
+      return make(TokenKind::kLt);
+    }
+    while (peek() != '>') text += advance();
+    advance();  // '>'
+    return make(TokenKind::kIriRef, std::move(text));
+  }
+
+  Token lex_string() {
+    char quote = advance();
+    std::string raw;
+    while (true) {
+      if (at_end()) fail("unterminated string literal");
+      char c = advance();
+      if (c == quote) break;
+      raw += c;
+      if (c == '\\') {
+        if (at_end()) fail("dangling escape in string literal");
+        raw += advance();
+      }
+    }
+    return make(TokenKind::kString, common::unescape_ntriples(raw));
+  }
+
+  Token lex_var() {
+    advance();  // sigil
+    std::string name;
+    while (!at_end() && is_ident_char(peek())) name += advance();
+    if (name.empty()) fail("empty variable name");
+    return make(TokenKind::kVar, std::move(name));
+  }
+
+  Token lex_lang_tag() {
+    advance();  // '@'
+    std::string tag;
+    while (!at_end() && (is_ident_char(peek()))) tag += advance();
+    if (tag.empty()) fail("empty language tag");
+    return make(TokenKind::kLangTag, std::move(tag));
+  }
+
+  Token lex_blank() {
+    advance();  // '_'
+    advance();  // ':'
+    std::string label;
+    while (!at_end() && is_ident_char(peek())) label += advance();
+    if (label.empty()) fail("empty blank node label");
+    return make(TokenKind::kBlank, std::move(label));
+  }
+
+  Token lex_number() {
+    std::string text;
+    bool decimal = false;
+    while (!at_end() &&
+           (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+            (peek() == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))) != 0))) {
+      if (peek() == '.') decimal = true;
+      text += advance();
+    }
+    return make(decimal ? TokenKind::kDecimal : TokenKind::kInteger,
+                std::move(text));
+  }
+
+  Token lex_name() {
+    // Bare identifier, keyword, or prefixed name prefix:local / :local.
+    std::string text;
+    while (!at_end() && (is_ident_char(peek()) || peek() == '.')) {
+      // A '.' inside a name is only valid if followed by another name char
+      // (N3-style); otherwise it terminates the statement.
+      if (peek() == '.' && !is_ident_char(peek(1))) break;
+      text += advance();
+    }
+    if (!at_end() && peek() == ':') {
+      advance();
+      std::string local;
+      while (!at_end() && (is_ident_char(peek()) || peek() == '.')) {
+        if (peek() == '.' && !is_ident_char(peek(1))) break;
+        local += advance();
+      }
+      return make(TokenKind::kPName, text + ":" + local);
+    }
+    std::string upper = text;
+    std::transform(upper.begin(), upper.end(), upper.begin(), [](char ch) {
+      return static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    });
+    if (std::find(kKeywords.begin(), kKeywords.end(), upper) !=
+        kKeywords.end()) {
+      return make(TokenKind::kKeyword, std::move(upper));
+    }
+    return make(TokenKind::kPName, std::move(text));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  std::size_t start_line_ = 1;
+  std::size_t start_column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view query) {
+  return Lexer(query).run();
+}
+
+}  // namespace ahsw::sparql

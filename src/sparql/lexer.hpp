@@ -1,0 +1,74 @@
+// Tokenizer for the SPARQL query surface syntax.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ahsw::sparql {
+
+enum class TokenKind {
+  kEnd,
+  kIriRef,     // <...>            text = IRI without angle brackets
+  kPName,      // prefix:local / :local / bare identifier (keywords excluded)
+  kVar,        // ?x / $x          text = name without sigil
+  kString,     // "..." / '...'    text = unescaped value
+  kLangTag,    // @en              text = tag
+  kInteger,    // 42
+  kDecimal,    // 3.14
+  kBlank,      // _:b              text = label
+  kKeyword,    // SELECT, WHERE, FILTER, ... text = uppercased
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kDot,
+  kSemicolon,
+  kComma,
+  kStar,
+  kDoubleCaret,  // ^^
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+  kPlus,
+  kMinus,
+  kSlash,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+/// Raised on any lexical or syntactic error in a SPARQL query string.
+class QuerySyntaxError : public std::runtime_error {
+ public:
+  QuerySyntaxError(std::size_t line, std::size_t column,
+                   const std::string& what)
+      : std::runtime_error("SPARQL syntax error at " + std::to_string(line) +
+                           ":" + std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Tokenize a full query string; the result always ends with a kEnd token.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view query);
+
+}  // namespace ahsw::sparql

@@ -1,0 +1,238 @@
+#include "sparql/solution.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ahsw::sparql {
+
+namespace {
+
+/// Iterator to the slot for `var`, or end.
+template <typename Slots>
+auto find_slot(Slots& slots, std::string_view var) {
+  return std::lower_bound(
+      slots.begin(), slots.end(), var,
+      [](const auto& slot, std::string_view v) { return slot.first < v; });
+}
+
+}  // namespace
+
+const rdf::Term* Binding::get(std::string_view var) const noexcept {
+  auto it = find_slot(slots_, var);
+  if (it == slots_.end() || it->first != var) return nullptr;
+  return &it->second;
+}
+
+void Binding::set(std::string_view var, rdf::Term term) {
+  auto it = find_slot(slots_, var);
+  if (it != slots_.end() && it->first == var) {
+    it->second = std::move(term);
+  } else {
+    slots_.insert(it, {std::string(var), std::move(term)});
+  }
+}
+
+bool Binding::compatible(const Binding& other) const noexcept {
+  // Merge-walk over two sorted slot vectors.
+  auto a = slots_.begin();
+  auto b = other.slots_.begin();
+  while (a != slots_.end() && b != other.slots_.end()) {
+    if (a->first < b->first) {
+      ++a;
+    } else if (b->first < a->first) {
+      ++b;
+    } else {
+      if (a->second != b->second) return false;
+      ++a;
+      ++b;
+    }
+  }
+  return true;
+}
+
+Binding Binding::merged(const Binding& other) const {
+  Binding out;
+  out.slots_.reserve(slots_.size() + other.slots_.size());
+  auto a = slots_.begin();
+  auto b = other.slots_.begin();
+  while (a != slots_.end() || b != other.slots_.end()) {
+    if (b == other.slots_.end() ||
+        (a != slots_.end() && a->first < b->first)) {
+      out.slots_.push_back(*a++);
+    } else if (a == slots_.end() || b->first < a->first) {
+      out.slots_.push_back(*b++);
+    } else {
+      out.slots_.push_back(*a);  // equal names; compatible => equal terms
+      ++a;
+      ++b;
+    }
+  }
+  return out;
+}
+
+Binding Binding::projected(const std::vector<std::string>& vars) const {
+  Binding out;
+  for (const std::string& v : vars) {
+    if (const rdf::Term* t = get(v)) out.set(v, *t);
+  }
+  return out;
+}
+
+std::size_t Binding::byte_size() const noexcept {
+  std::size_t n = 2;  // row framing
+  for (const auto& [name, term] : slots_) {
+    n += name.size() + 1 + term.byte_size();
+  }
+  return n;
+}
+
+std::string Binding::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += slots_[i].first + "->" + slots_[i].second.to_string();
+  }
+  out += "}";
+  return out;
+}
+
+std::size_t SolutionSet::byte_size() const noexcept {
+  std::size_t n = 4;  // set framing
+  for (const Binding& b : rows_) n += b.byte_size();
+  return n;
+}
+
+void SolutionSet::normalize() { std::sort(rows_.begin(), rows_.end()); }
+
+std::string SolutionSet::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += rows_[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+/// Key of a binding restricted to `vars` (all of which must be bound);
+/// returns false if some var is unbound in b (then the row can join with
+/// anything on that var and needs the slow path).
+bool restricted_key(const Binding& b, const std::vector<std::string>& vars,
+                    std::string& key) {
+  key.clear();
+  for (const std::string& v : vars) {
+    const rdf::Term* t = b.get(v);
+    if (t == nullptr) return false;
+    key += t->to_string();
+    key += '\x1f';
+  }
+  return true;
+}
+
+std::vector<std::string> shared_variables(const SolutionSet& a,
+                                          const SolutionSet& b) {
+  std::set<std::string> va;
+  for (const Binding& r : a.rows()) {
+    for (const auto& [name, _] : r.slots()) va.insert(name);
+  }
+  std::set<std::string> shared;
+  for (const Binding& r : b.rows()) {
+    for (const auto& [name, _] : r.slots()) {
+      if (va.count(name) > 0) shared.insert(name);
+    }
+  }
+  return {shared.begin(), shared.end()};
+}
+
+}  // namespace
+
+SolutionSet join(const SolutionSet& a, const SolutionSet& b) {
+  SolutionSet out;
+  const std::vector<std::string> shared = shared_variables(a, b);
+
+  if (shared.empty()) {
+    // Cartesian product (no shared vars => all pairs compatible).
+    for (const Binding& ra : a.rows()) {
+      for (const Binding& rb : b.rows()) {
+        out.add(ra.merged(rb));
+      }
+    }
+    return out;
+  }
+
+  // Hash-join on rows of `b` that bind every shared var; rows that do not
+  // (possible after OPTIONAL) fall back to pairwise compatibility checks.
+  std::multimap<std::string, const Binding*> table;
+  std::vector<const Binding*> partial;
+  std::string key;
+  for (const Binding& rb : b.rows()) {
+    if (restricted_key(rb, shared, key)) {
+      table.emplace(key, &rb);
+    } else {
+      partial.push_back(&rb);
+    }
+  }
+
+  for (const Binding& ra : a.rows()) {
+    if (restricted_key(ra, shared, key)) {
+      auto [lo, hi] = table.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        // Shared vars equal by construction; still need full compatibility
+        // in case of vars bound in b but unbound in this a-row's shared set.
+        if (ra.compatible(*it->second)) out.add(ra.merged(*it->second));
+      }
+      for (const Binding* rb : partial) {
+        if (ra.compatible(*rb)) out.add(ra.merged(*rb));
+      }
+    } else {
+      for (const Binding& rb : b.rows()) {
+        if (ra.compatible(rb)) out.add(ra.merged(rb));
+      }
+    }
+  }
+  return out;
+}
+
+SolutionSet set_union(const SolutionSet& a, const SolutionSet& b) {
+  SolutionSet out;
+  out.rows().reserve(a.size() + b.size());
+  for (const Binding& r : a.rows()) out.add(r);
+  for (const Binding& r : b.rows()) out.add(r);
+  return out;
+}
+
+SolutionSet minus(const SolutionSet& a, const SolutionSet& b) {
+  SolutionSet out;
+  for (const Binding& ra : a.rows()) {
+    bool any_compatible = false;
+    for (const Binding& rb : b.rows()) {
+      if (ra.compatible(rb)) {
+        any_compatible = true;
+        break;
+      }
+    }
+    if (!any_compatible) out.add(ra);
+  }
+  return out;
+}
+
+SolutionSet left_join(const SolutionSet& a, const SolutionSet& b) {
+  SolutionSet joined = join(a, b);
+  // (O1 - O2): keep rows of a with no compatible partner in b.
+  SolutionSet unmatched = minus(a, b);
+  for (const Binding& r : unmatched.rows()) joined.add(r);
+  return joined;
+}
+
+std::vector<std::string> variables_of(const SolutionSet& s) {
+  std::set<std::string> vars;
+  for (const Binding& r : s.rows()) {
+    for (const auto& [name, _] : r.slots()) vars.insert(name);
+  }
+  return {vars.begin(), vars.end()};
+}
+
+}  // namespace ahsw::sparql

@@ -1,0 +1,121 @@
+// Solution mappings and the set-level operations of the SPARQL algebra.
+//
+// Follows Perez, Arenas & Gutierrez, "Semantics and complexity of SPARQL"
+// (TODS 2009), the formalization the paper adopts in Sect. IV-A:
+//   - a solution mapping u is a partial function from variables to RDF terms;
+//   - u1, u2 are compatible iff they agree on every shared variable;
+//   - Join:  O1 x O2 = { u1 u u2 | u1 in O1, u2 in O2, compatible }
+//   - Union: O1 u O2
+//   - Minus: O1 - O2 = { u1 | forall u2 in O2: not compatible(u1, u2) }
+//   - LeftJoin: (O1 x O2) u (O1 - O2), with an optional filter condition
+//     applied inside the join part (SPARQL OPTIONAL semantics).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.hpp"
+
+namespace ahsw::sparql {
+
+/// One solution mapping (a row of a SPARQL result). Stored as a sorted
+/// flat vector of (variable name, term) pairs; names exclude the '?'.
+class Binding {
+ public:
+  Binding() = default;
+
+  /// Term bound to `var`, or nullptr when unbound.
+  [[nodiscard]] const rdf::Term* get(std::string_view var) const noexcept;
+
+  /// Bind `var` to `term`. Overwrites an existing binding of the same var.
+  void set(std::string_view var, rdf::Term term);
+
+  [[nodiscard]] bool bound(std::string_view var) const noexcept {
+    return get(var) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+  /// Compatible per Perez et al.: every shared variable maps to equal terms.
+  [[nodiscard]] bool compatible(const Binding& other) const noexcept;
+
+  /// Union of two compatible mappings. Precondition: compatible(other).
+  [[nodiscard]] Binding merged(const Binding& other) const;
+
+  /// Keep only the named variables (SPARQL projection).
+  [[nodiscard]] Binding projected(const std::vector<std::string>& vars) const;
+
+  /// Sorted (name, term) pairs; iteration order is deterministic.
+  [[nodiscard]] const std::vector<std::pair<std::string, rdf::Term>>& slots()
+      const noexcept {
+    return slots_;
+  }
+
+  /// Serialized size for the network cost model.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  /// Debug form: `{x-><a>, y->"v"}` with variables in sorted order.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+  /// Lexicographic over sorted slots: gives result sets a canonical order.
+  friend std::strong_ordering operator<=>(const Binding&,
+                                          const Binding&) = default;
+
+ private:
+  std::vector<std::pair<std::string, rdf::Term>> slots_;
+};
+
+/// A set of solution mappings (duplicates allowed: SPARQL solution
+/// *sequences* keep multiplicity until DISTINCT/REDUCED).
+class SolutionSet {
+ public:
+  SolutionSet() = default;
+  explicit SolutionSet(std::vector<Binding> rows) : rows_(std::move(rows)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  void add(Binding b) { rows_.push_back(std::move(b)); }
+
+  [[nodiscard]] const std::vector<Binding>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] std::vector<Binding>& rows() noexcept { return rows_; }
+
+  /// Total serialized size; what the cost model charges to ship this set.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  /// Sort rows canonically (used before comparing result sets in tests and
+  /// before returning final answers so output is deterministic).
+  void normalize();
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Binding> rows_;
+};
+
+/// O1 x O2 (hash join on the shared variables).
+[[nodiscard]] SolutionSet join(const SolutionSet& a, const SolutionSet& b);
+
+/// O1 u O2.
+[[nodiscard]] SolutionSet set_union(const SolutionSet& a,
+                                    const SolutionSet& b);
+
+/// O1 - O2 (per Perez et al.: drop u1 compatible with any u2).
+[[nodiscard]] SolutionSet minus(const SolutionSet& a, const SolutionSet& b);
+
+/// Left outer join without a condition: (O1 x O2) u (O1 - O2).
+[[nodiscard]] SolutionSet left_join(const SolutionSet& a,
+                                    const SolutionSet& b);
+
+/// Variables appearing in any row of `s`, sorted.
+[[nodiscard]] std::vector<std::string> variables_of(const SolutionSet& s);
+
+}  // namespace ahsw::sparql

@@ -1,0 +1,143 @@
+#include "workload/generators.hpp"
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "workload/vocab.hpp"
+
+namespace ahsw::workload {
+
+namespace {
+
+constexpr std::array kFirstNames = {
+    "Alice", "Bob",   "Carol", "Dave",  "Erin",  "Frank", "Grace", "Heidi",
+    "Ivan",  "Judy",  "Ken",   "Laura", "Mallory", "Niaj", "Olivia", "Peggy",
+};
+
+constexpr std::array kSurnames = {
+    "Smith",    "Johnson", "Williams", "Brown",   "Jones",  "Garcia",
+    "Miller",   "Davis",   "Rodriguez", "Martinez", "Hernandez", "Lopez",
+    "Gonzalez", "Wilson",  "Anderson", "Thomas",  "Taylor", "Moore",
+    "Jackson",  "Martin",
+};
+
+constexpr std::array kMetricNames = {
+    "temperature", "humidity", "pressure", "co2", "noise", "light",
+};
+
+}  // namespace
+
+std::vector<rdf::Triple> generate_foaf(const FoafConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  common::ZipfSampler popularity(cfg.persons == 0 ? 1 : cfg.persons,
+                                 cfg.popularity_skew);
+  std::vector<rdf::Triple> out;
+  out.reserve(cfg.persons * 5);
+
+  rdf::Term name_p = rdf::Term::iri(std::string(foaf::kName));
+  rdf::Term knows_p = rdf::Term::iri(std::string(foaf::kKnows));
+  rdf::Term mbox_p = rdf::Term::iri(std::string(foaf::kMbox));
+  rdf::Term nick_p = rdf::Term::iri(std::string(foaf::kNick));
+  rdf::Term age_p = rdf::Term::iri(std::string(foaf::kAge));
+  rdf::Term kna_p = rdf::Term::iri(std::string(ex::kKnowsNothingAbout));
+
+  for (std::size_t i = 0; i < cfg.persons; ++i) {
+    rdf::Term person = person_iri(i);
+    std::size_t surname_index =
+        rng.below(std::min<std::uint64_t>(cfg.surname_pool, kSurnames.size()));
+    std::string full_name =
+        std::string(kFirstNames[rng.below(kFirstNames.size())]) + " " +
+        std::string(kSurnames[surname_index]);
+    out.push_back({person, name_p, rdf::Term::literal(full_name)});
+    out.push_back(
+        {person, age_p,
+         rdf::Term::integer(static_cast<long long>(rng.between(18, 90)))});
+
+    if (rng.chance(cfg.mbox_fraction)) {
+      out.push_back({person, mbox_p,
+                     rdf::Term::iri("mailto:p" + std::to_string(i) +
+                                    "@example.org")});
+    }
+    if (rng.chance(cfg.nick_fraction)) {
+      out.push_back({person, nick_p,
+                     rdf::Term::literal("nick" + std::to_string(rng.below(
+                                                     cfg.persons / 2 + 1)))});
+    }
+
+    // knows edges: targets are Zipf-popular (celebrities collect edges).
+    auto edges = static_cast<std::size_t>(cfg.knows_per_person);
+    if (rng.uniform() < cfg.knows_per_person - static_cast<double>(edges)) {
+      ++edges;
+    }
+    for (std::size_t e = 0; e < edges; ++e) {
+      std::size_t target = popularity.sample(rng);
+      if (target == i) continue;
+      out.push_back({person, knows_p, person_iri(target)});
+    }
+    if (rng.chance(cfg.knows_nothing_fraction)) {
+      std::size_t target = rng.below(cfg.persons);
+      if (target != i) {
+        out.push_back({person, kna_p, person_iri(target)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<rdf::Triple> generate_sensors(const SensorConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  std::vector<rdf::Triple> out;
+  out.reserve(cfg.sensors * (cfg.observations_per_sensor * 4 + 1));
+
+  rdf::Term observed_by = rdf::Term::iri(std::string(sensor::kObservedBy));
+  rdf::Term metric_p = rdf::Term::iri(std::string(sensor::kMetric));
+  rdf::Term value_p = rdf::Term::iri(std::string(sensor::kValue));
+  rdf::Term ts_p = rdf::Term::iri(std::string(sensor::kTimestamp));
+  rdf::Term located_in = rdf::Term::iri(std::string(sensor::kLocatedIn));
+
+  std::size_t obs_id = 0;
+  for (std::size_t s = 0; s < cfg.sensors; ++s) {
+    rdf::Term unit = rdf::Term::iri(std::string(sensor::kSensorBase) + "s" +
+                                    std::to_string(s));
+    rdf::Term room = rdf::Term::iri(std::string(sensor::kRoomBase) + "r" +
+                                    std::to_string(rng.below(cfg.rooms)));
+    out.push_back({unit, located_in, room});
+
+    for (std::size_t o = 0; o < cfg.observations_per_sensor; ++o) {
+      rdf::Term obs = rdf::Term::iri(std::string(sensor::kObsBase) + "o" +
+                                     std::to_string(obs_id++));
+      std::size_t metric = rng.below(
+          std::min<std::uint64_t>(cfg.metrics, kMetricNames.size()));
+      out.push_back({obs, observed_by, unit});
+      out.push_back(
+          {obs, metric_p, rdf::Term::literal(std::string(kMetricNames[metric]))});
+      out.push_back(
+          {obs, value_p,
+           rdf::Term::integer(static_cast<long long>(rng.between(0, 100)))});
+      out.push_back(
+          {obs, ts_p,
+           rdf::Term::integer(static_cast<long long>(1700000000 + obs_id))});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<rdf::Triple>> partition(
+    const std::vector<rdf::Triple>& data, const PartitionConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  std::size_t n = cfg.nodes == 0 ? 1 : cfg.nodes;
+  common::ZipfSampler node_pick(n, cfg.node_skew);
+  std::vector<std::vector<rdf::Triple>> out(n);
+  for (const rdf::Triple& t : data) {
+    std::size_t primary = node_pick.sample(rng);
+    out[primary].push_back(t);
+    if (cfg.overlap > 0.0 && n > 1 && rng.chance(cfg.overlap)) {
+      std::size_t secondary = rng.below(n);
+      if (secondary == primary) secondary = (secondary + 1) % n;
+      out[secondary].push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace ahsw::workload

@@ -1,0 +1,64 @@
+// Synthetic dataset generators and the dataset partitioner.
+//
+// The paper has no published datasets; these generators produce the two
+// kinds of data its motivation names — personal FOAF profiles and generic
+// application data (modelled as sensor observations) — with Zipf-skewed
+// term frequencies, which is what gives the location-table frequency
+// statistics (Table I) their optimization bite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.hpp"
+
+namespace ahsw::workload {
+
+/// FOAF-like social graph: person nodes with names drawn from a surname
+/// pool (so regex "Smith" filters select a tunable fraction), `knows` edges
+/// with Zipf-skewed popularity, mailboxes, nicknames, ages, and sparse
+/// `knowsNothingAbout` edges (the paper's Fig. 4 vocabulary).
+struct FoafConfig {
+  std::size_t persons = 200;
+  double knows_per_person = 3.0;
+  double popularity_skew = 0.8;  // Zipf exponent for edge targets
+  std::size_t surname_pool = 20;
+  double nick_fraction = 0.3;
+  double mbox_fraction = 0.5;
+  double knows_nothing_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::vector<rdf::Triple> generate_foaf(const FoafConfig& cfg);
+
+/// Sensor observations: sensors located in rooms, each with a stream of
+/// (metric, value, timestamp) observations. Numeric values exercise the
+/// comparison/arithmetic filters.
+struct SensorConfig {
+  std::size_t sensors = 20;
+  std::size_t rooms = 5;
+  std::size_t observations_per_sensor = 20;
+  std::size_t metrics = 4;  // temperature, humidity, ...
+  std::uint64_t seed = 2;
+};
+
+[[nodiscard]] std::vector<rdf::Triple> generate_sensors(
+    const SensorConfig& cfg);
+
+/// Distribute a dataset over `nodes` providers. Every triple goes to
+/// exactly one primary node (Zipf-skewed node popularity with exponent
+/// `node_skew`; 0 = balanced); with probability `overlap` it is also given
+/// to a second node — multiple providers sharing a triple is what makes
+/// in-network duplicate elimination (Sect. IV-C) and shared-provider site
+/// selection (IV-D/F) effective.
+struct PartitionConfig {
+  std::size_t nodes = 8;
+  double node_skew = 0.0;
+  double overlap = 0.1;
+  std::uint64_t seed = 3;
+};
+
+[[nodiscard]] std::vector<std::vector<rdf::Triple>> partition(
+    const std::vector<rdf::Triple>& data, const PartitionConfig& cfg);
+
+}  // namespace ahsw::workload

@@ -1,0 +1,51 @@
+// Vocabulary IRIs used by the synthetic workloads (the FOAF terms the
+// paper's running examples use, plus a small sensor vocabulary).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rdf/term.hpp"
+
+namespace ahsw::workload {
+
+namespace foaf {
+inline constexpr std::string_view kNs = "http://xmlns.com/foaf/0.1/";
+inline constexpr std::string_view kName = "http://xmlns.com/foaf/0.1/name";
+inline constexpr std::string_view kKnows = "http://xmlns.com/foaf/0.1/knows";
+inline constexpr std::string_view kMbox = "http://xmlns.com/foaf/0.1/mbox";
+inline constexpr std::string_view kNick = "http://xmlns.com/foaf/0.1/nick";
+inline constexpr std::string_view kAge = "http://xmlns.com/foaf/0.1/age";
+}  // namespace foaf
+
+namespace ex {
+inline constexpr std::string_view kNs = "http://example.org/ns#";
+inline constexpr std::string_view kKnowsNothingAbout =
+    "http://example.org/ns#knowsNothingAbout";
+inline constexpr std::string_view kPerson = "http://example.org/people/";
+}  // namespace ex
+
+namespace sensor {
+inline constexpr std::string_view kNs = "http://example.org/sensors#";
+inline constexpr std::string_view kObservedBy =
+    "http://example.org/sensors#observedBy";
+inline constexpr std::string_view kMetric =
+    "http://example.org/sensors#metric";
+inline constexpr std::string_view kValue = "http://example.org/sensors#value";
+inline constexpr std::string_view kTimestamp =
+    "http://example.org/sensors#timestamp";
+inline constexpr std::string_view kLocatedIn =
+    "http://example.org/sensors#locatedIn";
+inline constexpr std::string_view kSensorBase =
+    "http://example.org/sensors/unit/";
+inline constexpr std::string_view kObsBase = "http://example.org/sensors/obs/";
+inline constexpr std::string_view kRoomBase =
+    "http://example.org/sensors/room/";
+}  // namespace sensor
+
+/// IRI term for person #i.
+[[nodiscard]] inline rdf::Term person_iri(std::size_t i) {
+  return rdf::Term::iri(std::string(ex::kPerson) + "p" + std::to_string(i));
+}
+
+}  // namespace ahsw::workload

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "chord/ring.hpp"
+
+namespace ahsw::chord {
+namespace {
+
+TEST(Interval, OpenClosedNoWrap) {
+  EXPECT_TRUE(in_open_closed(5, 3, 7));
+  EXPECT_TRUE(in_open_closed(7, 3, 7));   // hi inclusive
+  EXPECT_FALSE(in_open_closed(3, 3, 7));  // lo exclusive
+  EXPECT_FALSE(in_open_closed(8, 3, 7));
+  EXPECT_FALSE(in_open_closed(2, 3, 7));
+}
+
+TEST(Interval, OpenClosedWraparound) {
+  // (14, 2] in a ring: {15, 0, 1, 2}.
+  EXPECT_TRUE(in_open_closed(15, 14, 2));
+  EXPECT_TRUE(in_open_closed(0, 14, 2));
+  EXPECT_TRUE(in_open_closed(2, 14, 2));
+  EXPECT_FALSE(in_open_closed(14, 14, 2));
+  EXPECT_FALSE(in_open_closed(3, 14, 2));
+  EXPECT_FALSE(in_open_closed(7, 14, 2));
+}
+
+TEST(Interval, OpenClosedDegenerateIsFullRing) {
+  // (n, n] covers the whole ring: the single-node case owns everything.
+  EXPECT_TRUE(in_open_closed(0, 5, 5));
+  EXPECT_TRUE(in_open_closed(5, 5, 5));
+  EXPECT_TRUE(in_open_closed(1234, 5, 5));
+}
+
+TEST(Interval, OpenOpenNoWrap) {
+  EXPECT_TRUE(in_open_open(5, 3, 7));
+  EXPECT_FALSE(in_open_open(7, 3, 7));
+  EXPECT_FALSE(in_open_open(3, 3, 7));
+}
+
+TEST(Interval, OpenOpenWraparound) {
+  EXPECT_TRUE(in_open_open(15, 14, 2));
+  EXPECT_TRUE(in_open_open(1, 14, 2));
+  EXPECT_FALSE(in_open_open(2, 14, 2));
+  EXPECT_FALSE(in_open_open(14, 14, 2));
+}
+
+TEST(Interval, OpenOpenDegenerateExcludesOnlyEndpoint) {
+  EXPECT_FALSE(in_open_open(5, 5, 5));
+  EXPECT_TRUE(in_open_open(6, 5, 5));
+}
+
+TEST(Interval, AdjacentKeysFormEmptyOpenOpen) {
+  // (5, 6) contains nothing.
+  EXPECT_FALSE(in_open_open(5, 5, 6));
+  EXPECT_FALSE(in_open_open(6, 5, 6));
+  EXPECT_TRUE(in_open_closed(6, 5, 6));
+}
+
+}  // namespace
+}  // namespace ahsw::chord

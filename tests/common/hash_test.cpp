@@ -1,0 +1,72 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ahsw::common {
+namespace {
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, IsStableAcrossCalls) {
+  EXPECT_EQ(fnv1a64("chord-key"), fnv1a64("chord-key"));
+}
+
+TEST(Fnv1a64, ContinuationEqualsConcatenation) {
+  std::uint64_t whole = fnv1a64("hello world");
+  std::uint64_t split = fnv1a64(" world", fnv1a64("hello"));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Fnv1a64, DistinguishesNearbyStrings) {
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+TEST(Mix64, ChangesEveryInputBitNoticeably) {
+  // Flipping one input bit should flip roughly half the output bits.
+  std::uint64_t base = mix64(0x123456789abcdef0ULL);
+  for (int bit = 0; bit < 64; bit += 7) {
+    std::uint64_t flipped = mix64(0x123456789abcdef0ULL ^ (1ULL << bit));
+    int diff = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(diff, 10) << "bit " << bit;
+    EXPECT_LT(diff, 54) << "bit " << bit;
+  }
+}
+
+TEST(TaggedHash, SeparatesDomains) {
+  // The same value hashed under different index-kind tags must differ:
+  // the subject index of "x" is not the predicate index of "x".
+  EXPECT_NE(tagged_hash(0, "x"), tagged_hash(1, "x"));
+  EXPECT_NE(tagged_hash(1, "x"), tagged_hash(2, "x"));
+}
+
+TEST(TaggedHash, TwoFieldBoundaryIsUnambiguous) {
+  // ("ab","c") vs ("a","bc"): same concatenation, different fields.
+  EXPECT_NE(tagged_hash(3, "ab", "c"), tagged_hash(3, "a", "bc"));
+}
+
+TEST(TaggedHash, TwoFieldOrderMatters) {
+  EXPECT_NE(tagged_hash(3, "s", "p"), tagged_hash(3, "p", "s"));
+}
+
+TEST(TaggedHash, EmptyFieldsAreDistinct) {
+  EXPECT_NE(tagged_hash(3, "", "x"), tagged_hash(3, "x", ""));
+}
+
+}  // namespace
+}  // namespace ahsw::common

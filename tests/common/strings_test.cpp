@@ -1,0 +1,70 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::common {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, KeepsInnerWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(Split, SplitsAndKeepsEmptyFields) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparatorYieldsTrailingEmpty) {
+  auto parts = split("a\n", '\n');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(EscapeNTriples, EscapesControlAndQuote) {
+  EXPECT_EQ(escape_ntriples("a\"b\\c\nd\te\rf"),
+            "a\\\"b\\\\c\\nd\\te\\rf");
+}
+
+TEST(EscapeNTriples, RoundTripsThroughUnescape) {
+  std::string raw = "line1\nline2\t\"quoted\" back\\slash";
+  EXPECT_EQ(unescape_ntriples(escape_ntriples(raw)), raw);
+}
+
+TEST(UnescapeNTriples, LeavesUnknownEscapesIntact) {
+  EXPECT_EQ(unescape_ntriples("a\\u0041"), "a\\u0041");
+}
+
+TEST(UnescapeNTriples, HandlesTrailingBackslash) {
+  EXPECT_EQ(unescape_ntriples("a\\"), "a\\");
+}
+
+}  // namespace
+}  // namespace ahsw::common

@@ -1,0 +1,164 @@
+#include "optimizer/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::optimizer {
+namespace {
+
+using overlay::Provider;
+using rdf::Term;
+using rdf::TriplePattern;
+using rdf::Variable;
+
+PatternStats stats(TriplePattern p, std::vector<Provider> providers) {
+  return PatternStats{std::move(p), std::move(providers)};
+}
+
+TriplePattern pat(const std::string& s_var, const std::string& pred,
+                  const std::string& o_var) {
+  return TriplePattern{Variable{s_var}, Term::iri("http://" + pred),
+                       Variable{o_var}};
+}
+
+TEST(PatternStats, CardinalitySumsFrequencies) {
+  PatternStats s = stats(pat("x", "p", "y"), {{1, 10}, {2, 5}, {3, 1}});
+  EXPECT_EQ(s.estimated_cardinality(), 16u);
+  EXPECT_EQ(stats(pat("x", "p", "y"), {}).estimated_cardinality(), 0u);
+}
+
+TEST(OrderJoinPatterns, CheapestFirst) {
+  std::vector<PatternStats> v;
+  v.push_back(stats(pat("x", "big", "y"), {{1, 100}}));
+  v.push_back(stats(pat("x", "small", "z"), {{1, 2}}));
+  std::vector<std::size_t> order = order_join_patterns(v);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(OrderJoinPatterns, ConnectivityBeatsCardinality) {
+  // pattern 0: (x,p,y) card 50; pattern 1: (a,q,b) card 1 (disconnected);
+  // pattern 2: (y,r,c) card 80 (connected to 0).
+  std::vector<PatternStats> v;
+  v.push_back(stats(pat("x", "p", "y"), {{1, 50}}));
+  v.push_back(stats(pat("a", "q", "b"), {{1, 1}}));
+  v.push_back(stats(pat("y", "r", "c"), {{1, 80}}));
+  std::vector<std::size_t> order = order_join_patterns(v);
+  // Starts with the globally cheapest (1)... but nothing connects to it, so
+  // the test documents the other branch: cheapest first is 1, then among
+  // the rest no one connects to {a, b}; ties fall back to cardinality.
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);  // cheapest of the remaining
+  EXPECT_EQ(order[2], 2u);  // connected to 0 via ?y
+}
+
+TEST(OrderJoinPatterns, AvoidsCartesianWhenPossible) {
+  // cheapest is 0; next should be 2 (shares ?y with 0) although 1 is
+  // cheaper, because 1 shares no variable.
+  std::vector<PatternStats> v;
+  v.push_back(stats(pat("x", "p", "y"), {{1, 1}}));
+  v.push_back(stats(pat("a", "q", "b"), {{1, 5}}));
+  v.push_back(stats(pat("y", "r", "c"), {{1, 50}}));
+  std::vector<std::size_t> order = order_join_patterns(v);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(OrderJoinPatterns, DeterministicOnTies) {
+  std::vector<PatternStats> v;
+  v.push_back(stats(pat("x", "p", "y"), {{1, 5}}));
+  v.push_back(stats(pat("x", "q", "z"), {{1, 5}}));
+  EXPECT_EQ(order_join_patterns(v), order_join_patterns(v));
+}
+
+TEST(ChainOrder, FrequencyChainSortsAscendingLargestLast) {
+  // Sect. IV-C further optimization: ascending frequency, D3 (largest) last.
+  std::vector<Provider> chain = chain_order(
+      {{3, 20}, {1, 10}, {4, 15}}, PrimitiveStrategy::kFrequencyChain);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].address, 1u);
+  EXPECT_EQ(chain[1].address, 4u);
+  EXPECT_EQ(chain[2].address, 3u);
+}
+
+TEST(ChainOrder, PlainChainUsesAddressOrder) {
+  std::vector<Provider> chain =
+      chain_order({{3, 20}, {1, 10}, {4, 15}}, PrimitiveStrategy::kChain);
+  EXPECT_EQ(chain[0].address, 1u);
+  EXPECT_EQ(chain[1].address, 3u);
+  EXPECT_EQ(chain[2].address, 4u);
+}
+
+TEST(ChainOrder, FrequencyTiesBreakByAddress) {
+  std::vector<Provider> chain =
+      chain_order({{9, 5}, {2, 5}}, PrimitiveStrategy::kFrequencyChain);
+  EXPECT_EQ(chain[0].address, 2u);
+}
+
+TEST(ProviderOverlap, FindsSharedNodes) {
+  // The Sect. IV-D example: S1 = {D1,D3,D4}, S2 = {D1,D2} -> overlap {D1}.
+  std::vector<net::NodeAddress> shared =
+      provider_overlap({{1, 1}, {3, 1}, {4, 1}}, {{1, 1}, {2, 1}});
+  EXPECT_EQ(shared, (std::vector<net::NodeAddress>{1}));
+}
+
+TEST(ProviderOverlap, MultipleSharedSorted) {
+  std::vector<net::NodeAddress> shared =
+      provider_overlap({{1, 1}, {2, 1}, {4, 1}}, {{2, 1}, {1, 1}});
+  EXPECT_EQ(shared, (std::vector<net::NodeAddress>{1, 2}));
+}
+
+TEST(ProviderOverlap, EmptyWhenDisjoint) {
+  EXPECT_TRUE(provider_overlap({{1, 1}}, {{2, 1}}).empty());
+  EXPECT_TRUE(provider_overlap({}, {{2, 1}}).empty());
+}
+
+TEST(ChooseJoinSite, MoveSmallPicksLargerOperandsSite) {
+  LocatedOperand small{10, 100};
+  LocatedOperand big{20, 5000};
+  EXPECT_EQ(choose_join_site(JoinSitePolicy::kMoveSmall, small, big, 1, {}),
+            20u);
+  EXPECT_EQ(choose_join_site(JoinSitePolicy::kMoveSmall, big, small, 1, {}),
+            20u);
+}
+
+TEST(ChooseJoinSite, MoveSmallTieGoesToFirstOperand) {
+  LocatedOperand a{10, 100};
+  LocatedOperand b{20, 100};
+  EXPECT_EQ(choose_join_site(JoinSitePolicy::kMoveSmall, a, b, 1, {}), 10u);
+}
+
+TEST(ChooseJoinSite, QuerySiteReturnsInitiator) {
+  LocatedOperand a{10, 1};
+  LocatedOperand b{20, 1000000};
+  EXPECT_EQ(choose_join_site(JoinSitePolicy::kQuerySite, a, b, 7, {}), 7u);
+}
+
+TEST(ChooseJoinSite, ThirdSitePicksHighestCapacity) {
+  LocatedOperand a{10, 100};
+  LocatedOperand b{20, 100};
+  std::vector<SiteCandidate> candidates = {{30, 1.0}, {40, 3.0}, {50, 2.0}};
+  EXPECT_EQ(
+      choose_join_site(JoinSitePolicy::kThirdSite, a, b, 1, candidates), 40u);
+}
+
+TEST(ChooseJoinSite, ThirdSiteTieBreaksByAddress) {
+  std::vector<SiteCandidate> candidates = {{40, 2.0}, {30, 2.0}};
+  EXPECT_EQ(choose_join_site(JoinSitePolicy::kThirdSite, {10, 1}, {20, 1}, 1,
+                             candidates),
+            30u);
+}
+
+TEST(ChooseJoinSite, ThirdSiteFallsBackToMoveSmall) {
+  LocatedOperand a{10, 100};
+  LocatedOperand b{20, 5000};
+  EXPECT_EQ(choose_join_site(JoinSitePolicy::kThirdSite, a, b, 1, {}), 20u);
+}
+
+TEST(Names, StrategyAndPolicyNames) {
+  EXPECT_EQ(primitive_strategy_name(PrimitiveStrategy::kBasic), "basic");
+  EXPECT_EQ(primitive_strategy_name(PrimitiveStrategy::kFrequencyChain),
+            "frequency-chain");
+  EXPECT_EQ(join_site_policy_name(JoinSitePolicy::kMoveSmall), "move-small");
+  EXPECT_EQ(join_site_policy_name(JoinSitePolicy::kThirdSite), "third-site");
+}
+
+}  // namespace
+}  // namespace ahsw::optimizer

@@ -1,0 +1,201 @@
+#include "overlay/location_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::overlay {
+namespace {
+
+// The paper's Table I: the location table of index node N7.
+//   K1 -> D1 (15), D3 (10)
+//   K2 -> D1 (10), D3 (20), D4 (15)
+//   K3 -> D1 (30)
+constexpr chord::Key K1 = 101, K2 = 102, K3 = 103;
+constexpr net::NodeAddress D1 = 1, D2 = 2, D3 = 3, D4 = 4;
+
+LocationTable table_one() {
+  LocationTable t;
+  t.publish(K1, D1, 15);
+  t.publish(K1, D3, 10);
+  t.publish(K2, D1, 10);
+  t.publish(K2, D3, 20);
+  t.publish(K2, D4, 15);
+  t.publish(K3, D1, 30);
+  return t;
+}
+
+TEST(LocationTable, TableOneShape) {
+  LocationTable t = table_one();
+  EXPECT_EQ(t.row_count(), 3u);
+  EXPECT_EQ(t.entry_count(), 6u);
+  EXPECT_EQ(t.lookup(K1).size(), 2u);
+  EXPECT_EQ(t.lookup(K2).size(), 3u);
+  EXPECT_EQ(t.lookup(K3).size(), 1u);
+}
+
+TEST(LocationTable, LookupSortsAscendingFrequency) {
+  // The order the further-optimized chain wants: smallest first, D3 (the
+  // largest provider of K2 in Table I) last.
+  LocationTable t = table_one();
+  std::vector<Provider> row = t.lookup(K2);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].address, D1);
+  EXPECT_EQ(row[0].frequency, 10u);
+  EXPECT_EQ(row[1].address, D4);
+  EXPECT_EQ(row[2].address, D3);
+  EXPECT_EQ(row[2].frequency, 20u);
+}
+
+TEST(LocationTable, LookupUnknownKeyIsEmpty) {
+  EXPECT_TRUE(table_one().lookup(999).empty());
+}
+
+TEST(LocationTable, PublishMergesSameProvider) {
+  LocationTable t;
+  t.publish(K1, D1, 5);
+  t.publish(K1, D1, 7);
+  std::vector<Provider> row = t.lookup(K1);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0].frequency, 12u);
+}
+
+TEST(LocationTable, PublishZeroFrequencyIsNoop) {
+  LocationTable t;
+  t.publish(K1, D1, 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(LocationTable, RetractDecrementsAndRemovesAtZero) {
+  LocationTable t = table_one();
+  EXPECT_TRUE(t.retract(K1, D1, 5));
+  EXPECT_EQ(t.lookup(K1)[0].frequency, 10u);  // D1 now 10, ties D3
+  EXPECT_TRUE(t.retract(K1, D1, 10));
+  ASSERT_EQ(t.lookup(K1).size(), 1u);
+  EXPECT_EQ(t.lookup(K1)[0].address, D3);
+}
+
+TEST(LocationTable, RetractBelowZeroClamps) {
+  LocationTable t;
+  t.publish(K1, D1, 3);
+  EXPECT_TRUE(t.retract(K1, D1, 100));
+  EXPECT_TRUE(t.lookup(K1).empty());
+}
+
+TEST(LocationTable, RetractUnknownIsFalse) {
+  LocationTable t = table_one();
+  EXPECT_FALSE(t.retract(K1, D2, 1));
+  EXPECT_FALSE(t.retract(999, D1, 1));
+}
+
+TEST(LocationTable, RetractLastEntryDropsRow) {
+  LocationTable t;
+  t.publish(K1, D1, 1);
+  t.retract(K1, D1, 1);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(LocationTable, PurgeRemovesProviderFromRow) {
+  LocationTable t = table_one();
+  EXPECT_TRUE(t.purge(K2, D3));
+  EXPECT_EQ(t.lookup(K2).size(), 2u);
+  EXPECT_FALSE(t.purge(K2, D3));
+}
+
+TEST(LocationTable, PurgeEverywhereSimulatesLazyRepair) {
+  LocationTable t = table_one();
+  t.purge_everywhere(D1);
+  EXPECT_EQ(t.lookup(K1).size(), 1u);
+  EXPECT_EQ(t.lookup(K2).size(), 2u);
+  EXPECT_TRUE(t.lookup(K3).empty());  // K3 row had only D1
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(LocationTable, ExtractRangeTakesOpenClosedSlice) {
+  LocationTable t = table_one();
+  // Keys 101..103; slice (101, 102] takes exactly K2.
+  auto slice = t.extract_range(101, 102);
+  ASSERT_EQ(slice.size(), 1u);
+  EXPECT_EQ(slice.begin()->first, K2);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_TRUE(t.lookup(K2).empty());
+}
+
+TEST(LocationTable, ExtractRangeHandlesWraparound) {
+  LocationTable t;
+  t.publish(5, D1, 1);
+  t.publish(1000, D2, 1);
+  // (900, 10] wraps: takes both 1000 and 5.
+  auto slice = t.extract_range(900, 10);
+  EXPECT_EQ(slice.size(), 2u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(LocationTable, AbsorbMergesSlice) {
+  LocationTable a = table_one();
+  LocationTable b;
+  b.absorb(a.extract_range(0, ~chord::Key{0}));
+  EXPECT_EQ(b.row_count(), 3u);
+  EXPECT_EQ(b.entry_count(), 6u);
+  EXPECT_EQ(b.lookup(K2).size(), 3u);
+}
+
+TEST(LocationTable, EraseRowDropsWholeRow) {
+  LocationTable t = table_one();
+  t.erase_row(K2);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_TRUE(t.lookup(K2).empty());
+}
+
+TEST(LocationTable, UpsertSetsInsteadOfAdding) {
+  LocationTable t;
+  t.upsert(K1, D1, 5);
+  t.upsert(K1, D1, 5);  // idempotent, unlike publish
+  ASSERT_EQ(t.lookup(K1).size(), 1u);
+  EXPECT_EQ(t.lookup(K1)[0].frequency, 5u);
+  t.upsert(K1, D1, 9);
+  EXPECT_EQ(t.lookup(K1)[0].frequency, 9u);
+}
+
+TEST(LocationTable, UpsertZeroRemoves) {
+  LocationTable t = table_one();
+  t.upsert(K3, D1, 0);
+  EXPECT_TRUE(t.lookup(K3).empty());
+  t.upsert(999, D1, 0);  // no-op on absent rows
+  EXPECT_TRUE(t.lookup(999).empty());
+}
+
+TEST(LocationTable, ReconcileTakesMaxPerProvider) {
+  LocationTable t;
+  t.publish(K1, D1, 10);
+  // Two replica holders push overlapping snapshots.
+  t.reconcile({{K1, {{D1, 7}, {D2, 4}}}});
+  t.reconcile({{K1, {{D1, 12}, {D2, 4}}}});
+  std::vector<Provider> row = t.lookup(K1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].address, D2);
+  EXPECT_EQ(row[0].frequency, 4u);
+  EXPECT_EQ(row[1].address, D1);
+  EXPECT_EQ(row[1].frequency, 12u);
+}
+
+TEST(LocationTable, ReconcileIsIdempotent) {
+  LocationTable t;
+  std::map<chord::Key, std::vector<Provider>> snapshot = {
+      {K1, {{D1, 3}, {D3, 8}}}};
+  t.reconcile(snapshot);
+  t.reconcile(snapshot);
+  t.reconcile(snapshot);
+  EXPECT_EQ(t.entry_count(), 2u);
+  EXPECT_EQ(t.lookup(K1)[1].frequency, 8u);
+}
+
+TEST(LocationTable, ByteSizeTracksContent) {
+  LocationTable t;
+  std::size_t empty_size = t.byte_size();
+  t.publish(K1, D1, 1);
+  EXPECT_GT(t.byte_size(), empty_size);
+  EXPECT_EQ(LocationTable::response_bytes(0), 16u);
+  EXPECT_EQ(LocationTable::response_bytes(3), 16u + 36u);
+}
+
+}  // namespace
+}  // namespace ahsw::overlay

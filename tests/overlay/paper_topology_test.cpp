@@ -1,0 +1,171 @@
+// Reproduction of the paper's Figs. 1 and 2: a 9-node network in a 4-bit
+// identifier space — index nodes N1, N4, N7, N12, N15 on the Chord ring and
+// four storage nodes D1..D4 attached to them — plus the two-level index
+// lookup walk-through of Fig. 2 and the location-table forwarding example
+// of Sect. III-B / Table I.
+#include <gtest/gtest.h>
+
+#include "overlay/overlay.hpp"
+
+namespace ahsw::overlay {
+namespace {
+
+using rdf::Term;
+using rdf::Triple;
+using rdf::TriplePattern;
+using rdf::Variable;
+
+struct PaperNetwork {
+  net::Network network;
+  HybridOverlay overlay;
+  chord::Key n1, n4, n7, n12, n15;
+  net::NodeAddress d1, d2, d3, d4;
+
+  PaperNetwork()
+      : overlay(network, OverlayConfig{chord::RingConfig{4, 2}, 1, 99}) {
+    n1 = overlay.add_index_node_with_id(1);
+    n4 = overlay.add_index_node_with_id(4);
+    n7 = overlay.add_index_node_with_id(7);
+    n12 = overlay.add_index_node_with_id(12);
+    n15 = overlay.add_index_node_with_id(15);
+    overlay.ring().fix_all_fingers_oracle();
+    d1 = overlay.add_storage_node_attached(n7);
+    d2 = overlay.add_storage_node_attached(n12);
+    d3 = overlay.add_storage_node_attached(n7);
+    d4 = overlay.add_storage_node_attached(n15);
+  }
+};
+
+TEST(PaperTopology, Fig1RingStructure) {
+  PaperNetwork p;
+  const chord::Ring& ring = p.overlay.ring();
+  EXPECT_EQ(ring.size(), 5u);
+  // Ring ordering: 1 -> 4 -> 7 -> 12 -> 15 -> 1.
+  EXPECT_EQ(ring.state(1).successors.front(), 4u);
+  EXPECT_EQ(ring.state(4).successors.front(), 7u);
+  EXPECT_EQ(ring.state(7).successors.front(), 12u);
+  EXPECT_EQ(ring.state(12).successors.front(), 15u);
+  EXPECT_EQ(ring.state(15).successors.front(), 1u);
+  EXPECT_EQ(ring.state(1).predecessor.value(), 15u);
+}
+
+TEST(PaperTopology, Fig1StorageAttachment) {
+  PaperNetwork p;
+  EXPECT_EQ(p.overlay.storage_nodes().at(p.d1).attached_index, p.n7);
+  EXPECT_EQ(p.overlay.storage_nodes().at(p.d3).attached_index, p.n7);
+  EXPECT_EQ(p.overlay.storage_nodes().at(p.d2).attached_index, p.n12);
+  EXPECT_EQ(p.overlay.storage_nodes().at(p.d4).attached_index, p.n15);
+  EXPECT_EQ(p.overlay.storage_nodes().size(), 4u);
+}
+
+TEST(PaperTopology, Fig1KeyOwnershipFollowsSuccessorRule) {
+  PaperNetwork p;
+  const chord::Ring& ring = p.overlay.ring();
+  // Successor(k) owns k: key 5 -> N7, key 0 -> N1, key 13 -> N15,
+  // key 15 -> N15, key 2 -> N4; wraparound: nothing above 15 in 4 bits.
+  EXPECT_EQ(ring.oracle_successor(5), 7u);
+  EXPECT_EQ(ring.oracle_successor(0), 1u);
+  EXPECT_EQ(ring.oracle_successor(13), 15u);
+  EXPECT_EQ(ring.oracle_successor(15), 15u);
+  EXPECT_EQ(ring.oracle_successor(2), 4u);
+  EXPECT_EQ(ring.oracle_successor(8), 12u);
+}
+
+TEST(PaperTopology, Fig2TwoLevelIndexWalkthrough) {
+  // Fig. 2: a query <si, pi, ?o> hashes to Kj = Hash(si, pi); the ring maps
+  // Kj to an index node; its location table maps Kj to D1, D3, D4.
+  PaperNetwork p;
+  Term si = Term::iri("http://example.org/si");
+  Term pi = Term::iri("http://example.org/pi");
+
+  // D1, D3 and D4 share triples with subject si and predicate pi (with the
+  // Fig. 2 frequencies 10, 20, 15 realized as that many distinct objects).
+  auto share = [&](net::NodeAddress node, int count, const std::string& tag) {
+    std::vector<Triple> triples;
+    for (int i = 0; i < count; ++i) {
+      triples.push_back(
+          {si, pi, Term::iri("http://example.org/o-" + tag + std::to_string(i))});
+    }
+    p.overlay.share_triples(node, triples, 0);
+  };
+  share(p.d1, 10, "d1");
+  share(p.d3, 20, "d3");
+  share(p.d4, 15, "d4");
+
+  // The query initiator (any node; use D2) consults the index.
+  TriplePattern pattern{si, pi, Variable{"o"}};
+  HybridOverlay::Located loc = p.overlay.locate(p.d2, pattern, 0);
+  ASSERT_TRUE(loc.ok);
+
+  // Level 1: the owner is the ring successor of Hash(si, pi).
+  chord::Key kj =
+      p.overlay.ring().truncate(key_for_pattern(pattern)->key);
+  EXPECT_EQ(loc.index_node, p.overlay.ring().oracle_successor(kj));
+
+  // Level 2: the location table names exactly D1, D3, D4 with the
+  // frequencies 10, 20, 15 — and lookup() returns them ascending.
+  ASSERT_EQ(loc.providers.size(), 3u);
+  EXPECT_EQ(loc.providers[0].address, p.d1);
+  EXPECT_EQ(loc.providers[0].frequency, 10u);
+  EXPECT_EQ(loc.providers[1].address, p.d4);
+  EXPECT_EQ(loc.providers[1].frequency, 15u);
+  EXPECT_EQ(loc.providers[2].address, p.d3);
+  EXPECT_EQ(loc.providers[2].frequency, 20u);
+}
+
+TEST(PaperTopology, SectIIIBSingleProviderForwarding) {
+  // Sect. III-B: a query (si, ?p, ?o) whose subject hash row lists only D1
+  // must be answered by D1 alone (the K3 -> D1 (30) row of Table I).
+  PaperNetwork p;
+  Term s3 = Term::iri("http://example.org/s3");
+  std::vector<Triple> triples;
+  for (int i = 0; i < 30; ++i) {
+    triples.push_back({s3, Term::iri("http://example.org/p" + std::to_string(i % 3)),
+                       Term::integer(i)});
+  }
+  p.overlay.share_triples(p.d1, triples, 0);
+
+  HybridOverlay::Located loc = p.overlay.locate(
+      p.d2, TriplePattern{s3, Variable{"p"}, Variable{"o"}}, 0);
+  ASSERT_TRUE(loc.ok);
+  ASSERT_EQ(loc.providers.size(), 1u);
+  EXPECT_EQ(loc.providers[0].address, p.d1);
+  EXPECT_EQ(loc.providers[0].frequency, 30u);
+}
+
+TEST(PaperTopology, IndexNodeJoinTransfersSliceLikeSectIIIC) {
+  PaperNetwork p;
+  // Publish data so every index node holds some rows.
+  std::vector<Triple> triples;
+  for (int i = 0; i < 40; ++i) {
+    triples.push_back({Term::iri("http://example.org/s" + std::to_string(i)),
+                       Term::iri("http://example.org/p"),
+                       Term::integer(i)});
+  }
+  p.overlay.share_triples(p.d1, triples, 0);
+
+  std::size_t before = 0;
+  for (const auto& [id, ix] : p.overlay.index_nodes()) {
+    before += ix.table.entry_count();
+  }
+  // N9 joins between N7 and N12: it must take over exactly the keys in
+  // (7, 9] from N12.
+  chord::Key n9 = p.overlay.add_index_node_with_id(9);
+  p.overlay.ring().fix_all_fingers_oracle();
+  std::size_t after = 0;
+  for (const auto& [id, ix] : p.overlay.index_nodes()) {
+    after += ix.table.entry_count();
+    for (const auto& [key, row] : ix.table.rows()) {
+      EXPECT_EQ(p.overlay.ring().oracle_successor(
+                    p.overlay.ring().truncate(key)),
+                id);
+    }
+  }
+  EXPECT_EQ(before, after);
+  for (const auto& [key, row] : p.overlay.index_nodes().at(n9).table.rows()) {
+    EXPECT_TRUE(chord::in_open_closed(p.overlay.ring().truncate(key), 7, 9));
+  }
+}
+
+}  // namespace
+}  // namespace ahsw::overlay

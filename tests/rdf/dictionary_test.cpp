@@ -1,0 +1,51 @@
+#include "rdf/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::rdf {
+namespace {
+
+TEST(TermDictionary, InternAssignsDenseIds) {
+  TermDictionary d;
+  EXPECT_EQ(d.intern(Term::iri("a")), 0u);
+  EXPECT_EQ(d.intern(Term::iri("b")), 1u);
+  EXPECT_EQ(d.intern(Term::iri("c")), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(TermDictionary, InternIsIdempotent) {
+  TermDictionary d;
+  TermId first = d.intern(Term::literal("x"));
+  TermId second = d.intern(Term::literal("x"));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(TermDictionary, FindReturnsNulloptForUnknown) {
+  TermDictionary d;
+  d.intern(Term::iri("known"));
+  EXPECT_FALSE(d.find(Term::iri("unknown")).has_value());
+  EXPECT_TRUE(d.find(Term::iri("known")).has_value());
+}
+
+TEST(TermDictionary, TermRoundTrips) {
+  TermDictionary d;
+  Term original = Term::lang_literal("hello", "en");
+  TermId id = d.intern(original);
+  EXPECT_EQ(d.term(id), original);
+}
+
+TEST(TermDictionary, DistinguishesKindsAndAnnotations) {
+  TermDictionary d;
+  TermId a = d.intern(Term::iri("x"));
+  TermId b = d.intern(Term::literal("x"));
+  TermId c = d.intern(Term::lang_literal("x", "en"));
+  TermId e = d.intern(Term::typed_literal("x", "http://dt"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(c, e);
+  EXPECT_EQ(d.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ahsw::rdf

@@ -1,0 +1,123 @@
+#include "rdf/ntriples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ahsw::rdf {
+namespace {
+
+TEST(NTriplesParse, SimpleIriTriple) {
+  Triple t = parse_ntriples_line("<http://s> <http://p> <http://o> .");
+  EXPECT_EQ(t.s, Term::iri("http://s"));
+  EXPECT_EQ(t.p, Term::iri("http://p"));
+  EXPECT_EQ(t.o, Term::iri("http://o"));
+}
+
+TEST(NTriplesParse, PlainLiteralObject) {
+  Triple t = parse_ntriples_line("<http://s> <http://p> \"hello world\" .");
+  EXPECT_EQ(t.o, Term::literal("hello world"));
+}
+
+TEST(NTriplesParse, LangLiteral) {
+  Triple t = parse_ntriples_line("<http://s> <http://p> \"salut\"@fr .");
+  EXPECT_EQ(t.o, Term::lang_literal("salut", "fr"));
+}
+
+TEST(NTriplesParse, TypedLiteral) {
+  Triple t = parse_ntriples_line(
+      "<http://s> <http://p> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  EXPECT_EQ(t.o, Term::integer(5));
+}
+
+TEST(NTriplesParse, BlankNodes) {
+  Triple t = parse_ntriples_line("_:a <http://p> _:b .");
+  EXPECT_EQ(t.s, Term::blank("a"));
+  EXPECT_EQ(t.o, Term::blank("b"));
+}
+
+TEST(NTriplesParse, EscapedLiteral) {
+  Triple t =
+      parse_ntriples_line(R"(<http://s> <http://p> "line\nbreak \"q\"" .)");
+  EXPECT_EQ(t.o, Term::literal("line\nbreak \"q\""));
+}
+
+TEST(NTriplesParse, DocumentSkipsCommentsAndBlanks) {
+  auto triples = parse_ntriples(
+      "# a comment\n"
+      "\n"
+      "<http://s> <http://p> <http://o> .\n"
+      "   \n"
+      "<http://s2> <http://p> \"v\" .\n");
+  EXPECT_EQ(triples.size(), 2u);
+}
+
+TEST(NTriplesParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_ntriples("<http://ok> <http://p> <http://o> .\nbogus line\n");
+    FAIL() << "expected NTriplesError";
+  } catch (const NTriplesError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(NTriplesParse, RejectsLiteralSubject) {
+  EXPECT_THROW((void)parse_ntriples_line("\"lit\" <http://p> <http://o> ."),
+               NTriplesError);
+}
+
+TEST(NTriplesParse, RejectsLiteralPredicate) {
+  EXPECT_THROW((void)parse_ntriples_line("<http://s> \"p\" <http://o> ."),
+               NTriplesError);
+}
+
+TEST(NTriplesParse, RejectsBlankPredicate) {
+  EXPECT_THROW((void)parse_ntriples_line("<http://s> _:p <http://o> ."),
+               NTriplesError);
+}
+
+TEST(NTriplesParse, RejectsMissingDot) {
+  EXPECT_THROW((void)parse_ntriples_line("<http://s> <http://p> <http://o>"),
+               NTriplesError);
+}
+
+TEST(NTriplesParse, RejectsTrailingGarbage) {
+  EXPECT_THROW(
+      (void)parse_ntriples_line("<http://s> <http://p> <http://o> . junk"),
+      NTriplesError);
+}
+
+TEST(NTriplesParse, RejectsUnterminatedIri) {
+  EXPECT_THROW((void)parse_ntriples_line("<http://s <http://p> <http://o> ."),
+               NTriplesError);
+}
+
+TEST(NTriplesParse, RejectsUnterminatedLiteral) {
+  EXPECT_THROW((void)parse_ntriples_line("<http://s> <http://p> \"open ."),
+               NTriplesError);
+}
+
+TEST(NTriplesRoundTrip, RandomTriplesSurviveSerialization) {
+  common::Rng rng(4242);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 200; ++i) {
+    Term s = rng.chance(0.8)
+                 ? Term::iri("http://s/" + std::to_string(rng.below(50)))
+                 : Term::blank("b" + std::to_string(rng.below(10)));
+    Term p = Term::iri("http://p/" + std::to_string(rng.below(10)));
+    Term o;
+    switch (rng.below(4)) {
+      case 0: o = Term::iri("http://o/" + std::to_string(rng.below(50))); break;
+      case 1: o = Term::literal("v\"\n\t\\" + std::to_string(rng.below(50))); break;
+      case 2: o = Term::lang_literal("w" + std::to_string(rng.below(9)), "en"); break;
+      default: o = Term::integer(static_cast<long long>(rng.below(1000)));
+    }
+    triples.push_back({s, p, o});
+  }
+  std::vector<Triple> parsed = parse_ntriples(to_ntriples(triples));
+  EXPECT_EQ(parsed, triples);
+}
+
+}  // namespace
+}  // namespace ahsw::rdf

@@ -1,0 +1,96 @@
+#include "rdf/triple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::rdf {
+namespace {
+
+Triple make_triple() {
+  return Triple{Term::iri("http://s"), Term::iri("http://p"),
+                Term::literal("o")};
+}
+
+TEST(Triple, ToStringIsNTriplesStatement) {
+  EXPECT_EQ(make_triple().to_string(), "<http://s> <http://p> \"o\" .");
+}
+
+TEST(Triple, EqualityAndOrdering) {
+  Triple a = make_triple();
+  Triple b = make_triple();
+  EXPECT_EQ(a, b);
+  b.o = Term::literal("z");
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(TripleHash, EqualTriplesHashEqual) {
+  TripleHash h;
+  EXPECT_EQ(h(make_triple()), h(make_triple()));
+}
+
+TEST(TripleHash, PositionMatters) {
+  TripleHash h;
+  Triple a{Term::iri("x"), Term::iri("y"), Term::iri("z")};
+  Triple b{Term::iri("y"), Term::iri("x"), Term::iri("z")};
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(PatternTerm, VarAndTermHelpers) {
+  PatternTerm v = Variable{"x"};
+  PatternTerm t = Term::iri("http://a");
+  EXPECT_TRUE(is_var(v));
+  EXPECT_FALSE(is_var(t));
+  EXPECT_EQ(var_of(v)->name, "x");
+  EXPECT_EQ(var_of(t), nullptr);
+  EXPECT_EQ(term_of(t)->lexical(), "http://a");
+  EXPECT_EQ(term_of(v), nullptr);
+}
+
+TEST(TriplePattern, BoundCountCoversAllShapes) {
+  Term s = Term::iri("s"), p = Term::iri("p"), o = Term::iri("o");
+  Variable vs{"s"}, vp{"p"}, vo{"o"};
+  EXPECT_EQ((TriplePattern{s, p, o}).bound_count(), 3);
+  EXPECT_EQ((TriplePattern{s, p, vo}).bound_count(), 2);
+  EXPECT_EQ((TriplePattern{s, vp, o}).bound_count(), 2);
+  EXPECT_EQ((TriplePattern{vs, p, o}).bound_count(), 2);
+  EXPECT_EQ((TriplePattern{s, vp, vo}).bound_count(), 1);
+  EXPECT_EQ((TriplePattern{vs, p, vo}).bound_count(), 1);
+  EXPECT_EQ((TriplePattern{vs, vp, o}).bound_count(), 1);
+  EXPECT_EQ((TriplePattern{vs, vp, vo}).bound_count(), 0);
+}
+
+TEST(TriplePattern, MatchesIgnoresVariablePositions) {
+  Triple t = make_triple();
+  TriplePattern p{Variable{"x"}, Term::iri("http://p"), Variable{"y"}};
+  EXPECT_TRUE(p.matches(t));
+  TriplePattern q{Variable{"x"}, Term::iri("http://other"), Variable{"y"}};
+  EXPECT_FALSE(q.matches(t));
+}
+
+TEST(TriplePattern, MatchesChecksEveryBoundPosition) {
+  Triple t = make_triple();
+  EXPECT_TRUE((TriplePattern{t.s, t.p, t.o}).matches(t));
+  EXPECT_FALSE((TriplePattern{t.s, t.p, Term::literal("no")}).matches(t));
+  EXPECT_FALSE((TriplePattern{Term::iri("no"), t.p, t.o}).matches(t));
+}
+
+TEST(TriplePattern, RepeatedVariableIsNotEnforcedHere) {
+  // (?x, p, ?x) matching is a binding-level constraint; the raw pattern
+  // match accepts any s/o combination.
+  Triple t{Term::iri("a"), Term::iri("p"), Term::iri("b")};
+  TriplePattern p{Variable{"x"}, Term::iri("p"), Variable{"x"}};
+  EXPECT_TRUE(p.matches(t));
+}
+
+TEST(TriplePattern, ToStringShowsVariablesWithQuestionMark) {
+  TriplePattern p{Variable{"x"}, Term::iri("http://p"), Term::literal("v")};
+  EXPECT_EQ(p.to_string(), "?x <http://p> \"v\"");
+}
+
+TEST(TriplePattern, ByteSizeCountsAllPositions) {
+  TriplePattern p{Variable{"x"}, Term::iri("http://p"), Variable{"y"}};
+  EXPECT_GT(p.byte_size(), Term::iri("http://p").byte_size());
+}
+
+}  // namespace
+}  // namespace ahsw::rdf

@@ -1,0 +1,236 @@
+#include "rdfpeers/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ahsw::rdfpeers {
+namespace {
+
+using rdf::Term;
+using rdf::Triple;
+using rdf::TriplePattern;
+using rdf::Variable;
+
+Term iri(const std::string& x) { return Term::iri("http://" + x); }
+
+struct Fixture {
+  net::Network network;
+  Repository repo;
+  std::vector<chord::Key> peers;
+
+  explicit Fixture(std::size_t n = 12, RepositoryConfig cfg = {})
+      : repo(network, cfg) {
+    for (std::size_t i = 0; i < n; ++i) peers.push_back(repo.add_peer());
+    repo.ring().fix_all_fingers_oracle();
+  }
+};
+
+TEST(RdfPeers, StoreTriplePlacesThreeCopies) {
+  Fixture f;
+  f.repo.store_triple(f.peers[0], {iri("s"), iri("p"), iri("o")}, 0);
+  std::size_t copies = 0;
+  for (const auto& [id, peer] : f.repo.peers()) copies += peer.store.size();
+  // Three placements; distinct hash owners may coincide, so 1..3 copies,
+  // usually 3 in a 12-peer ring.
+  EXPECT_GE(copies, 1u);
+  EXPECT_LE(copies, 3u);
+}
+
+TEST(RdfPeers, StoreChargesDataTraffic) {
+  Fixture f;
+  f.network.reset_stats();
+  f.repo.store_triple(f.peers[0], {iri("s"), iri("p"), iri("o")}, 0);
+  auto data = static_cast<std::size_t>(net::Category::kData);
+  // One shipment per placement; a placement landing on the publisher
+  // itself is node-local and free, so 2..3 messages.
+  EXPECT_GE(f.network.stats().messages_by[data], 2u);
+  EXPECT_LE(f.network.stats().messages_by[data], 3u);
+  EXPECT_GT(f.network.stats().bytes_by[data], 0u);
+}
+
+TEST(RdfPeers, ResolveBySubject) {
+  Fixture f;
+  f.repo.store_triples(f.peers[0],
+                       {{iri("alice"), iri("knows"), iri("bob")},
+                        {iri("alice"), iri("knows"), iri("carol")},
+                        {iri("dave"), iri("knows"), iri("bob")}},
+                       0);
+  Repository::Resolution r = f.repo.resolve_pattern(
+      f.peers[1], TriplePattern{iri("alice"), Variable{"p"}, Variable{"o"}},
+      0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(RdfPeers, ResolveByObject) {
+  Fixture f;
+  f.repo.store_triples(f.peers[0],
+                       {{iri("alice"), iri("knows"), iri("bob")},
+                        {iri("dave"), iri("knows"), iri("bob")},
+                        {iri("erin"), iri("knows"), iri("carol")}},
+                       0);
+  Repository::Resolution r = f.repo.resolve_pattern(
+      f.peers[2], TriplePattern{Variable{"s"}, iri("knows"), iri("bob")}, 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(RdfPeers, ResolveByPredicateOnly) {
+  Fixture f;
+  f.repo.store_triples(f.peers[0],
+                       {{iri("a"), iri("knows"), iri("b")},
+                        {iri("c"), iri("likes"), iri("d")}},
+                       0);
+  Repository::Resolution r = f.repo.resolve_pattern(
+      f.peers[1], TriplePattern{Variable{"s"}, iri("knows"), Variable{"o"}},
+      0);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(*r.solutions.rows()[0].get("s"), iri("a"));
+}
+
+TEST(RdfPeers, FullyUnboundFloodsAllPeers) {
+  Fixture f(6);
+  f.repo.store_triples(f.peers[0], {{iri("a"), iri("p"), iri("b")}}, 0);
+  f.network.reset_stats();
+  Repository::Resolution r = f.repo.resolve_pattern(
+      f.peers[1], TriplePattern{Variable{"s"}, Variable{"p"}, Variable{"o"}},
+      0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.solutions.size(), 1u);
+  // One query + one reply message per peer except the requester itself.
+  EXPECT_GE(f.network.stats().messages, 2u * (f.peers.size() - 1));
+}
+
+TEST(RdfPeers, ConjunctiveIntersectsCandidates) {
+  Fixture f;
+  // alice: type person, lives wonderland; bob: type person, lives sea.
+  f.repo.store_triples(f.peers[0],
+                       {{iri("alice"), iri("type"), iri("person")},
+                        {iri("bob"), iri("type"), iri("person")},
+                        {iri("alice"), iri("lives"), iri("wonderland")},
+                        {iri("bob"), iri("lives"), iri("sea")}},
+                       0);
+  std::vector<TriplePattern> maq = {
+      TriplePattern{Variable{"x"}, iri("type"), iri("person")},
+      TriplePattern{Variable{"x"}, iri("lives"), iri("wonderland")}};
+  Repository::Resolution r = f.repo.resolve_conjunctive(f.peers[3], maq, 0);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), iri("alice"));
+}
+
+TEST(RdfPeers, ConjunctiveEmptyIntersectionShortCircuits) {
+  Fixture f;
+  f.repo.store_triples(f.peers[0],
+                       {{iri("alice"), iri("type"), iri("person")}}, 0);
+  std::vector<TriplePattern> maq = {
+      TriplePattern{Variable{"x"}, iri("type"), iri("robot")},
+      TriplePattern{Variable{"x"}, iri("lives"), iri("mars")}};
+  Repository::Resolution r = f.repo.resolve_conjunctive(f.peers[1], maq, 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.solutions.empty());
+}
+
+TEST(RdfPeers, DisjunctiveUnionsAlternatives) {
+  Fixture f;
+  f.repo.store_triples(f.peers[0],
+                       {{iri("a"), iri("color"), Term::literal("red")},
+                        {iri("b"), iri("color"), Term::literal("blue")},
+                        {iri("c"), iri("color"), Term::literal("green")}},
+                       0);
+  Repository::Resolution r = f.repo.resolve_disjunctive(
+      f.peers[1], iri("color"),
+      {Term::literal("red"), Term::literal("green")}, 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(RdfPeers, LocalityHashIsMonotone) {
+  Fixture f;
+  chord::Key prev = 0;
+  for (double v : {0.0, 10.0, 250.5, 500.0, 999.0, 1000.0}) {
+    chord::Key k = f.repo.locality_hash(v);
+    EXPECT_GE(k, prev) << v;
+    prev = k;
+  }
+  // Out-of-range values clamp.
+  EXPECT_EQ(f.repo.locality_hash(-5.0), f.repo.locality_hash(0.0));
+  EXPECT_EQ(f.repo.locality_hash(2000.0), f.repo.locality_hash(1000.0));
+}
+
+TEST(RdfPeers, RangeQueryFindsExactlyInRangeValues) {
+  Fixture f(16);
+  std::vector<Triple> triples;
+  for (int v = 0; v <= 1000; v += 50) {
+    triples.push_back(
+        {iri("obs" + std::to_string(v)), iri("value"), Term::integer(v)});
+  }
+  f.repo.store_triples(f.peers[0], triples, 0);
+  Repository::Resolution r =
+      f.repo.resolve_range(f.peers[1], iri("value"), 200.0, 400.0, 0);
+  ASSERT_TRUE(r.ok);
+  // 200, 250, 300, 350, 400.
+  EXPECT_EQ(r.solutions.size(), 5u);
+  for (const sparql::Binding& b : r.solutions.rows()) {
+    double v = 0;
+    ASSERT_TRUE(b.get("o")->numeric_value(v));
+    EXPECT_GE(v, 200.0);
+    EXPECT_LE(v, 400.0);
+  }
+}
+
+TEST(RdfPeers, RangeQueryEmptyRange) {
+  Fixture f;
+  f.repo.store_triples(f.peers[0],
+                       {{iri("x"), iri("value"), Term::integer(500)}}, 0);
+  Repository::Resolution r =
+      f.repo.resolve_range(f.peers[1], iri("value"), 600.0, 700.0, 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.solutions.empty());
+  Repository::Resolution inverted =
+      f.repo.resolve_range(f.peers[1], iri("value"), 700.0, 600.0, 0);
+  EXPECT_TRUE(inverted.ok);
+  EXPECT_TRUE(inverted.solutions.empty());
+}
+
+TEST(RdfPeers, RangeWalkVisitsOnlySegmentPeers) {
+  Fixture f(16);
+  std::vector<Triple> triples;
+  for (int v = 0; v <= 1000; v += 10) {
+    triples.push_back(
+        {iri("obs" + std::to_string(v)), iri("value"), Term::integer(v)});
+  }
+  f.repo.store_triples(f.peers[0], triples, 0);
+  Repository::Resolution narrow =
+      f.repo.resolve_range(f.peers[1], iri("value"), 100.0, 120.0, 0);
+  Repository::Resolution wide =
+      f.repo.resolve_range(f.peers[1], iri("value"), 0.0, 1000.0, 0);
+  ASSERT_TRUE(narrow.ok);
+  ASSERT_TRUE(wide.ok);
+  EXPECT_LT(narrow.hops, wide.hops);
+  EXPECT_EQ(wide.solutions.size(), 101u);
+}
+
+TEST(RdfPeers, StorageLoadLeavesProviders) {
+  // The paper's core criticism: in RDFPeers the provider's data lives on
+  // other nodes. After publishing from peer 0, most copies sit elsewhere.
+  Fixture f;
+  common::Rng rng(5);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 50; ++i) {
+    triples.push_back({iri("s" + std::to_string(rng.below(20))),
+                       iri("p" + std::to_string(rng.below(4))),
+                       iri("o" + std::to_string(rng.below(30)))});
+  }
+  f.repo.store_triples(f.peers[0], triples, 0);
+  std::size_t total = 0;
+  for (std::size_t load : f.repo.storage_loads()) total += load;
+  std::size_t at_publisher = f.repo.peers().at(f.peers[0]).store.size();
+  EXPECT_GT(total, triples.size());           // ~3 copies per triple
+  EXPECT_LT(at_publisher * 3, total);         // publisher keeps a minority
+}
+
+}  // namespace
+}  // namespace ahsw::rdfpeers

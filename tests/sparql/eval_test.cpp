@@ -1,0 +1,266 @@
+// Local evaluation engine tests over a hand-built FOAF graph shaped after
+// the paper's running examples.
+#include <gtest/gtest.h>
+
+#include "rdf/store.hpp"
+#include "sparql/eval.hpp"
+
+namespace ahsw::sparql {
+namespace {
+
+using rdf::Term;
+using rdf::Triple;
+
+constexpr std::string_view kPrologue =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "PREFIX ns: <http://example.org/ns#>\n";
+
+Term person(const std::string& n) {
+  return Term::iri("http://example.org/people/" + n);
+}
+Term foaf(const std::string& n) {
+  return Term::iri("http://xmlns.com/foaf/0.1/" + n);
+}
+Term ns(const std::string& n) {
+  return Term::iri("http://example.org/ns#" + n);
+}
+
+/// alice(Smith) knows carol & shrek; bob(Smith) knows carol;
+/// alice knowsNothingAbout bob; bob knowsNothingAbout alice;
+/// shrek has nick "Shrek"; dave(Jones) knows carol.
+rdf::TripleStore example_graph() {
+  rdf::TripleStore s;
+  s.insert({person("alice"), foaf("name"), Term::literal("Alice Smith")});
+  s.insert({person("bob"), foaf("name"), Term::literal("Bob Smith")});
+  s.insert({person("dave"), foaf("name"), Term::literal("Dave Jones")});
+  s.insert({person("alice"), foaf("knows"), person("carol")});
+  s.insert({person("alice"), foaf("knows"), person("shrek")});
+  s.insert({person("bob"), foaf("knows"), person("carol")});
+  s.insert({person("dave"), foaf("knows"), person("carol")});
+  s.insert({person("alice"), ns("knowsNothingAbout"), person("bob")});
+  s.insert({person("bob"), ns("knowsNothingAbout"), person("alice")});
+  s.insert({person("shrek"), foaf("nick"), Term::literal("Shrek")});
+  s.insert({person("alice"), foaf("age"), Term::integer(33)});
+  s.insert({person("bob"), foaf("age"), Term::integer(27)});
+  return s;
+}
+
+QueryResult run(const std::string& q) {
+  rdf::TripleStore store = example_graph();
+  return execute_local(parse_query(std::string(kPrologue) + q), store);
+}
+
+TEST(LocalEval, PrimitivePattern) {
+  // Fig. 5 shape: who knows carol?
+  QueryResult r = run("SELECT ?x WHERE { ?x foaf:knows ns:nobody . }");
+  EXPECT_TRUE(r.solutions.empty());
+
+  r = run(
+      "SELECT ?x WHERE { ?x foaf:knows "
+      "<http://example.org/people/carol> . }");
+  EXPECT_EQ(r.solutions.size(), 3u);
+}
+
+TEST(LocalEval, ConjunctionJoinsOnSharedVariable) {
+  // Fig. 6 shape.
+  QueryResult r = run(R"(
+      SELECT ?x ?y ?z WHERE {
+        ?x foaf:knows ?z .
+        ?x ns:knowsNothingAbout ?y .
+      })");
+  // alice: z in {carol, shrek}, y=bob -> 2 rows; bob: z=carol, y=alice -> 1.
+  EXPECT_EQ(r.solutions.size(), 3u);
+}
+
+TEST(LocalEval, Fig4FourPatternCycleWithFilter) {
+  QueryResult r = run(R"(
+      SELECT ?x ?y ?z WHERE {
+        ?x foaf:name ?name .
+        ?x foaf:knows ?z .
+        ?x ns:knowsNothingAbout ?y .
+        ?y foaf:knows ?z .
+        FILTER regex(?name, "Smith")
+      } ORDER BY DESC(?x))");
+  // alice knows carol, bob knows carol, alice kNA bob -> (alice,bob,carol);
+  // bob kNA alice, alice knows carol -> (bob,alice,carol).
+  ASSERT_EQ(r.solutions.size(), 2u);
+  // DESC(?x): bob sorts before alice.
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), person("bob"));
+  EXPECT_EQ(*r.solutions.rows()[1].get("x"), person("alice"));
+}
+
+TEST(LocalEval, OptionalKeepsUnmatchedRows) {
+  // Fig. 7 shape.
+  QueryResult r = run(R"(
+      SELECT ?x ?y ?nick WHERE {
+        ?x foaf:knows ?y .
+        OPTIONAL { ?y foaf:nick ?nick . }
+      })");
+  ASSERT_EQ(r.solutions.size(), 4u);
+  int with_nick = 0;
+  for (const Binding& b : r.solutions.rows()) {
+    if (b.bound("nick")) {
+      ++with_nick;
+      EXPECT_EQ(*b.get("y"), person("shrek"));
+    }
+  }
+  EXPECT_EQ(with_nick, 1);
+}
+
+TEST(LocalEval, UnionCombinesBranches) {
+  // Fig. 8 shape.
+  QueryResult r = run(R"(
+      SELECT ?x WHERE {
+        { ?x foaf:name "Alice Smith" . }
+        UNION
+        { ?x foaf:nick "Shrek" . }
+      })");
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(LocalEval, FilterRegexSelectsSmiths) {
+  QueryResult r = run(R"(
+      SELECT ?x ?name WHERE {
+        ?x foaf:name ?name .
+        FILTER regex(?name, "Smith")
+      })");
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(LocalEval, NumericFilter) {
+  QueryResult r = run(R"(
+      SELECT ?x WHERE {
+        ?x foaf:age ?a .
+        FILTER(?a > 30)
+      })");
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), person("alice"));
+}
+
+TEST(LocalEval, RepeatedVariableInPattern) {
+  rdf::TripleStore s;
+  s.insert({person("narcissus"), foaf("knows"), person("narcissus")});
+  s.insert({person("a"), foaf("knows"), person("b")});
+  QueryResult r = execute_local(
+      parse_query(std::string(kPrologue) +
+                  "SELECT ?x WHERE { ?x foaf:knows ?x . }"),
+      s);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), person("narcissus"));
+}
+
+TEST(LocalEval, BlankNodePatternMatchesAnySubject) {
+  // _:p acts as a variable: this finds names of anyone with an age, even
+  // though no stored subject is a blank node.
+  QueryResult r = run(R"(
+      SELECT ?n WHERE { _:p foaf:name ?n . _:p foaf:age ?a . })");
+  EXPECT_EQ(r.solutions.size(), 2u);  // alice and bob have ages
+  for (const Binding& b : r.solutions.rows()) {
+    EXPECT_EQ(b.size(), 1u);  // the blank variable is not projected
+  }
+}
+
+TEST(LocalEval, AskTrueAndFalse) {
+  QueryResult yes = run("ASK { ?x foaf:nick \"Shrek\" . }");
+  EXPECT_TRUE(yes.ask_answer);
+  QueryResult no = run("ASK { ?x foaf:nick \"Fiona\" . }");
+  EXPECT_FALSE(no.ask_answer);
+}
+
+TEST(LocalEval, ConstructInstantiatesTemplate) {
+  QueryResult r = run(R"(
+      CONSTRUCT { ?y <http://example.org/ns#knownBy> ?x . }
+      WHERE { ?x foaf:knows ?y . })");
+  // (carol,alice), (shrek,alice), (carol,bob), (carol,dave).
+  EXPECT_EQ(r.graph.size(), 4u);
+  for (const Triple& t : r.graph) {
+    EXPECT_EQ(t.p, ns("knownBy"));
+  }
+}
+
+TEST(LocalEval, ConstructSkipsRowsWithUnboundTemplateVars) {
+  QueryResult r = run(R"(
+      CONSTRUCT { ?y <http://example.org/ns#hasNick> ?nick . }
+      WHERE { ?x foaf:knows ?y . OPTIONAL { ?y foaf:nick ?nick . } })");
+  ASSERT_EQ(r.graph.size(), 1u);
+  EXPECT_EQ(r.graph[0].s, person("shrek"));
+}
+
+TEST(LocalEval, DescribeCollectsSurroundingTriples) {
+  QueryResult r = run("DESCRIBE <http://example.org/people/shrek>");
+  // shrek appears in: alice knows shrek; shrek nick "Shrek".
+  EXPECT_EQ(r.graph.size(), 2u);
+}
+
+TEST(LocalEval, DescribeViaVariable) {
+  QueryResult r = run(
+      "DESCRIBE ?y WHERE { ?x ns:knowsNothingAbout ?y . }");
+  // Describes alice and bob: all triples mentioning either.
+  EXPECT_GE(r.graph.size(), 8u);
+}
+
+TEST(LocalEval, OrderByAscendingNumeric) {
+  QueryResult r = run(R"(
+      SELECT ?x ?a WHERE { ?x foaf:age ?a . } ORDER BY ?a)");
+  ASSERT_EQ(r.solutions.size(), 2u);
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), person("bob"));
+}
+
+TEST(LocalEval, LimitAndOffset) {
+  QueryResult r = run(R"(
+      SELECT ?x WHERE { ?x foaf:knows ?y . } ORDER BY ?x LIMIT 2 OFFSET 1)");
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(LocalEval, DistinctCollapsesDuplicates) {
+  QueryResult all = run("SELECT ?y WHERE { ?x foaf:knows ?y . }");
+  EXPECT_EQ(all.solutions.size(), 4u);
+  QueryResult distinct =
+      run("SELECT DISTINCT ?y WHERE { ?x foaf:knows ?y . }");
+  EXPECT_EQ(distinct.solutions.size(), 2u);  // carol, shrek
+}
+
+TEST(LocalEval, ProjectionDropsOtherVars) {
+  QueryResult r = run("SELECT ?y WHERE { ?x foaf:knows ?y . }");
+  for (const Binding& b : r.solutions.rows()) {
+    EXPECT_FALSE(b.bound("x"));
+    EXPECT_TRUE(b.bound("y"));
+  }
+  EXPECT_EQ(r.variables, (std::vector<std::string>{"y"}));
+}
+
+TEST(LocalEval, SelectStarKeepsAllVars) {
+  QueryResult r = run("SELECT * WHERE { ?x foaf:knows ?y . }");
+  EXPECT_EQ(r.variables, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(LocalEval, EmptyWhereYieldsSingleEmptySolution) {
+  QueryResult r = run("SELECT * WHERE { }");
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_TRUE(r.solutions.rows()[0].empty());
+}
+
+TEST(LocalEval, FilterInsideOptionalOnlyGatesExtension) {
+  QueryResult r = run(R"(
+      SELECT ?x ?nick WHERE {
+        ?x foaf:knows ?y .
+        OPTIONAL { ?y foaf:nick ?nick . FILTER regex(?nick, "NOMATCH") }
+      })");
+  // All 4 rows survive, none extended.
+  ASSERT_EQ(r.solutions.size(), 4u);
+  for (const Binding& b : r.solutions.rows()) EXPECT_FALSE(b.bound("nick"));
+}
+
+TEST(LocalEval, BoundFilterDetectsOptionalMisses) {
+  QueryResult r = run(R"(
+      SELECT ?y WHERE {
+        ?x foaf:knows ?y .
+        OPTIONAL { ?y foaf:nick ?nick . }
+        FILTER(!bound(?nick))
+      })");
+  // Rows where y has no nick: the three carol rows.
+  EXPECT_EQ(r.solutions.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ahsw::sparql

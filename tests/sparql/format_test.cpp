@@ -1,0 +1,81 @@
+#include "sparql/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::sparql {
+namespace {
+
+TEST(Format, AskRendersYesNo) {
+  QueryResult r;
+  r.form = QueryForm::kAsk;
+  r.ask_answer = true;
+  EXPECT_EQ(to_table(r), "yes\n");
+  r.ask_answer = false;
+  EXPECT_EQ(to_table(r), "no\n");
+}
+
+TEST(Format, ConstructRendersNTriples) {
+  QueryResult r;
+  r.form = QueryForm::kConstruct;
+  r.graph.push_back({rdf::Term::iri("http://s"), rdf::Term::iri("http://p"),
+                     rdf::Term::literal("v")});
+  std::string out = to_table(r);
+  EXPECT_NE(out.find("<http://s> <http://p> \"v\" ."), std::string::npos);
+  EXPECT_NE(out.find("1 triples"), std::string::npos);
+}
+
+TEST(Format, SelectRendersAlignedTable) {
+  QueryResult r;
+  r.form = QueryForm::kSelect;
+  r.variables = {"x", "name"};
+  Binding b1;
+  b1.set("x", rdf::Term::iri("http://people/bob"));
+  b1.set("name", rdf::Term::literal("Bob"));
+  Binding b2;
+  b2.set("x", rdf::Term::iri("http://people/a"));
+  // name unbound in row 2 (post-OPTIONAL shape)
+  r.solutions.add(b1);
+  r.solutions.add(b2);
+
+  std::string out = to_table(r);
+  EXPECT_NE(out.find("| x "), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("<http://people/bob>"), std::string::npos);
+  EXPECT_NE(out.find("2 rows"), std::string::npos);
+  // Every data line has the same length (alignment).
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  int lines = 0;
+  while (true) {
+    std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    std::string line = out.substr(pos, next - pos);
+    if (!line.empty() && line[0] == '|') {
+      EXPECT_EQ(line.size(), first_len) << line;
+      ++lines;
+    }
+    pos = next + 1;
+  }
+  EXPECT_EQ(lines, 4);  // header + separator + 2 data rows
+}
+
+TEST(Format, EmptySelect) {
+  QueryResult r;
+  r.form = QueryForm::kSelect;
+  r.variables = {"x"};
+  std::string out = to_table(r);
+  EXPECT_NE(out.find("0 rows"), std::string::npos);
+}
+
+TEST(Format, SelectWithoutDeclaredVariablesInfersColumns) {
+  QueryResult r;
+  r.form = QueryForm::kSelect;
+  Binding b;
+  b.set("z", rdf::Term::integer(1));
+  r.solutions.add(b);
+  std::string out = to_table(r);
+  EXPECT_NE(out.find("| z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahsw::sparql

@@ -1,0 +1,146 @@
+#include "sparql/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ahsw::sparql {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view q) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(q)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto toks = tokenize("select SeLeCt SELECT");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(toks[static_cast<size_t>(i)].kind, TokenKind::kKeyword);
+    EXPECT_EQ(toks[static_cast<size_t>(i)].text, "SELECT");
+  }
+}
+
+TEST(Lexer, IriRef) {
+  auto toks = tokenize("<http://example.org/x>");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIriRef);
+  EXPECT_EQ(toks[0].text, "http://example.org/x");
+}
+
+TEST(Lexer, LessThanVersusIri) {
+  // '<' followed by whitespace/number is the comparison operator.
+  auto toks = tokenize("?a < 5");
+  EXPECT_EQ(toks[0].kind, TokenKind::kVar);
+  EXPECT_EQ(toks[1].kind, TokenKind::kLt);
+  EXPECT_EQ(toks[2].kind, TokenKind::kInteger);
+}
+
+TEST(Lexer, LessOrEqual) {
+  auto toks = tokenize("?a <= 5");
+  EXPECT_EQ(toks[1].kind, TokenKind::kLe);
+}
+
+TEST(Lexer, Variables) {
+  auto toks = tokenize("?x $y");
+  EXPECT_EQ(toks[0].kind, TokenKind::kVar);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, TokenKind::kVar);
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(Lexer, PrefixedNames) {
+  auto toks = tokenize("foaf:name :local a");
+  EXPECT_EQ(toks[0].kind, TokenKind::kPName);
+  EXPECT_EQ(toks[0].text, "foaf:name");
+  EXPECT_EQ(toks[1].kind, TokenKind::kPName);
+  EXPECT_EQ(toks[1].text, ":local");
+  EXPECT_EQ(toks[2].kind, TokenKind::kPName);
+  EXPECT_EQ(toks[2].text, "a");
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto toks = tokenize(R"("a\"b" 'single')");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "a\"b");
+  EXPECT_EQ(toks[1].kind, TokenKind::kString);
+  EXPECT_EQ(toks[1].text, "single");
+}
+
+TEST(Lexer, LangTagAndDatatype) {
+  auto toks = tokenize("\"chat\"@fr \"5\"^^<http://dt>");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[1].kind, TokenKind::kLangTag);
+  EXPECT_EQ(toks[1].text, "fr");
+  EXPECT_EQ(toks[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks[3].kind, TokenKind::kDoubleCaret);
+  EXPECT_EQ(toks[4].kind, TokenKind::kIriRef);
+}
+
+TEST(Lexer, NumbersIntegerAndDecimal) {
+  auto toks = tokenize("42 3.14");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].kind, TokenKind::kDecimal);
+  EXPECT_EQ(toks[1].text, "3.14");
+}
+
+TEST(Lexer, BlankNodeLabel) {
+  auto toks = tokenize("_:b1");
+  EXPECT_EQ(toks[0].kind, TokenKind::kBlank);
+  EXPECT_EQ(toks[0].text, "b1");
+}
+
+TEST(Lexer, PunctuationAndOperators) {
+  EXPECT_EQ(kinds("{ } ( ) . ; , *"),
+            (std::vector<TokenKind>{
+                TokenKind::kLBrace, TokenKind::kRBrace, TokenKind::kLParen,
+                TokenKind::kRParen, TokenKind::kDot, TokenKind::kSemicolon,
+                TokenKind::kComma, TokenKind::kStar, TokenKind::kEnd}));
+  EXPECT_EQ(kinds("= != > >= && || ! + - /"),
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kAndAnd, TokenKind::kOrOr, TokenKind::kBang,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kSlash,
+                TokenKind::kEnd}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = tokenize("?x # the subject\n?y");
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+  EXPECT_EQ(toks[2].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = tokenize("?a\n  ?b");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[1].column, 3u);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW((void)tokenize("\"open"), QuerySyntaxError);
+}
+
+TEST(Lexer, EmptyVariableNameThrows) {
+  EXPECT_THROW((void)tokenize("? x"), QuerySyntaxError);
+}
+
+TEST(Lexer, StrayAmpersandThrows) {
+  EXPECT_THROW((void)tokenize("& b"), QuerySyntaxError);
+}
+
+TEST(Lexer, DotTerminatesName) {
+  // "ns:p ." must not swallow the dot into the local name.
+  auto toks = tokenize("ns:p .");
+  EXPECT_EQ(toks[0].kind, TokenKind::kPName);
+  EXPECT_EQ(toks[0].text, "ns:p");
+  EXPECT_EQ(toks[1].kind, TokenKind::kDot);
+}
+
+}  // namespace
+}  // namespace ahsw::sparql

@@ -1,0 +1,114 @@
+// Solution sequence modifier edge cases (Sect. IV-A lists them as one of
+// the four building blocks): ORDER BY with multiple keys, OFFSET past the
+// end, LIMIT 0, REDUCED, interaction of DISTINCT with ORDER BY.
+#include <gtest/gtest.h>
+
+#include "rdf/store.hpp"
+#include "sparql/eval.hpp"
+
+namespace ahsw::sparql {
+namespace {
+
+using rdf::Term;
+
+rdf::TripleStore people() {
+  rdf::TripleStore s;
+  auto add = [&](const std::string& who, int age, const std::string& team) {
+    Term p = Term::iri("http://people/" + who);
+    s.insert({p, Term::iri("http://age"), Term::integer(age)});
+    s.insert({p, Term::iri("http://team"), Term::literal(team)});
+  };
+  add("ann", 30, "red");
+  add("bob", 25, "red");
+  add("cid", 30, "blue");
+  add("dee", 25, "blue");
+  return s;
+}
+
+QueryResult run(const std::string& q) {
+  rdf::TripleStore store = people();
+  return execute_local(parse_query(q), store);
+}
+
+TEST(Modifiers, MultiKeyOrderBy) {
+  QueryResult r = run(
+      "SELECT ?x ?a ?t WHERE { ?x <http://age> ?a . ?x <http://team> ?t . } "
+      "ORDER BY ?t DESC(?a)");
+  ASSERT_EQ(r.solutions.size(), 4u);
+  // blue before red (asc team); within team, age descending.
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), Term::iri("http://people/cid"));
+  EXPECT_EQ(*r.solutions.rows()[1].get("x"), Term::iri("http://people/dee"));
+  EXPECT_EQ(*r.solutions.rows()[2].get("x"), Term::iri("http://people/ann"));
+  EXPECT_EQ(*r.solutions.rows()[3].get("x"), Term::iri("http://people/bob"));
+}
+
+TEST(Modifiers, OrderByIsStableForTies) {
+  QueryResult a = run(
+      "SELECT ?x WHERE { ?x <http://age> ?a . } ORDER BY ?a");
+  QueryResult b = run(
+      "SELECT ?x WHERE { ?x <http://age> ?a . } ORDER BY ?a");
+  EXPECT_EQ(a.solutions.rows(), b.solutions.rows());
+}
+
+TEST(Modifiers, OffsetPastEndYieldsEmpty) {
+  QueryResult r =
+      run("SELECT ?x WHERE { ?x <http://age> ?a . } ORDER BY ?x OFFSET 99");
+  EXPECT_TRUE(r.solutions.empty());
+}
+
+TEST(Modifiers, LimitZeroYieldsEmpty) {
+  QueryResult r =
+      run("SELECT ?x WHERE { ?x <http://age> ?a . } LIMIT 0");
+  EXPECT_TRUE(r.solutions.empty());
+}
+
+TEST(Modifiers, LimitLargerThanResultIsHarmless) {
+  QueryResult r =
+      run("SELECT ?x WHERE { ?x <http://age> ?a . } LIMIT 1000");
+  EXPECT_EQ(r.solutions.size(), 4u);
+}
+
+TEST(Modifiers, OffsetAndLimitCombine) {
+  QueryResult r = run(
+      "SELECT ?x WHERE { ?x <http://age> ?a . } ORDER BY ?x OFFSET 1 LIMIT "
+      "2");
+  ASSERT_EQ(r.solutions.size(), 2u);
+  EXPECT_EQ(*r.solutions.rows()[0].get("x"), Term::iri("http://people/bob"));
+  EXPECT_EQ(*r.solutions.rows()[1].get("x"), Term::iri("http://people/cid"));
+}
+
+TEST(Modifiers, DistinctAfterProjection) {
+  // Projection to ?a makes rows collide; DISTINCT collapses them.
+  QueryResult all = run("SELECT ?a WHERE { ?x <http://age> ?a . }");
+  EXPECT_EQ(all.solutions.size(), 4u);
+  QueryResult distinct =
+      run("SELECT DISTINCT ?a WHERE { ?x <http://age> ?a . }");
+  EXPECT_EQ(distinct.solutions.size(), 2u);
+}
+
+TEST(Modifiers, DistinctPreservesOrderBy) {
+  QueryResult r = run(
+      "SELECT DISTINCT ?a WHERE { ?x <http://age> ?a . } ORDER BY DESC(?a)");
+  ASSERT_EQ(r.solutions.size(), 2u);
+  double first = 0, second = 0;
+  ASSERT_TRUE(r.solutions.rows()[0].get("a")->numeric_value(first));
+  ASSERT_TRUE(r.solutions.rows()[1].get("a")->numeric_value(second));
+  EXPECT_GT(first, second);
+}
+
+TEST(Modifiers, ReducedCollapsesAdjacentDuplicatesOnly) {
+  // After normalization (no ORDER BY), duplicates are adjacent, so REDUCED
+  // behaves like DISTINCT here; the test pins that behavior down.
+  QueryResult r = run("SELECT REDUCED ?a WHERE { ?x <http://age> ?a . }");
+  EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(Modifiers, OrderByUnboundSortsFirst) {
+  QueryResult r = run(
+      "SELECT ?x ?n WHERE { ?x <http://age> ?a . "
+      "OPTIONAL { ?x <http://nick> ?n . } } ORDER BY ?n ?x");
+  ASSERT_EQ(r.solutions.size(), 4u);  // nobody has a nick: all unbound, tie
+}
+
+}  // namespace
+}  // namespace ahsw::sparql

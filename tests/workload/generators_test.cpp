@@ -1,0 +1,204 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sparql/ast.hpp"
+#include "workload/queries.hpp"
+#include "workload/testbed.hpp"
+#include "workload/vocab.hpp"
+
+namespace ahsw::workload {
+namespace {
+
+TEST(FoafGenerator, DeterministicForSameSeed) {
+  FoafConfig cfg;
+  cfg.persons = 30;
+  EXPECT_EQ(generate_foaf(cfg), generate_foaf(cfg));
+}
+
+TEST(FoafGenerator, DifferentSeedsDiffer) {
+  FoafConfig a, b;
+  a.persons = b.persons = 30;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generate_foaf(a), generate_foaf(b));
+}
+
+TEST(FoafGenerator, EveryPersonHasNameAndAge) {
+  FoafConfig cfg;
+  cfg.persons = 40;
+  std::vector<rdf::Triple> data = generate_foaf(cfg);
+  std::set<std::string> with_name, with_age;
+  for (const rdf::Triple& t : data) {
+    if (t.p.lexical() == foaf::kName) with_name.insert(t.s.lexical());
+    if (t.p.lexical() == foaf::kAge) with_age.insert(t.s.lexical());
+  }
+  EXPECT_EQ(with_name.size(), 40u);
+  EXPECT_EQ(with_age.size(), 40u);
+}
+
+TEST(FoafGenerator, KnowsEdgesRoughlyMatchConfig) {
+  FoafConfig cfg;
+  cfg.persons = 200;
+  cfg.knows_per_person = 3.0;
+  std::size_t knows = 0;
+  for (const rdf::Triple& t : generate_foaf(cfg)) {
+    if (t.p.lexical() == foaf::kKnows) ++knows;
+  }
+  // Self-edges are dropped, so slightly fewer than persons * 3.
+  EXPECT_GT(knows, 200u * 2);
+  EXPECT_LE(knows, 200u * 3);
+}
+
+TEST(FoafGenerator, PopularitySkewConcentratesInDegree) {
+  FoafConfig cfg;
+  cfg.persons = 200;
+  cfg.popularity_skew = 1.2;
+  cfg.knows_per_person = 4.0;
+  std::map<std::string, int> indegree;
+  for (const rdf::Triple& t : generate_foaf(cfg)) {
+    if (t.p.lexical() == foaf::kKnows) ++indegree[t.o.lexical()];
+  }
+  int p0 = indegree["http://example.org/people/p0"];
+  int total = 0;
+  for (const auto& [k, v] : indegree) total += v;
+  EXPECT_GT(p0, total / 20);  // the top person collects >5% of edges
+}
+
+TEST(FoafGenerator, ZeroPersonsIsEmpty) {
+  FoafConfig cfg;
+  cfg.persons = 0;
+  EXPECT_TRUE(generate_foaf(cfg).empty());
+}
+
+TEST(SensorGenerator, ObservationCountsMatchConfig) {
+  SensorConfig cfg;
+  cfg.sensors = 5;
+  cfg.observations_per_sensor = 7;
+  std::vector<rdf::Triple> data = generate_sensors(cfg);
+  std::size_t observed_by = 0, located = 0;
+  for (const rdf::Triple& t : data) {
+    if (t.p.lexical() == sensor::kObservedBy) ++observed_by;
+    if (t.p.lexical() == sensor::kLocatedIn) ++located;
+  }
+  EXPECT_EQ(observed_by, 35u);
+  EXPECT_EQ(located, 5u);
+}
+
+TEST(SensorGenerator, ValuesAreNumeric) {
+  SensorConfig cfg;
+  cfg.sensors = 3;
+  for (const rdf::Triple& t : generate_sensors(cfg)) {
+    if (t.p.lexical() == sensor::kValue) {
+      double v = 0;
+      EXPECT_TRUE(t.o.numeric_value(v));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 100.0);
+    }
+  }
+}
+
+TEST(Partition, EveryTripleAssignedAtLeastOnce) {
+  FoafConfig fc;
+  fc.persons = 50;
+  std::vector<rdf::Triple> data = generate_foaf(fc);
+  PartitionConfig pc;
+  pc.nodes = 7;
+  pc.overlap = 0.0;
+  auto shares = partition(data, pc);
+  ASSERT_EQ(shares.size(), 7u);
+  std::size_t total = 0;
+  for (const auto& s : shares) total += s.size();
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(Partition, OverlapDuplicatesSomeTriples) {
+  FoafConfig fc;
+  fc.persons = 100;
+  std::vector<rdf::Triple> data = generate_foaf(fc);
+  PartitionConfig pc;
+  pc.nodes = 5;
+  pc.overlap = 0.5;
+  auto shares = partition(data, pc);
+  std::size_t total = 0;
+  for (const auto& s : shares) total += s.size();
+  EXPECT_GT(total, data.size() + data.size() / 4);
+  EXPECT_LE(total, 2 * data.size());
+}
+
+TEST(Partition, NodeSkewImbalancesShares) {
+  FoafConfig fc;
+  fc.persons = 150;
+  std::vector<rdf::Triple> data = generate_foaf(fc);
+  PartitionConfig pc;
+  pc.nodes = 6;
+  pc.node_skew = 1.2;
+  auto shares = partition(data, pc);
+  std::size_t biggest = 0, smallest = data.size();
+  for (const auto& s : shares) {
+    biggest = std::max(biggest, s.size());
+    smallest = std::min(smallest, s.size());
+  }
+  EXPECT_GT(biggest, 2 * smallest);
+}
+
+TEST(QueryMix, AllClassesParse) {
+  FoafConfig fc;
+  fc.persons = 30;
+  common::Rng rng(9);
+  for (QueryClass cls :
+       {QueryClass::kPrimitive, QueryClass::kConjunction,
+        QueryClass::kOptional, QueryClass::kUnion, QueryClass::kFilter}) {
+    for (int i = 0; i < 5; ++i) {
+      std::string q = make_query(cls, fc, rng);
+      EXPECT_NO_THROW((void)sparql::parse_query(q)) << q;
+    }
+  }
+}
+
+TEST(QueryMix, GeneratedStreamIsDeterministic) {
+  FoafConfig fc;
+  fc.persons = 30;
+  QueryMixConfig mix;
+  EXPECT_EQ(generate_query_mix(25, fc, mix), generate_query_mix(25, fc, mix));
+}
+
+TEST(QueryMix, WeightsRoughlyRespected) {
+  FoafConfig fc;
+  fc.persons = 30;
+  QueryMixConfig mix;
+  mix.primitive = 1.0;
+  mix.conjunction = mix.optional = mix.union_ = mix.filter = 0.0;
+  for (const std::string& q : generate_query_mix(10, fc, mix)) {
+    // Primitive queries have exactly one triple pattern.
+    sparql::Query parsed = sparql::parse_query(q);
+    EXPECT_EQ(parsed.where.elements.size(), 1u);
+  }
+}
+
+TEST(Testbed, BuildsRequestedTopology) {
+  TestbedConfig cfg;
+  cfg.index_nodes = 3;
+  cfg.storage_nodes = 5;
+  cfg.foaf.persons = 20;
+  Testbed bed(cfg);
+  EXPECT_EQ(bed.overlay().index_nodes().size(), 3u);
+  EXPECT_EQ(bed.storage_addrs().size(), 5u);
+  EXPECT_GT(bed.overlay().merged_store().size(), 0u);
+  // Stats were reset after setup.
+  EXPECT_EQ(bed.network().stats().messages, 0u);
+}
+
+TEST(Testbed, EmptyDatasetSupported) {
+  TestbedConfig cfg;
+  cfg.index_nodes = 2;
+  cfg.storage_nodes = 2;
+  cfg.foaf.persons = 0;
+  Testbed bed(cfg);
+  EXPECT_EQ(bed.overlay().merged_store().size(), 0u);
+}
+
+}  // namespace
+}  // namespace ahsw::workload

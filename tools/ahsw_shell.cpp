@@ -1,0 +1,232 @@
+// ahsw_shell — an interactive driver for the simulated data sharing system.
+//
+// Builds a system, lets you add devices, load N-Triples data onto them, and
+// run SPARQL queries from any device, printing results together with the
+// execution cost report. Commands come from stdin (or a script file passed
+// on the command line), so the tool doubles as an end-to-end smoke driver.
+//
+// Commands:
+//   help                         this text
+//   system <index> <storage>    (re)create a system
+//   device                       add a storage device; prints its address
+//   load <addr> <file.nt>        share an N-Triples file from a device
+//   put <addr> <ntriples line>   share one triple
+//   drop <addr> <ntriples line>  unshare one triple
+//   policy basic|chain|freq|adaptive [traffic_w latency_w]
+//   query <addr> <sparql...>     run a query (may span lines; end with ';')
+//   fail-storage <addr>          crash a device
+//   fail-index                   crash one index node, then repair
+//   stats                        system summary
+//   quit
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dqp/processor.hpp"
+#include "sparql/format.hpp"
+#include "overlay/overlay.hpp"
+#include "common/strings.hpp"
+#include "rdf/ntriples.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+struct Shell {
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<overlay::HybridOverlay> overlay;
+  std::unique_ptr<dqp::DistributedQueryProcessor> processor;
+  dqp::ExecutionPolicy policy;
+
+  void make_system(std::size_t index_nodes, std::size_t storage_nodes) {
+    network = std::make_unique<net::Network>();
+    overlay::OverlayConfig cfg;
+    cfg.replication_factor = 2;
+    overlay = std::make_unique<overlay::HybridOverlay>(*network, cfg);
+    for (std::size_t i = 0; i < index_nodes; ++i) overlay->add_index_node();
+    overlay->ring().fix_all_fingers_oracle();
+    for (std::size_t i = 0; i < storage_nodes; ++i) {
+      std::cout << "device " << overlay->add_storage_node() << "\n";
+    }
+    processor =
+        std::make_unique<dqp::DistributedQueryProcessor>(*overlay, policy);
+    std::cout << "system: " << index_nodes << " index nodes, "
+              << storage_nodes << " devices\n";
+  }
+
+  bool ready() const {
+    if (overlay == nullptr) {
+      std::cout << "error: no system; run `system <index> <storage>`\n";
+      return false;
+    }
+    return true;
+  }
+
+  void run_query(net::NodeAddress from, const std::string& text) {
+    dqp::ExecutionReport rep;
+    try {
+      sparql::QueryResult result = processor->execute(text, from, &rep);
+      std::cout << sparql::to_table(result);
+      std::cout << "-- " << rep.traffic.messages << " msgs, "
+                << rep.traffic.bytes << " B, " << rep.response_time
+                << " ms simulated"
+                << (rep.dead_providers_skipped > 0 ? " (stale providers skipped)"
+                                                   : "")
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+};
+
+int run(std::istream& in, bool interactive) {
+  Shell shell;
+  std::string line;
+  if (interactive) std::cout << "ahsw> " << std::flush;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    try {
+      if (cmd.empty() || cmd[0] == '#') {
+        // comment / blank
+      } else if (cmd == "help") {
+        std::cout << "commands: system device load put drop policy query "
+                     "fail-storage fail-index stats quit\n";
+      } else if (cmd == "system") {
+        std::size_t ix = 4, st = 4;
+        ss >> ix >> st;
+        shell.make_system(ix, st);
+      } else if (cmd == "device") {
+        if (shell.ready()) {
+          std::cout << "device " << shell.overlay->add_storage_node() << "\n";
+        }
+      } else if (cmd == "load") {
+        net::NodeAddress addr = 0;
+        std::string path;
+        ss >> addr >> path;
+        if (shell.ready()) {
+          std::ifstream f(path);
+          if (!f) {
+            std::cout << "error: cannot open " << path << "\n";
+          } else {
+            std::stringstream buf;
+            buf << f.rdbuf();
+            std::vector<rdf::Triple> triples =
+                rdf::parse_ntriples(buf.str());
+            shell.overlay->share_triples(addr, triples, 0);
+            std::cout << "shared " << triples.size() << " triples from "
+                      << path << "\n";
+          }
+        }
+      } else if (cmd == "put" || cmd == "drop") {
+        net::NodeAddress addr = 0;
+        ss >> addr;
+        std::string rest;
+        std::getline(ss, rest);
+        if (shell.ready()) {
+          rdf::Triple t = rdf::parse_ntriples_line(
+              std::string(common::trim(rest)));
+          if (cmd == "put") {
+            shell.overlay->share_triples(addr, {t}, 0);
+          } else {
+            shell.overlay->unshare_triples(addr, {t}, 0);
+          }
+          std::cout << "ok\n";
+        }
+      } else if (cmd == "policy") {
+        std::string kind;
+        ss >> kind;
+        if (kind == "basic") {
+          shell.policy.adaptive = false;
+          shell.policy.primitive = optimizer::PrimitiveStrategy::kBasic;
+        } else if (kind == "chain") {
+          shell.policy.adaptive = false;
+          shell.policy.primitive = optimizer::PrimitiveStrategy::kChain;
+        } else if (kind == "freq") {
+          shell.policy.adaptive = false;
+          shell.policy.primitive =
+              optimizer::PrimitiveStrategy::kFrequencyChain;
+        } else if (kind == "adaptive") {
+          shell.policy.adaptive = true;
+          double tw = 1.0, lw = 0.0;
+          if (ss >> tw >> lw) {
+            shell.policy.objectives = {tw, lw};
+          }
+        } else {
+          std::cout << "error: unknown policy\n";
+        }
+        if (shell.overlay != nullptr) {
+          shell.processor = std::make_unique<dqp::DistributedQueryProcessor>(
+              *shell.overlay, shell.policy);
+        }
+        std::cout << "ok\n";
+      } else if (cmd == "query") {
+        net::NodeAddress addr = 0;
+        ss >> addr;
+        std::string rest;
+        std::getline(ss, rest);
+        // Queries may continue over multiple lines until a ';'.
+        while (rest.find(';') == std::string::npos &&
+               std::getline(in, line)) {
+          rest += "\n" + line;
+        }
+        auto semi = rest.rfind(';');
+        if (semi != std::string::npos) rest = rest.substr(0, semi);
+        if (shell.ready()) shell.run_query(addr, rest);
+      } else if (cmd == "fail-storage") {
+        net::NodeAddress addr = 0;
+        ss >> addr;
+        if (shell.ready()) {
+          shell.overlay->storage_node_fail(addr);
+          std::cout << "ok\n";
+        }
+      } else if (cmd == "fail-index") {
+        if (shell.ready()) {
+          chord::Key victim = shell.overlay->index_nodes().begin()->first;
+          shell.overlay->index_node_fail(victim);
+          shell.overlay->repair(0);
+          shell.overlay->ring().fix_all_fingers_oracle();
+          std::cout << "index node " << victim << " failed and repaired\n";
+        }
+      } else if (cmd == "stats") {
+        if (shell.ready()) {
+          std::size_t entries = 0;
+          for (const auto& [id, ix] : shell.overlay->index_nodes()) {
+            entries += ix.table.entry_count();
+          }
+          std::cout << "index nodes: " << shell.overlay->index_nodes().size()
+                    << ", devices: "
+                    << shell.overlay->live_storage_addresses().size()
+                    << ", shared triples: "
+                    << shell.overlay->merged_store().size()
+                    << ", location-table entries: " << entries
+                    << ", network msgs: "
+                    << shell.network->stats().messages << "\n";
+        }
+      } else if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else {
+        std::cout << "error: unknown command '" << cmd << "' (try help)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+    if (interactive) std::cout << "ahsw> " << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::cerr << "cannot open script " << argv[1] << "\n";
+      return 1;
+    }
+    return run(script, /*interactive=*/false);
+  }
+  return run(std::cin, /*interactive=*/true);
+}
