@@ -79,7 +79,8 @@ struct Setup {
   }
 };
 
-void run_policy(benchmark::State& state, const dqp::ExecutionPolicy& policy) {
+void run_policy(benchmark::State& state, const char* name,
+                const dqp::ExecutionPolicy& policy) {
   Setup setup;
   dqp::DistributedQueryProcessor proc(setup.bed.overlay(), policy);
   for (auto _ : state) {
@@ -90,34 +91,34 @@ void run_policy(benchmark::State& state, const dqp::ExecutionPolicy& policy) {
           proc.execute(q, setup.bed.storage_addrs().back(), &rep));
       reports.push_back(rep);
     }
-    benchutil::report_mean_counters(state, reports);
+    benchutil::record_mean_json(state, name, reports);
   }
 }
 
 void BM_Adaptive_FixedBasic(benchmark::State& state) {
   dqp::ExecutionPolicy policy;
   policy.primitive = PrimitiveStrategy::kBasic;
-  run_policy(state, policy);
+  run_policy(state, "fixed-basic", policy);
 }
 
 void BM_Adaptive_FixedFrequencyChain(benchmark::State& state) {
   dqp::ExecutionPolicy policy;
   policy.primitive = PrimitiveStrategy::kFrequencyChain;
-  run_policy(state, policy);
+  run_policy(state, "fixed-frequency-chain", policy);
 }
 
 void BM_Adaptive_TrafficObjective(benchmark::State& state) {
   dqp::ExecutionPolicy policy;
   policy.adaptive = true;
   policy.objectives = {1.0, 0.0};
-  run_policy(state, policy);
+  run_policy(state, "adaptive/traffic", policy);
 }
 
 void BM_Adaptive_LatencyObjective(benchmark::State& state) {
   dqp::ExecutionPolicy policy;
   policy.adaptive = true;
   policy.objectives = {0.0, 1.0};
-  run_policy(state, policy);
+  run_policy(state, "adaptive/latency", policy);
 }
 
 void BM_Adaptive_MixedObjective(benchmark::State& state) {
@@ -125,7 +126,7 @@ void BM_Adaptive_MixedObjective(benchmark::State& state) {
   policy.adaptive = true;
   // 1 ms of response time valued as 100 bytes of traffic.
   policy.objectives = {1.0, 100.0};
-  run_policy(state, policy);
+  run_policy(state, "adaptive/mixed", policy);
 }
 
 BENCHMARK(BM_Adaptive_FixedBasic)->Iterations(1)->Unit(benchmark::kMillisecond);

@@ -56,6 +56,12 @@ void BM_Baseline_PublishCost(benchmark::State& state) {
       theirs.store_triples(peers[i], shares[i], 0);
     }
 
+    benchutil::record_raw_json("publish/ours/persons=" +
+                                   std::to_string(persons),
+                               net_ours.stats());
+    benchutil::record_raw_json("publish/rdfpeers/persons=" +
+                                   std::to_string(persons),
+                               net_peers.stats());
     state.counters["ours_publish_bytes"] =
         static_cast<double>(net_ours.stats().bytes);
     state.counters["rdfpeers_publish_bytes"] =
@@ -142,6 +148,12 @@ void BM_Baseline_PatternQueryCost(benchmark::State& state) {
         rdf::TriplePattern{rdf::Variable{"x"}, knows, target}, 0);
     benchmark::DoNotOptimize(res);
 
+    benchutil::record_raw_json("pattern/ours/persons=" +
+                                   std::to_string(persons),
+                               rep.traffic, rep.response_time);
+    benchutil::record_raw_json("pattern/rdfpeers/persons=" +
+                                   std::to_string(persons),
+                               net_peers.stats(), res.completed_at);
     state.counters["ours_query_bytes"] =
         static_cast<double>(rep.traffic.bytes);
     state.counters["rdfpeers_query_bytes"] =
@@ -215,6 +227,11 @@ void BM_Baseline_RangeQueryCost(benchmark::State& state) {
         theirs.resolve_range(peers.front(), value, lo, hi, 0);
     benchmark::DoNotOptimize(res);
 
+    benchutil::record_raw_json("range/ours/width=" + std::to_string(state.range(0)),
+                               net_ours.stats(), rep.response_time);
+    benchutil::record_raw_json("range/rdfpeers/width=" +
+                                   std::to_string(state.range(0)),
+                               net_peers.stats(), res.completed_at);
     state.counters["ours_bytes"] = static_cast<double>(net_ours.stats().bytes);
     state.counters["rdfpeers_bytes"] =
         static_cast<double>(net_peers.stats().bytes);

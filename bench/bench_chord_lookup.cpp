@@ -4,8 +4,7 @@
 //
 // Series reported: avg_hops, p_max_hops, routing messages per lookup, and
 // simulated lookup latency, for rings of 2^4 .. 2^12 index nodes.
-#include <benchmark/benchmark.h>
-
+#include "bench_util.hpp"
 #include "chord/ring.hpp"
 #include "common/rng.hpp"
 
@@ -52,6 +51,9 @@ void BM_ChordLookupHops(benchmark::State& state) {
     state.counters["msgs_per_lookup"] =
         static_cast<double>(network.stats().messages) / lookups;
     state.counters["avg_latency_ms"] = total_latency / lookups;
+    benchutil::record_raw_json("lookup/nodes=" + std::to_string(n),
+                               network.stats(), total_latency / lookups,
+                               static_cast<std::uint64_t>(lookups));
   }
 }
 
@@ -85,6 +87,8 @@ void BM_ChordJoinCost(benchmark::State& state) {
     state.counters["join_msgs"] =
         static_cast<double>(network.stats().messages);
     state.counters["join_lookup_hops"] = static_cast<double>(jr.lookup_hops);
+    benchutil::record_raw_json("join/nodes=" + std::to_string(n),
+                               network.stats());
   }
 }
 

@@ -72,6 +72,13 @@ void BM_Churn_StorageFailures(benchmark::State& state) {
     (void)proc.execute(kQuery, bed.storage_addrs().front(), &second_rep);
 
     // Recall against the pre-failure answer: lost exactly the dead data.
+    benchutil::record_raw_json(
+        "storage-fail/pct=" + std::to_string(fail_pct) + "/first",
+        first_rep.traffic, first_rep.response_time);
+    benchutil::record_raw_json(
+        "storage-fail/pct=" + std::to_string(fail_pct) + "/post-repair",
+        second_rep.traffic, second_rep.response_time);
+
     state.counters["recall_vs_prefail"] =
         completeness(bed, proc, kQuery, reference);
     state.counters["first_timeouts"] =
@@ -132,6 +139,10 @@ void BM_Churn_IndexFailures(benchmark::State& state) {
     bed.overlay().repair(0);
     bed.overlay().ring().fix_all_fingers_oracle();
     auto repair_msgs = bed.network().stats().messages;
+    benchutil::record_raw_json("index-fail/fail=" + std::to_string(fail_count) +
+                                   "/repl=" + std::to_string(replication) +
+                                   "/repair",
+                               bed.network().stats());
 
     auto mean_recall = [&]() {
       double sum = 0;
@@ -149,6 +160,10 @@ void BM_Churn_IndexFailures(benchmark::State& state) {
     bed.overlay().republish_all(0);
     state.counters["republish_msgs"] =
         static_cast<double>(bed.network().stats().messages);
+    benchutil::record_raw_json("index-fail/fail=" + std::to_string(fail_count) +
+                                   "/repl=" + std::to_string(replication) +
+                                   "/republish",
+                               bed.network().stats());
     state.counters["recall_after_republish"] = mean_recall();
   }
 }
@@ -179,6 +194,8 @@ void BM_Churn_IndexJoinSliceCost(benchmark::State& state) {
         static_cast<double>(bed.network().stats().bytes_by[idx]);
     state.counters["join_msgs"] =
         static_cast<double>(bed.network().stats().messages);
+    benchutil::record_raw_json("join-slice/persons=" + std::to_string(persons),
+                               bed.network().stats());
   }
 }
 

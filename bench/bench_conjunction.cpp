@@ -49,11 +49,19 @@ void run_conjunction(benchmark::State& state, const char* query,
   policy.frequency_join_order = freq_order;
   policy.overlap_aware_sites = overlap_aware;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  const char* shape = query == kTwoPattern ? "2" : query == kThreePattern
+                                                       ? "3"
+                                                       : "4";
+  std::string name = std::string("patterns=") + shape + "/" +
+                     (freq_order ? "freq-order" : "naive") +
+                     (overlap_aware ? "+overlap" : "") +
+                     "/persons=" + std::to_string(persons) +
+                     "/overlap_pct=" + std::to_string(state.range(1));
   for (auto _ : state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(query, bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state, name, rep);
   }
 }
 
@@ -93,7 +101,10 @@ void BM_Conjunction_BasicIndexNodeJoin(benchmark::State& state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(kTwoPattern, bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state,
+                           "basic-index-node-join/persons=" +
+                               std::to_string(state.range(0)),
+                           rep);
   }
 }
 

@@ -55,12 +55,14 @@ void run_filter(benchmark::State& state, bool push) {
   policy.push_filters = push;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
   std::string query = query_with_selectivity(selectivity);
+  std::string name = std::string(push ? "pushed" : "at-collector") +
+                     "/selectivity=" + std::to_string(selectivity);
   for (auto _ : state) {
     dqp::ExecutionReport rep;
     sparql::QueryResult r =
         proc.execute(query, bed.storage_addrs().front(), &rep);
     benchmark::DoNotOptimize(r);
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state, name, rep);
     state.counters["rows"] = static_cast<double>(r.solutions.size());
   }
 }
@@ -99,7 +101,11 @@ void BM_Filter_RegexPushdown(benchmark::State& state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(query, bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(
+        state,
+        std::string("regex/") + (policy.push_filters ? "pushed"
+                                                     : "at-collector"),
+        rep);
   }
 }
 

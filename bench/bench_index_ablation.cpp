@@ -55,6 +55,10 @@ void BM_IndexAblation_PublishCost(benchmark::State& state) {
     state.counters["publish_msgs"] =
         static_cast<double>(bed.network().stats().messages);
     state.counters["index_entries"] = static_cast<double>(entries);
+    benchutil::record_raw_json(std::string("publish/") +
+                                   (pair_keys ? "six-keys" : "three-keys") +
+                                   "/persons=" + std::to_string(persons),
+                               bed.network().stats());
   }
 }
 
@@ -83,7 +87,11 @@ void BM_IndexAblation_PairPatternQuery(benchmark::State& state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(q, bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state,
+                           std::string("po-pattern/") +
+                               (pair_keys ? "six-keys" : "three-keys") +
+                               "/persons=" + std::to_string(persons),
+                           rep);
   }
 }
 
@@ -108,7 +116,10 @@ void BM_IndexAblation_SpPatternQuery(benchmark::State& state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(q, bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state,
+                           std::string("sp-pattern/") +
+                               (pair_keys ? "six-keys" : "three-keys"),
+                           rep);
   }
 }
 

@@ -1,9 +1,7 @@
 // E2 — two-level index construction cost (Sect. III-B): publishing six keys
 // per shared triple. Sweeps dataset size and index-node count; reports
 // index-maintenance messages/bytes and the (parallel) completion time.
-#include <benchmark/benchmark.h>
-
-#include "workload/testbed.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -47,6 +45,9 @@ void BM_IndexBuild(benchmark::State& state) {
         static_cast<double>(network.stats().messages) /
         static_cast<double>(triples == 0 ? 1 : triples);
     state.counters["build_time_ms"] = done;
+    benchutil::record_raw_json("build/persons=" + std::to_string(persons) +
+                                   "/index=" + std::to_string(index_nodes),
+                               network.stats(), done);
   }
 }
 
@@ -92,6 +93,8 @@ void BM_IndexReplicationOverhead(benchmark::State& state) {
         static_cast<double>(network.stats().messages_by[idx]);
     state.counters["index_bytes"] =
         static_cast<double>(network.stats().bytes_by[idx]);
+    benchutil::record_raw_json("replication=" + std::to_string(replication),
+                               network.stats());
   }
 }
 

@@ -5,6 +5,9 @@
 // communication the other experiments measure.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "rdf/store.hpp"
 #include "sparql/eval.hpp"
@@ -14,6 +17,24 @@ namespace {
 using namespace ahsw;
 using sparql::Binding;
 using sparql::SolutionSet;
+
+/// These benchmarks measure wall clock, not simulated traffic; the JSON
+/// record carries the mean per-iteration time and zero traffic.
+template <typename Body>
+void run_timed(benchmark::State& state, const std::string& name, Body body) {
+  std::uint64_t iters = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    body();
+    ++iters;
+  }
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  benchutil::record_raw_json(name, net::TrafficStats{},
+                             iters > 0 ? ms / static_cast<double>(iters) : 0.0,
+                             iters > 0 ? iters : 1);
+}
 
 SolutionSet make_set(std::size_t rows, std::size_t domain,
                      const std::string& shared_var,
@@ -34,9 +55,8 @@ void BM_SolutionJoin(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   SolutionSet a = make_set(n, n / 4 + 1, "x", "a", 1);
   SolutionSet b = make_set(n, n / 4 + 1, "x", "b", 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sparql::join(a, b));
-  }
+  run_timed(state, "join/n=" + std::to_string(n),
+            [&] { benchmark::DoNotOptimize(sparql::join(a, b)); });
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SolutionJoin)->Range(64, 4096)->Complexity();
@@ -45,9 +65,8 @@ void BM_SolutionLeftJoin(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   SolutionSet a = make_set(n, n / 4 + 1, "x", "a", 3);
   SolutionSet b = make_set(n / 2, n / 4 + 1, "x", "b", 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sparql::left_join(a, b));
-  }
+  run_timed(state, "left-join/n=" + std::to_string(n),
+            [&] { benchmark::DoNotOptimize(sparql::left_join(a, b)); });
 }
 BENCHMARK(BM_SolutionLeftJoin)->Range(64, 1024);
 
@@ -55,19 +74,18 @@ void BM_SolutionMinus(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   SolutionSet a = make_set(n, n / 4 + 1, "x", "a", 5);
   SolutionSet b = make_set(n / 4, n / 4 + 1, "x", "b", 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sparql::minus(a, b));
-  }
+  run_timed(state, "minus/n=" + std::to_string(n),
+            [&] { benchmark::DoNotOptimize(sparql::minus(a, b)); });
 }
 BENCHMARK(BM_SolutionMinus)->Range(64, 1024);
 
 void BM_SolutionDedup(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   SolutionSet a = make_set(n, 16, "x", "a", 7);
-  for (auto _ : state) {
+  run_timed(state, "dedup/n=" + std::to_string(n), [&] {
     SolutionSet copy = a;
     benchmark::DoNotOptimize(sparql::deduplicated(std::move(copy)));
-  }
+  });
 }
 BENCHMARK(BM_SolutionDedup)->Range(64, 4096);
 
@@ -78,9 +96,8 @@ void BM_FilterEvaluation(benchmark::State& state) {
       sparql::ExprKind::kGt, sparql::Expr::variable("a"),
       sparql::Expr::constant_term(
           rdf::Term::integer(static_cast<long long>(n / 2))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sparql::filter_set(a, *cond));
-  }
+  run_timed(state, "filter/n=" + std::to_string(n),
+            [&] { benchmark::DoNotOptimize(sparql::filter_set(a, *cond)); });
 }
 BENCHMARK(BM_FilterEvaluation)->Range(64, 4096);
 
@@ -101,9 +118,8 @@ void BM_StorePatternMatch(benchmark::State& state) {
   rdf::TripleStore store = make_store(n);
   rdf::TriplePattern pattern{rdf::Variable{"s"}, rdf::Term::iri("http://p3"),
                              rdf::Variable{"o"}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(store.count_matches(pattern));
-  }
+  run_timed(state, "store-match/n=" + std::to_string(n),
+            [&] { benchmark::DoNotOptimize(store.count_matches(pattern)); });
 }
 BENCHMARK(BM_StorePatternMatch)->Range(256, 16384);
 
@@ -118,9 +134,8 @@ void BM_LocalBgpEvaluation(benchmark::State& state) {
       {rdf::TriplePattern{rdf::Variable{"y"}, rdf::Term::iri("http://p2"),
                           rdf::Variable{"z"}},
        nullptr}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.evaluate_bgp(bgp));
-  }
+  run_timed(state, "local-bgp/n=" + std::to_string(n),
+            [&] { benchmark::DoNotOptimize(engine.evaluate_bgp(bgp)); });
 }
 BENCHMARK(BM_LocalBgpEvaluation)->Range(256, 8192);
 

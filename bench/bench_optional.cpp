@@ -69,11 +69,15 @@ void run_policy(benchmark::State& state, JoinSitePolicy policy_kind,
   dqp::ExecutionPolicy policy;
   policy.join_site = policy_kind;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  std::string name =
+      std::string(optimizer::join_site_policy_name(policy_kind)) +
+      (query == kSelectiveQuery ? "/selective" : "") +
+      "/left=" + std::to_string(left) + "/right=" + std::to_string(right);
   for (auto _ : state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(query, bed.storage_addrs().back(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state, name, rep);
   }
 }
 

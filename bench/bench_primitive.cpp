@@ -6,8 +6,10 @@
 // provider's mappings travel once) at the cost of a sequential chain's
 // response time; Chain sits between on traffic.
 #include <cmath>
+#include <string>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "workload/vocab.hpp"
 
 namespace {
@@ -59,11 +61,21 @@ void run_strategy(benchmark::State& state, PrimitiveStrategy strategy) {
   dqp::ExecutionPolicy policy;
   policy.primitive = strategy;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  // Trace every execution so the emitted record carries the per-phase cost
+  // breakdown (and the phase byte totals sum to the aggregate traffic).
+  obs::QueryTrace trace;
+  proc.set_trace(&trace);
+  char skew_str[16];
+  std::snprintf(skew_str, sizeof skew_str, "%.1f", skew);
+  std::string name =
+      std::string(optimizer::primitive_strategy_name(strategy)) +
+      "/providers=" + std::to_string(providers) + "/skew=" + skew_str;
   for (auto _ : state) {
+    trace.clear();
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(kQuery, bed.storage_addrs().back(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state, name, rep, &trace);
   }
 }
 
@@ -102,12 +114,16 @@ void BM_Primitive_Broadcast(benchmark::State& state) {
   cfg.foaf.persons = 100;
   workload::Testbed bed(cfg);
   dqp::DistributedQueryProcessor proc(bed.overlay());
+  obs::QueryTrace trace;
+  proc.set_trace(&trace);
   for (auto _ : state) {
+    trace.clear();
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(proc.execute(
         "SELECT ?s ?p ?o WHERE { ?s ?p ?o . } LIMIT 10",
         bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state, "broadcast/nodes=" + std::to_string(nodes),
+                           rep, &trace);
   }
 }
 

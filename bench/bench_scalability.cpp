@@ -37,7 +37,11 @@ void run_mix(benchmark::State& state, std::size_t index_nodes,
           &rep));
       reports.push_back(rep);
     }
-    benchutil::report_mean_counters(state, reports);
+    benchutil::record_mean_json(state,
+                                "mix/index=" + std::to_string(index_nodes) +
+                                    "/storage=" + std::to_string(storage_nodes) +
+                                    "/persons=" + std::to_string(persons),
+                                reports);
     state.counters["triples"] =
         static_cast<double>(bed.overlay().merged_store().size());
   }

@@ -64,11 +64,14 @@ void run_union(benchmark::State& state, bool overlap_aware) {
   dqp::ExecutionPolicy policy;
   policy.overlap_aware_sites = overlap_aware;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  std::string name = std::string(overlap_aware ? "overlap-aware" : "naive") +
+                     "/per_branch=" + std::to_string(per_branch) +
+                     "/shared=" + std::to_string(shared);
   for (auto _ : state) {
     dqp::ExecutionReport rep;
     benchmark::DoNotOptimize(
         proc.execute(kQuery, bed.storage_addrs().front(), &rep));
-    benchutil::report_counters(state, rep);
+    benchutil::record_json(state, name, rep);
   }
 }
 

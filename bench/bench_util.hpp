@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "dqp/processor.hpp"
+#include "obs/json.hpp"
 #include "workload/queries.hpp"
 #include "workload/testbed.hpp"
 
@@ -44,6 +47,64 @@ inline void report_mean_counters(benchmark::State& state,
   state.counters["bytes_per_q"] = bytes / n;
   state.counters["resp_ms"] = resp / n;
   state.counters["hops_per_q"] = hops / n;
+}
+
+/// Same as report_counters, plus one BenchRecord into the process-wide
+/// BenchSink (written as BENCH_<experiment>.json on exit). `record_name`
+/// identifies the sweep point — benchmark State carries no name accessor in
+/// the bundled library version, so call sites pass it explicitly. With a
+/// trace, the record carries the per-phase cost rollup.
+inline void record_json(benchmark::State& state, std::string record_name,
+                        const dqp::ExecutionReport& rep,
+                        const obs::QueryTrace* trace = nullptr) {
+  report_counters(state, rep);
+  obs::BenchRecord r;
+  r.bench = std::move(record_name);
+  r.traffic = rep.traffic;
+  r.response_ms = rep.response_time;
+  if (trace != nullptr) r.phases = obs::phase_rollup(*trace);
+  obs::BenchSink::instance().record(std::move(r));
+}
+
+/// Same as report_mean_counters, plus one aggregate BenchRecord (traffic
+/// summed over the batch, response time averaged) into the BenchSink.
+inline void record_mean_json(benchmark::State& state, std::string record_name,
+                             const std::vector<dqp::ExecutionReport>& reps,
+                             const obs::QueryTrace* trace = nullptr) {
+  report_mean_counters(state, reps);
+  obs::BenchRecord r;
+  r.bench = std::move(record_name);
+  r.queries = reps.empty() ? 1 : reps.size();
+  double resp = 0;
+  for (const dqp::ExecutionReport& rep : reps) {
+    r.traffic.messages += rep.traffic.messages;
+    r.traffic.bytes += rep.traffic.bytes;
+    r.traffic.timeouts += rep.traffic.timeouts;
+    for (int c = 0; c < net::kCategoryCount; ++c) {
+      r.traffic.messages_by[c] += rep.traffic.messages_by[c];
+      r.traffic.bytes_by[c] += rep.traffic.bytes_by[c];
+      r.traffic.timeouts_by[c] += rep.traffic.timeouts_by[c];
+    }
+    resp += rep.response_time;
+  }
+  r.response_ms = resp / static_cast<double>(r.queries);
+  if (trace != nullptr) r.phases = obs::phase_rollup(*trace);
+  obs::BenchSink::instance().record(std::move(r));
+}
+
+/// BenchRecord from a raw traffic delta, for benchmarks that measure
+/// overlay maintenance (publish, join, repair) rather than query execution
+/// and so have no ExecutionReport.
+inline void record_raw_json(std::string record_name,
+                            const net::TrafficStats& traffic,
+                            double response_ms = 0.0,
+                            std::uint64_t queries = 1) {
+  obs::BenchRecord r;
+  r.bench = std::move(record_name);
+  r.traffic = traffic;
+  r.response_ms = response_ms;
+  r.queries = queries;
+  obs::BenchSink::instance().record(std::move(r));
 }
 
 }  // namespace ahsw::benchutil

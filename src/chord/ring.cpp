@@ -84,7 +84,13 @@ std::optional<Key> Ring::first_live_successor(const NodeState& n,
                                               net::SimTime& now) {
   for (Key s : n.successors) {
     if (alive(s)) return s;
-    now = net_->timeout(now);  // probe the dead entry, give up, move on
+    // Probe the dead entry, give up, move on. The timeout is charged with
+    // the suspect's address and routing category so observers and
+    // per-category stats see the failure-detection cost (Sect. III-D).
+    auto it = nodes_.find(s);
+    net::NodeAddress suspect =
+        it != nodes_.end() ? it->second.address : net::kNoAddress;
+    now = net_->timeout(now, suspect, net::Category::kRouting);
   }
   return std::nullopt;
 }
@@ -106,6 +112,10 @@ Ring::LookupResult Ring::find_successor(Key from_node, Key key,
   LookupResult res;
   key = truncate(key);
   if (!alive(from_node)) return res;
+
+  obs::SpanScope span(trace_, obs::SpanKind::kRingRoute,
+                      "key " + std::to_string(key), now,
+                      nodes_.at(from_node).address);
 
   const int max_hops = 4 * bits_ + 16;
   Key cur = from_node;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 
 namespace ahsw::chord {
 
@@ -100,8 +101,14 @@ class Ring {
 
   /// Find successor(key): the ring node whose arc covers `key`. Iterative
   /// forwarding from `from_node` using fingers / successor lists only;
-  /// failed next-hops cost a timeout and are routed around.
+  /// failed next-hops cost a timeout and are routed around. With a trace
+  /// attached, the whole lookup is one ring-route span (routing messages and
+  /// dead-successor timeouts land in it).
   LookupResult find_successor(Key from_node, Key key, net::SimTime now);
+
+  /// Attach the trace that find_successor records ring-route spans into
+  /// (nullptr detaches). The ring never owns the trace.
+  void set_trace(obs::QueryTrace* trace) noexcept { trace_ = trace; }
 
   // -- maintenance ------------------------------------------------------------
 
@@ -167,6 +174,7 @@ class Ring {
   std::map<Key, NodeState> nodes_;
   TransferHook transfer_;
   FailoverHook failover_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace ahsw::chord

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/explain.hpp"
 #include "sparql/ast.hpp"
 
 namespace ahsw::dqp {
@@ -23,6 +24,16 @@ namespace {
   std::size_t n = p.pattern.byte_size() + 32;
   if (p.pushed_filter != nullptr) n += p.pushed_filter->byte_size();
   return n;
+}
+
+[[nodiscard]] std::string_view form_name(sparql::QueryForm f) {
+  switch (f) {
+    case sparql::QueryForm::kSelect: return "SELECT";
+    case sparql::QueryForm::kConstruct: return "CONSTRUCT";
+    case sparql::QueryForm::kAsk: return "ASK";
+    case sparql::QueryForm::kDescribe: return "DESCRIBE";
+  }
+  return "?";
 }
 
 /// Move `end` to the back of `chain` if present (chains may be asked to
@@ -74,8 +85,10 @@ std::optional<sparql::SolutionSet> DistributedQueryProcessor::run_at_provider(
     net::NodeAddress initiator, ExecutionReport& rep) {
   if (overlay_->network().is_failed(provider)) {
     // Stale location-table entry (Sect. III-D): the contact times out and
-    // the reporter triggers lazy repair at the owning index node.
-    now = overlay_->network().timeout(now);
+    // the reporter triggers lazy repair at the owning index node. The
+    // timeout is charged against the dead provider under the query
+    // category, so traces and per-category stats show who stalled us.
+    now = overlay_->network().timeout(now, provider, net::Category::kQuery);
     ++rep.dead_providers_skipped;
     overlay_->report_dead_provider(initiator, p.pattern, provider, now);
     return std::nullopt;
@@ -99,6 +112,9 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
     out.ready_at = std::max(now, carry != nullptr ? carry->ready_at : now);
     return out;
   }
+
+  obs::SpanScope pattern_span(trace_, obs::SpanKind::kPattern,
+                              p.pattern.to_string(), now, initiator);
 
   PrimitiveStrategy strategy = policy_.primitive;
   if (policy_.adaptive && !loc.broadcast && loc.providers.size() > 1) {
@@ -124,16 +140,28 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
     SolutionSet merged;
     net::SimTime done = now;
     for (const overlay::Provider& prov : loc.providers) {
-      net::SimTime t = net.send(assembly, prov.address, subquery_bytes(p),
-                                now, net::Category::kQuery);
+      net::SimTime t;
+      {
+        obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
+                                 "to node " + std::to_string(prov.address),
+                                 now, assembly);
+        t = net.send(assembly, prov.address, subquery_bytes(p), now,
+                     net::Category::kQuery);
+        ship_span.finish(t);
+      }
+      obs::SpanScope exec_span(trace_, obs::SpanKind::kLocalExec,
+                               "node " + std::to_string(prov.address), t,
+                               prov.address);
       std::optional<SolutionSet> local =
           run_at_provider(prov.address, p, t, initiator, rep);
       if (!local.has_value()) {
+        exec_span.finish(t);
         done = std::max(done, t);
         continue;
       }
       t = net.send(prov.address, assembly, local->byte_size(), t,
                    net::Category::kData);
+      exec_span.finish(t);
       merged = sparql::deduplicated(sparql::set_union(merged, *local));
       done = std::max(done, t);
     }
@@ -144,10 +172,14 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
     if (carry != nullptr) {
       // Conjunction under the basic plan: ship the carried mappings to the
       // assembly site and join there (the N4 -> N15 pattern of Sect. IV-D).
+      obs::SpanScope ship_span(trace_, obs::SpanKind::kShip,
+                               "carry to assembly", carry->ready_at, assembly);
       Located c = ship(*carry, assembly, rep);
+      ship_span.finish(c.ready_at);
       out.set = sparql::join(c.set, out.set);
       out.ready_at = std::max(out.ready_at, c.ready_at);
     }
+    pattern_span.finish(out.ready_at);
     return out;
   }
 
@@ -166,14 +198,21 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
                                     : initiator;
   // The index node forwards the sub-query (with the chain list) to the
   // first provider; the carried set (if any) travels from its site there.
-  net::SimTime t = net.send(owner_addr, chain.front().address,
-                            subquery_bytes(p), now, net::Category::kQuery);
+  net::SimTime t;
   std::size_t carry_bytes = 0;
-  if (carry != nullptr) {
-    t = std::max(t, net.send(carry->site, chain.front().address,
-                             carry->set.byte_size(), carry->ready_at,
-                             net::Category::kData));
-    carry_bytes = carry->set.byte_size();
+  {
+    obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
+                             "to node " + std::to_string(chain.front().address),
+                             now, owner_addr);
+    t = net.send(owner_addr, chain.front().address, subquery_bytes(p), now,
+                 net::Category::kQuery);
+    if (carry != nullptr) {
+      t = std::max(t, net.send(carry->site, chain.front().address,
+                               carry->set.byte_size(), carry->ready_at,
+                               net::Category::kData));
+      carry_bytes = carry->set.byte_size();
+    }
+    ship_span.finish(t);
   }
 
   SolutionSet acc;
@@ -184,6 +223,8 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
   net::NodeAddress site = owner_addr;
   for (std::size_t i = 0; i < chain.size(); ++i) {
     net::NodeAddress prov = chain[i].address;
+    obs::SpanScope hop_span(trace_, obs::SpanKind::kChainHop,
+                            "node " + std::to_string(prov), t, prov);
     std::optional<SolutionSet> local =
         run_at_provider(prov, p, t, initiator, rep);
     if (local.has_value()) {
@@ -200,12 +241,14 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
           subquery_bytes(p) + acc.byte_size() + carry_bytes;
       t = net.send(sender, next, payload, t, net::Category::kData);
     }
+    hop_span.finish(t);
   }
 
   Located out;
   out.set = std::move(acc);
   out.site = site;
   out.ready_at = t;
+  pattern_span.finish(out.ready_at);
   return out;
 }
 
@@ -307,7 +350,13 @@ DistributedQueryProcessor::colocate(Located a, Located b,
       std::string("join-site: ") +
       std::string(optimizer::join_site_policy_name(policy_.join_site)) +
       " -> node " + std::to_string(site));
-  return {ship(std::move(a), site, rep), ship(std::move(b), site, rep)};
+  obs::SpanScope span(trace_, obs::SpanKind::kJoinSite,
+                      "node " + std::to_string(site),
+                      std::min(a.ready_at, b.ready_at), site);
+  Located ca = ship(std::move(a), site, rep);
+  Located cb = ship(std::move(b), site, rep);
+  span.finish(std::max(ca.ready_at, cb.ready_at));
+  return {std::move(ca), std::move(cb)};
 }
 
 DistributedQueryProcessor::Located DistributedQueryProcessor::eval(
@@ -422,59 +471,95 @@ sparql::QueryResult DistributedQueryProcessor::execute(
   const net::TrafficStats before = net.stats();
   ExecutionReport rep;
 
-  // Transform + global optimization (Fig. 3).
-  AlgebraPtr pattern = sparql::translate_pattern(q.where);
-  if (policy_.push_filters) pattern = optimizer::push_filters(pattern);
-  rep.plan_notes.push_back("algebra: " + pattern->to_string());
-
-  // Distributed evaluation; the final set ships to the initiator.
-  Located result = eval(*pattern, initiator, 0.0, rep, std::nullopt);
-  result = ship(std::move(result), initiator, rep, net::Category::kResult);
-
+  // One kQuery span covers the whole Fig. 3 workflow; its scope ends before
+  // the EXPLAIN rendering below so the rendered tree is complete.
+  obs::SpanId query_span = obs::kNoSpan;
+  Located result;
   sparql::QueryResult out;
-  if (q.form == sparql::QueryForm::kDescribe) {
-    // Distributed DESCRIBE: resolve each target's surrounding triples with
-    // two primitive pattern queries (t, ?, ?) and (?, ?, t).
-    std::set<rdf::Term> targets;
-    for (const rdf::PatternTerm& pt : q.describe_targets) {
-      if (const rdf::Term* t = rdf::term_of(pt)) {
-        targets.insert(*t);
-      } else {
-        const rdf::Variable& v = std::get<rdf::Variable>(pt);
-        for (const Binding& b : result.set.rows()) {
-          if (const rdf::Term* bound = b.get(v.name)) targets.insert(*bound);
+  {
+    obs::SpanScope qspan(trace_, obs::SpanKind::kQuery,
+                         std::string(form_name(q.form)), 0.0, initiator);
+    query_span = qspan.id();
+
+    // Transform + global optimization (Fig. 3).
+    AlgebraPtr pattern;
+    {
+      obs::SpanScope plan_span(trace_, obs::SpanKind::kPlan,
+                               "transform + global optimization", 0.0,
+                               initiator);
+      pattern = sparql::translate_pattern(q.where);
+      if (policy_.push_filters) pattern = optimizer::push_filters(pattern);
+    }
+    rep.plan_notes.push_back("algebra: " + pattern->to_string());
+
+    // Distributed evaluation; the final set ships to the initiator.
+    result = eval(*pattern, initiator, 0.0, rep, std::nullopt);
+    {
+      obs::SpanScope ship_span(trace_, obs::SpanKind::kShip,
+                               "result to initiator", result.ready_at,
+                               initiator);
+      result = ship(std::move(result), initiator, rep, net::Category::kResult);
+      ship_span.finish(result.ready_at);
+    }
+
+    if (q.form == sparql::QueryForm::kDescribe) {
+      // Distributed DESCRIBE: resolve each target's surrounding triples with
+      // two primitive pattern queries (t, ?, ?) and (?, ?, t).
+      std::set<rdf::Term> targets;
+      for (const rdf::PatternTerm& pt : q.describe_targets) {
+        if (const rdf::Term* t = rdf::term_of(pt)) {
+          targets.insert(*t);
+        } else {
+          const rdf::Variable& v = std::get<rdf::Variable>(pt);
+          for (const Binding& b : result.set.rows()) {
+            if (const rdf::Term* bound = b.get(v.name)) targets.insert(*bound);
+          }
         }
       }
-    }
-    std::set<rdf::Triple> triples;
-    net::SimTime t0 = result.ready_at;
-    for (const rdf::Term& t : targets) {
-      for (const rdf::TriplePattern& tp :
-           {rdf::TriplePattern{t, rdf::Variable{"__p"}, rdf::Variable{"__o"}},
-            rdf::TriplePattern{rdf::Variable{"__s"}, rdf::Variable{"__p"},
-                               t}}) {
-        Located part = eval_pattern(sparql::BgpPattern{tp, nullptr},
-                                    initiator, t0, rep, std::nullopt, nullptr);
-        part = ship(std::move(part), initiator, rep, net::Category::kResult);
-        result.ready_at = std::max(result.ready_at, part.ready_at);
-        for (const Binding& b : part.set.rows()) {
-          rdf::Triple tr{t, t, t};
-          if (const rdf::Term* s = b.get("__s")) tr.s = *s;
-          if (const rdf::Term* p = b.get("__p")) tr.p = *p;
-          if (const rdf::Term* o = b.get("__o")) tr.o = *o;
-          triples.insert(tr);
+      std::set<rdf::Triple> triples;
+      net::SimTime t0 = result.ready_at;
+      for (const rdf::Term& t : targets) {
+        for (const rdf::TriplePattern& tp :
+             {rdf::TriplePattern{t, rdf::Variable{"__p"},
+                                 rdf::Variable{"__o"}},
+              rdf::TriplePattern{rdf::Variable{"__s"}, rdf::Variable{"__p"},
+                                 t}}) {
+          Located part =
+              eval_pattern(sparql::BgpPattern{tp, nullptr}, initiator, t0,
+                           rep, std::nullopt, nullptr);
+          part = ship(std::move(part), initiator, rep, net::Category::kResult);
+          result.ready_at = std::max(result.ready_at, part.ready_at);
+          for (const Binding& b : part.set.rows()) {
+            rdf::Triple tr{t, t, t};
+            if (const rdf::Term* s = b.get("__s")) tr.s = *s;
+            if (const rdf::Term* p = b.get("__p")) tr.p = *p;
+            if (const rdf::Term* o = b.get("__o")) tr.o = *o;
+            triples.insert(tr);
+          }
         }
       }
+      out.form = sparql::QueryForm::kDescribe;
+      out.graph.assign(triples.begin(), triples.end());
+    } else {
+      // Post-processing at the initiator (Fig. 3): modifiers + projection.
+      obs::SpanScope post_span(trace_, obs::SpanKind::kPostProcess,
+                               "modifiers + projection", result.ready_at,
+                               initiator);
+      out = sparql::finalize_result(q, std::move(result.set), nullptr);
+      post_span.finish(result.ready_at);
     }
-    out.form = sparql::QueryForm::kDescribe;
-    out.graph.assign(triples.begin(), triples.end());
-  } else {
-    // Post-processing at the initiator (Fig. 3): modifiers + projection.
-    out = sparql::finalize_result(q, std::move(result.set), nullptr);
+    qspan.finish(result.ready_at);
   }
 
   rep.response_time = result.ready_at;
   rep.traffic = net.stats().delta_since(before);
+  // Traced executions carry their EXPLAIN tree in the plan notes, so any
+  // consumer of the report can see the per-phase cost without the trace.
+  if (trace_ != nullptr && query_span != obs::kNoSpan) {
+    for (std::string& line : obs::explain_lines(*trace_, query_span)) {
+      rep.plan_notes.push_back(std::move(line));
+    }
+  }
   if (report != nullptr) *report = std::move(rep);
   return out;
 }

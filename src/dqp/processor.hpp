@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "optimizer/planner.hpp"
 #include "optimizer/rewriter.hpp"
 #include "overlay/overlay.hpp"
@@ -94,6 +95,21 @@ class DistributedQueryProcessor {
   /// inspect plans).
   [[nodiscard]] sparql::AlgebraPtr plan(std::string_view query_text) const;
 
+  /// Attach a per-query trace: binds it to the overlay's network (messages
+  /// and timeouts land in the active span) and forwards it to the overlay
+  /// and ring so their steps open nested spans. Each `execute` then records
+  /// one kQuery span tree and appends its EXPLAIN rendering to the report's
+  /// plan_notes. Passing nullptr detaches (unbinding the previous trace).
+  /// The processor never owns the trace.
+  void set_trace(obs::QueryTrace* trace) {
+    if (trace_ == trace) return;
+    if (trace_ != nullptr) trace_->unbind();
+    trace_ = trace;
+    overlay_->set_trace(trace);
+    if (trace_ != nullptr) trace_->bind(overlay_->network());
+  }
+  [[nodiscard]] obs::QueryTrace* trace() const noexcept { return trace_; }
+
  private:
   /// An intermediate solution set living at a node of the overlay.
   struct Located {
@@ -153,6 +169,7 @@ class DistributedQueryProcessor {
 
   overlay::HybridOverlay* overlay_;
   ExecutionPolicy policy_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace ahsw::dqp

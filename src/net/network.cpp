@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <cassert>
+
 namespace ahsw::net {
 
 std::string_view category_name(Category c) noexcept {
@@ -10,6 +12,11 @@ std::string_view category_name(Category c) noexcept {
     case Category::kData: return "data";
     case Category::kResult: return "result";
   }
+  // Exhaustiveness check: a new Category enumerator must be named above (and
+  // kCategoryCount bumped), or exported stats would silently miscount under
+  // "?". The switch has no default so -Wswitch flags the omission at compile
+  // time; this assert catches corrupted/out-of-range values in debug runs.
+  assert(false && "category_name: unnamed Category enumerator");
   return "?";
 }
 
@@ -21,6 +28,7 @@ TrafficStats TrafficStats::delta_since(const TrafficStats& base) const {
   for (int i = 0; i < kCategoryCount; ++i) {
     d.messages_by[i] = messages_by[i] - base.messages_by[i];
     d.bytes_by[i] = bytes_by[i] - base.bytes_by[i];
+    d.timeouts_by[i] = timeouts_by[i] - base.timeouts_by[i];
   }
   return d;
 }
@@ -40,9 +48,14 @@ SimTime Network::send(NodeAddress from, NodeAddress to, std::size_t bytes,
   return arrival;
 }
 
-SimTime Network::timeout(SimTime now) {
+SimTime Network::timeout(SimTime now, NodeAddress suspect, Category category) {
   ++stats_.timeouts;
-  return now + model_.timeout_ms;
+  ++stats_.timeouts_by[static_cast<std::size_t>(category)];
+  SimTime gave_up = now + model_.timeout_ms;
+  if (timeout_tracer_) {
+    timeout_tracer_(TimeoutEvent{suspect, category, now, gave_up});
+  }
+  return gave_up;
 }
 
 }  // namespace ahsw::net

@@ -58,6 +58,10 @@ struct TrafficStats {
   std::uint64_t messages_by[kCategoryCount] = {};
   std::uint64_t bytes_by[kCategoryCount] = {};
   std::uint64_t timeouts = 0;
+  /// Timeouts split by the traffic category of the interaction that hit the
+  /// dead peer (routing probes vs. sub-query contacts), so failure-detection
+  /// cost is attributable the same way transmission cost is.
+  std::uint64_t timeouts_by[kCategoryCount] = {};
 
   [[nodiscard]] TrafficStats delta_since(const TrafficStats& base) const;
 };
@@ -70,6 +74,16 @@ struct MessageEvent {
   SimTime sent_at = 0;
   SimTime arrives_at = 0;
   Category category = Category::kRouting;
+};
+
+/// One charged failure-detection timeout, as seen by a tracer. `suspect` is
+/// the node the sender gave up on (kNoAddress when unknown); `category` is
+/// the traffic category of the interaction that ran into the dead peer.
+struct TimeoutEvent {
+  NodeAddress suspect = kNoAddress;
+  Category category = Category::kRouting;
+  SimTime at = 0;          // when the sender started waiting
+  SimTime gave_up_at = 0;  // at + timeout_ms: when it moved on
 };
 
 /// The simulated network: address allocation, failure injection, and the
@@ -89,8 +103,11 @@ class Network {
                SimTime now, Category category);
 
   /// Charge a failure-detection timeout at `now`; returns when the sender
-  /// gives up. Also bumps the timeout counter.
-  SimTime timeout(SimTime now);
+  /// gives up. Bumps the aggregate and per-category timeout counters and
+  /// notifies the timeout tracer with the suspected-dead node, so observers
+  /// see failure-detection cost the same way they see transmission cost.
+  SimTime timeout(SimTime now, NodeAddress suspect = kNoAddress,
+                  Category category = Category::kRouting);
 
   /// Mark a node as failed / recovered. Failed nodes never reply.
   void fail(NodeAddress n) { failed_.insert(n); }
@@ -109,6 +126,18 @@ class Network {
   /// assert protocol message sequences and by tools for debugging.
   using Tracer = std::function<void(const MessageEvent&)>;
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+  [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Observe every charged timeout (see `timeout()`). Pass nullptr to
+  /// detach. Separate from the message tracer because a timeout is the
+  /// *absence* of a message: it carries no bytes, only charged wait.
+  using TimeoutTracer = std::function<void(const TimeoutEvent&)>;
+  void set_timeout_tracer(TimeoutTracer tracer) {
+    timeout_tracer_ = std::move(tracer);
+  }
+  [[nodiscard]] const TimeoutTracer& timeout_tracer() const noexcept {
+    return timeout_tracer_;
+  }
 
  private:
   CostModel model_;
@@ -116,6 +145,7 @@ class Network {
   std::unordered_set<NodeAddress> failed_;
   NodeAddress next_address_ = 1;
   Tracer tracer_;
+  TimeoutTracer timeout_tracer_;
 };
 
 }  // namespace ahsw::net

@@ -1,0 +1,22 @@
+// EXPLAIN-style rendering of a QueryTrace: a human-readable tree, one line
+// per span, with per-phase cost (messages, bytes by category, timeouts) and
+// logical time bounds. Consumed by the shell's `explain` command and
+// appended to ExecutionReport::plan_notes for traced executions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ahsw::obs {
+
+/// One line per span of the subtree rooted at `root`, depth-first, indented
+/// two spaces per level. The root line also carries subtree totals.
+[[nodiscard]] std::vector<std::string> explain_lines(const QueryTrace& trace,
+                                                     SpanId root);
+
+/// All roots of the trace, concatenated, newline-terminated.
+[[nodiscard]] std::string explain(const QueryTrace& trace);
+
+}  // namespace ahsw::obs

@@ -1,0 +1,224 @@
+#include "obs/json.hpp"
+
+#include <cerrno>   // program_invocation_short_name (GNU)
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace ahsw::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os.setf(std::ios::fixed);
+  os << v;
+  return os.str();
+}
+
+/// {"routing": {"messages": n, "bytes": n}, ...} — zero categories omitted.
+template <typename M, typename B>
+std::string by_category_object(const M& messages_by, const B& bytes_by) {
+  std::string out = "{";
+  bool first = true;
+  for (int c = 0; c < net::kCategoryCount; ++c) {
+    if (messages_by[c] == 0 && bytes_by[c] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += json_string(net::category_name(static_cast<net::Category>(c)));
+    out += ": {\"messages\": " + std::to_string(messages_by[c]) +
+           ", \"bytes\": " + std::to_string(bytes_by[c]) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string timeouts_by_category_object(
+    const std::uint64_t (&timeouts_by)[net::kCategoryCount]) {
+  std::string out = "{";
+  bool first = true;
+  for (int c = 0; c < net::kCategoryCount; ++c) {
+    if (timeouts_by[c] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += json_string(net::category_name(static_cast<net::Category>(c)));
+    out += ": " + std::to_string(timeouts_by[c]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string span_to_json(const Span& s) {
+  std::string out = "{";
+  out += "\"id\": " + std::to_string(s.id);
+  out += ", \"parent\": ";
+  out += s.parent == kNoSpan ? "null" : std::to_string(s.parent);
+  out += ", \"kind\": " + json_string(span_kind_name(s.kind));
+  out += ", \"label\": " + json_string(s.label);
+  out += ", \"site\": ";
+  out += s.site == net::kNoAddress ? "null" : std::to_string(s.site);
+  out += ", \"begin_ms\": " + json_number(s.begin);
+  out += ", \"end_ms\": " + json_number(s.end);
+  out += ", \"messages\": " + std::to_string(s.messages);
+  out += ", \"bytes\": " + std::to_string(s.bytes);
+  out += ", \"timeouts\": " + std::to_string(s.timeouts);
+  out += ", \"by_category\": " + by_category_object(s.messages_by, s.bytes_by);
+  out += ", \"timeouts_by_category\": " +
+         timeouts_by_category_object(s.timeouts_by);
+  out += ", \"peers\": [";
+  for (std::size_t i = 0; i < s.peers.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(s.peers[i]);
+  }
+  out += "], \"children\": [";
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(s.children[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string default_experiment_name() {
+#ifdef __GLIBC__
+  std::string name = program_invocation_short_name;
+#else
+  std::string name = "bench";
+#endif
+  if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
+  return name;
+}
+
+}  // namespace
+
+std::string trace_to_json(const QueryTrace& trace) {
+  std::string out = "{\"spans\": [";
+  const std::vector<Span>& spans = trace.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += span_to_json(spans[i]);
+  }
+  out += "], \"roots\": [";
+  for (std::size_t i = 0; i < trace.roots().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(trace.roots()[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<PhaseCost> phase_rollup(const QueryTrace& trace) {
+  PhaseCost by_kind[kSpanKindCount];
+  for (const Span& s : trace.spans()) {
+    PhaseCost& p = by_kind[static_cast<std::size_t>(s.kind)];
+    ++p.spans;
+    p.messages += s.messages;
+    p.bytes += s.bytes;
+    p.timeouts += s.timeouts;
+  }
+  std::vector<PhaseCost> out;
+  for (int k = 0; k < kSpanKindCount; ++k) {
+    if (by_kind[k].spans == 0) continue;
+    by_kind[k].phase = span_kind_name(static_cast<SpanKind>(k));
+    out.push_back(std::move(by_kind[k]));
+  }
+  return out;
+}
+
+BenchSink& BenchSink::instance() {
+  static BenchSink sink;
+  return sink;
+}
+
+BenchSink::~BenchSink() { flush(); }
+
+void BenchSink::record(BenchRecord r) {
+  auto it = records_.find(r.bench);
+  if (it == records_.end()) {
+    order_.push_back(r.bench);
+    records_.emplace(r.bench, std::move(r));
+  } else {
+    it->second = std::move(r);
+  }
+}
+
+void BenchSink::set_output_path(std::string path) { path_ = std::move(path); }
+
+void BenchSink::write(std::ostream& os) const {
+  std::string experiment =
+      experiment_.empty() ? default_experiment_name() : experiment_;
+  os << "{\n  \"experiment\": " << json_string(experiment)
+     << ",\n  \"records\": [";
+  bool first_record = true;
+  for (const std::string& name : order_) {
+    const BenchRecord& r = records_.at(name);
+    if (!first_record) os << ",";
+    first_record = false;
+    os << "\n    {\"bench\": " << json_string(r.bench);
+    os << ", \"queries\": " << r.queries;
+    os << ", \"messages\": " << r.traffic.messages;
+    os << ", \"bytes\": " << r.traffic.bytes;
+    os << ", \"timeouts\": " << r.traffic.timeouts;
+    os << ", \"response_ms\": " << json_number(r.response_ms);
+    os << ", \"traffic_by_category\": "
+       << by_category_object(r.traffic.messages_by, r.traffic.bytes_by);
+    os << ", \"timeouts_by_category\": "
+       << timeouts_by_category_object(r.traffic.timeouts_by);
+    os << ", \"phases\": [";
+    for (std::size_t i = 0; i < r.phases.size(); ++i) {
+      const PhaseCost& p = r.phases[i];
+      if (i > 0) os << ", ";
+      os << "{\"phase\": " << json_string(p.phase)
+         << ", \"spans\": " << p.spans << ", \"messages\": " << p.messages
+         << ", \"bytes\": " << p.bytes << ", \"timeouts\": " << p.timeouts
+         << "}";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void BenchSink::flush() {
+  if (records_.empty()) return;
+  std::string path = path_;
+  if (path.empty()) {
+    if (const char* env = std::getenv("AHSW_BENCH_JSON")) {
+      path = env;
+    } else {
+      path = "BENCH_" + default_experiment_name() + ".json";
+    }
+  }
+  std::ofstream f(path);
+  if (!f) return;  // benches must not fail because the CWD is read-only
+  write(f);
+}
+
+}  // namespace ahsw::obs

@@ -7,6 +7,7 @@ namespace ahsw::overlay {
 void LocationTable::publish(chord::Key key, net::NodeAddress address,
                             std::uint32_t frequency) {
   if (frequency == 0) return;
+  revive(key, address);
   std::vector<Provider>& row = rows_[key];
   for (Provider& p : row) {
     if (p.address == address) {
@@ -26,6 +27,7 @@ bool LocationTable::retract(chord::Key key, net::NodeAddress address,
     if (row[i].address != address) continue;
     if (row[i].frequency <= frequency) {
       row.erase(row.begin() + static_cast<std::ptrdiff_t>(i));
+      bury(key, address);  // block stale replica pushes from resurrecting
     } else {
       row[i].frequency -= frequency;
     }
@@ -41,6 +43,7 @@ void LocationTable::upsert(chord::Key key, net::NodeAddress address,
     purge(key, address);
     return;
   }
+  revive(key, address);
   std::vector<Provider>& row = rows_[key];
   for (Provider& p : row) {
     if (p.address == address) {
@@ -56,6 +59,8 @@ void LocationTable::reconcile(
   for (const auto& [key, incoming] : rows) {
     std::vector<Provider>& row = rows_[key];
     for (const Provider& in : incoming) {
+      // A just-deleted provider must not come back from a stale replica.
+      if (tombstoned(key, in.address)) continue;
       bool found = false;
       for (Provider& p : row) {
         if (p.address == in.address) {
@@ -71,6 +76,9 @@ void LocationTable::reconcile(
 }
 
 bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
+  // Tombstone even when the entry is already gone: the purge expresses
+  // delete intent, and a stale replica push may still be in flight.
+  bury(key, address);
   auto it = rows_.find(key);
   if (it == rows_.end()) return false;
   std::vector<Provider>& row = it->second;
@@ -86,11 +94,14 @@ bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
 void LocationTable::purge_everywhere(net::NodeAddress address) {
   for (auto it = rows_.begin(); it != rows_.end();) {
     std::vector<Provider>& row = it->second;
-    row.erase(std::remove_if(row.begin(), row.end(),
-                             [&](const Provider& p) {
-                               return p.address == address;
-                             }),
-              row.end());
+    auto pos = std::remove_if(row.begin(), row.end(),
+                              [&](const Provider& p) {
+                                return p.address == address;
+                              });
+    if (pos != row.end()) {
+      row.erase(pos, row.end());
+      bury(it->first, address);
+    }
     it = row.empty() ? rows_.erase(it) : std::next(it);
   }
 }

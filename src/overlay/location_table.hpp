@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "chord/ring.hpp"
@@ -46,7 +47,13 @@ class LocationTable {
 
   /// Merge a snapshot of rows taking the max frequency per provider
   /// (idempotent recovery merge: several replica holders may push the same
-  /// row without inflating it).
+  /// row without inflating it). A provider this table has deleted from a row
+  /// (retract to zero, purge, upsert(0)) is tombstoned and will NOT be
+  /// resurrected by a stale replica push; the tombstone clears when the
+  /// provider re-publishes. Remaining at-least-once window: a *partial*
+  /// retract only lowers the frequency, so a stale replica snapshot can
+  /// still max-merge the old, higher frequency back in until the next
+  /// replication round overwrites it.
   void reconcile(const std::map<chord::Key, std::vector<Provider>>& rows);
 
   /// Drop a provider from one row entirely (lazy repair after a storage
@@ -95,8 +102,31 @@ class LocationTable {
     return rows_;
   }
 
+  /// True if (key, address) was deleted here and not re-published since —
+  /// reconcile() refuses to resurrect such entries.
+  [[nodiscard]] bool tombstoned(chord::Key key,
+                                net::NodeAddress address) const {
+    auto it = tombstones_.find(key);
+    return it != tombstones_.end() && it->second.count(address) > 0;
+  }
+
  private:
+  void bury(chord::Key key, net::NodeAddress address) {
+    tombstones_[key].insert(address);
+  }
+  void revive(chord::Key key, net::NodeAddress address) {
+    auto it = tombstones_.find(key);
+    if (it == tombstones_.end()) return;
+    it->second.erase(address);
+    if (it->second.empty()) tombstones_.erase(it);
+  }
+
   std::map<chord::Key, std::vector<Provider>> rows_;
+  /// Deleted (key, provider) pairs awaiting re-publication. Tombstones stay
+  /// local: they do not travel with extract_range slices, so a new owner
+  /// has a short resurrection window until the next purge — the documented
+  /// at-least-once behavior of recovery reconciliation.
+  std::map<chord::Key, std::set<net::NodeAddress>> tombstones_;
 };
 
 }  // namespace ahsw::overlay

@@ -255,6 +255,9 @@ HybridOverlay::Located HybridOverlay::locate(net::NodeAddress requester,
   }
 
   chord::Key key = *pk;
+  obs::SpanScope span(trace_, obs::SpanKind::kIndexLookup,
+                      "key " + std::to_string(ring_.truncate(key)), now,
+                      requester);
   chord::Key entry = entry_ring_node(requester);
   net::NodeAddress entry_addr = ring_.address_of(entry);
   net::SimTime t = net_->send(requester, entry_addr, kRequestBytes, now,
@@ -275,6 +278,7 @@ HybridOverlay::Located HybridOverlay::locate(net::NodeAddress requester,
       net_->send(lr.owner_address, requester,
                  LocationTable::response_bytes(res.providers.size()), t,
                  net::Category::kIndex);
+  span.finish(res.completed_at);
   return res;
 }
 
@@ -288,9 +292,13 @@ net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
   chord::Key owner = ring_.oracle_successor(ring_.truncate(key));
   auto it = index_.find(owner);
   if (it == index_.end()) return now;
+  obs::SpanScope span(trace_, obs::SpanKind::kRepair,
+                      "purge dead provider " + std::to_string(dead), now,
+                      reporter);
   net::SimTime t = net_->send(reporter, it->second.address, kPublishBytes,
                               now, net::Category::kIndex);
   it->second.table.purge(key, dead);
+  span.finish(t);
   return t;
 }
 

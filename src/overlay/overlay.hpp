@@ -16,6 +16,7 @@
 #include "chord/ring.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "overlay/keys.hpp"
 #include "overlay/location_table.hpp"
 #include "rdf/store.hpp"
@@ -127,6 +128,14 @@ class HybridOverlay {
                                     const rdf::TriplePattern& p,
                                     net::NodeAddress dead, net::SimTime now);
 
+  /// Attach the trace that locate()/report_dead_provider() record
+  /// index-lookup and repair spans into; forwarded to the ring so lookups
+  /// nest ring-route spans inside (nullptr detaches).
+  void set_trace(obs::QueryTrace* trace) noexcept {
+    trace_ = trace;
+    ring_.set_trace(trace);
+  }
+
   // -- accessors ----------------------------------------------------------------
 
   [[nodiscard]] rdf::TripleStore& store_of(net::NodeAddress addr) {
@@ -191,6 +200,7 @@ class HybridOverlay {
   std::map<net::NodeAddress, StorageNodeState> storage_;
   common::Rng id_rng_;
   std::size_t attach_counter_ = 0;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace ahsw::overlay

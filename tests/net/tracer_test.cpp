@@ -33,6 +33,60 @@ TEST(Tracer, DetachStopsObservation) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(TimeoutTracer, ObservesChargedTimeouts) {
+  Network net;
+  std::vector<TimeoutEvent> events;
+  net.set_timeout_tracer([&](const TimeoutEvent& e) { events.push_back(e); });
+  SimTime gave_up = net.timeout(5.0, 42, Category::kQuery);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].suspect, 42u);
+  EXPECT_EQ(events[0].category, Category::kQuery);
+  EXPECT_DOUBLE_EQ(events[0].at, 5.0);
+  EXPECT_DOUBLE_EQ(events[0].gave_up_at, gave_up);
+  EXPECT_DOUBLE_EQ(gave_up, 5.0 + net.cost_model().timeout_ms);
+}
+
+TEST(TimeoutTracer, DefaultsToUnknownSuspectAndRoutingCategory) {
+  Network net;
+  std::vector<TimeoutEvent> events;
+  net.set_timeout_tracer([&](const TimeoutEvent& e) { events.push_back(e); });
+  net.timeout(0.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].suspect, kNoAddress);
+  EXPECT_EQ(events[0].category, Category::kRouting);
+}
+
+TEST(TimeoutTracer, PerCategoryCountersAndDelta) {
+  Network net;
+  net.timeout(0.0, 1, Category::kRouting);
+  TrafficStats base = net.stats();
+  net.timeout(0.0, 2, Category::kQuery);
+  net.timeout(0.0, 2, Category::kQuery);
+  net.timeout(0.0, 3, Category::kData);
+  EXPECT_EQ(net.stats().timeouts, 4u);
+  EXPECT_EQ(net.stats()
+                .timeouts_by[static_cast<std::size_t>(Category::kQuery)],
+            2u);
+  TrafficStats delta = net.stats().delta_since(base);
+  EXPECT_EQ(delta.timeouts, 3u);
+  EXPECT_EQ(delta.timeouts_by[static_cast<std::size_t>(Category::kRouting)],
+            0u);
+  EXPECT_EQ(delta.timeouts_by[static_cast<std::size_t>(Category::kQuery)],
+            2u);
+  EXPECT_EQ(delta.timeouts_by[static_cast<std::size_t>(Category::kData)], 1u);
+}
+
+TEST(TimeoutTracer, DetachStopsObservation) {
+  Network net;
+  int count = 0;
+  net.set_timeout_tracer([&](const TimeoutEvent&) { ++count; });
+  net.timeout(0.0, 7, Category::kIndex);
+  net.set_timeout_tracer(nullptr);
+  net.timeout(0.0, 7, Category::kIndex);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(net.stats().timeouts, 2u);  // counting is tracer-independent
+}
+
 TEST(Tracer, Fig2LookupMessageSequence) {
   // Build the Fig. 1 topology and trace one two-level index consultation.
   Network network;

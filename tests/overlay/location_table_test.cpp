@@ -188,6 +188,57 @@ TEST(LocationTable, ReconcileIsIdempotent) {
   EXPECT_EQ(t.lookup(K1)[1].frequency, 8u);
 }
 
+TEST(LocationTable, ReconcileDoesNotResurrectRetractedProvider) {
+  // Regression: a provider retracts its last triples (graceful departure),
+  // then a stale replica snapshot — taken before the retraction — arrives
+  // through recovery reconciliation. The max-merge used to bring the
+  // departed provider back from the dead.
+  LocationTable t = table_one();
+  EXPECT_TRUE(t.retract(K3, D1, 30));  // D1 fully retracts from K3
+  EXPECT_TRUE(t.lookup(K3).empty());
+  EXPECT_TRUE(t.tombstoned(K3, D1));
+
+  t.reconcile({{K3, {{D1, 30}}}});  // stale replica still lists D1
+  EXPECT_TRUE(t.lookup(K3).empty()) << "retracted provider resurrected";
+}
+
+TEST(LocationTable, ReconcileDoesNotResurrectPurgedProvider) {
+  // Same failure through the lazy-repair path: purge (dead provider)
+  // followed by a stale replica push.
+  LocationTable t = table_one();
+  EXPECT_TRUE(t.purge(K2, D3));
+  t.reconcile({{K2, {{D1, 10}, {D3, 20}, {D4, 15}}}});
+  std::vector<Provider> row = t.lookup(K2);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].address, D1);
+  EXPECT_EQ(row[1].address, D4);
+}
+
+TEST(LocationTable, RepublishClearsTombstone) {
+  // The provider comes back (rejoins, shares again): publish lifts the
+  // tombstone and reconcile may merge it again.
+  LocationTable t;
+  t.publish(K1, D1, 5);
+  t.retract(K1, D1, 5);
+  EXPECT_TRUE(t.tombstoned(K1, D1));
+  t.publish(K1, D1, 8);
+  EXPECT_FALSE(t.tombstoned(K1, D1));
+  t.reconcile({{K1, {{D1, 11}}}});
+  ASSERT_EQ(t.lookup(K1).size(), 1u);
+  EXPECT_EQ(t.lookup(K1)[0].frequency, 11u);
+}
+
+TEST(LocationTable, PurgeEverywhereTombstonesAffectedRows) {
+  LocationTable t = table_one();
+  t.purge_everywhere(D1);
+  EXPECT_TRUE(t.tombstoned(K1, D1));
+  EXPECT_TRUE(t.tombstoned(K2, D1));
+  EXPECT_TRUE(t.tombstoned(K3, D1));
+  EXPECT_FALSE(t.tombstoned(K1, D3));
+  t.reconcile({{K3, {{D1, 30}}}});
+  EXPECT_TRUE(t.lookup(K3).empty());
+}
+
 TEST(LocationTable, ByteSizeTracksContent) {
   LocationTable t;
   std::size_t empty_size = t.byte_size();

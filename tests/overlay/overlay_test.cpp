@@ -265,6 +265,57 @@ TEST(Overlay, ReplicationMasksIndexNodeFailure) {
   }
 }
 
+TEST(Overlay, RepairDoesNotResurrectUnsharedProvider) {
+  // Regression for the reconcile resurrection hole: a storage node unshares
+  // its triples, but a replica holder that was displaced from the owner's
+  // successor list still has the pre-retraction snapshot. The next repair()
+  // pushes that stale row back to the owner — the max-merge used to bring
+  // the retracted provider back to life.
+  OverlayConfig cfg;
+  cfg.ring.bits = 4;
+  cfg.replication_factor = 2;
+  Fixture f(cfg);
+
+  Triple t{iri("s"), iri("p"), iri("o")};
+  chord::Key s_key = index_key(IndexKeyKind::kS, t.s);
+  chord::Key tk = f.overlay.ring().truncate(s_key);
+  // Owner exactly at the key's ring position; the replica of its rows lands
+  // at the next node clockwise.
+  chord::Key owner = f.overlay.add_index_node_with_id(tk, 0);
+  chord::Key old_holder = f.overlay.add_index_node_with_id((tk + 3) & 15, 0);
+  f.overlay.add_index_node_with_id((tk + 8) & 15, 0);
+  f.overlay.ring().fix_all_fingers_oracle();
+
+  net::NodeAddress d = f.overlay.add_storage_node_attached(owner);
+  f.overlay.share_triples(d, {t}, 0);
+  ASSERT_FALSE(f.overlay.index_nodes().at(owner).table.lookup(s_key).empty());
+  ASSERT_FALSE(
+      f.overlay.index_nodes().at(old_holder).replicas.lookup(s_key).empty())
+      << "scenario setup: replica should live at the owner's successor";
+
+  // A new index node splices in right after the owner, displacing the old
+  // replica holder — which keeps its (now untracked) snapshot.
+  f.overlay.add_index_node_with_id((tk + 1) & 15, 5);
+  f.overlay.ring().fix_all_fingers_oracle();
+
+  // The provider unshares: the owner's row empties, and the retraction
+  // snapshot only reaches the *current* successor, not the old holder.
+  f.overlay.unshare_triples(d, {t}, 10);
+  ASSERT_TRUE(f.overlay.index_nodes().at(owner).table.lookup(s_key).empty());
+  ASSERT_FALSE(
+      f.overlay.index_nodes().at(old_holder).replicas.lookup(s_key).empty())
+      << "scenario setup: the stale replica must survive the retraction";
+
+  // Recovery reconciliation pushes the stale replica to the owner.
+  f.overlay.repair(20);
+  EXPECT_TRUE(f.overlay.index_nodes().at(owner).table.lookup(s_key).empty())
+      << "unshared provider resurrected by a stale replica push";
+  auto loc = f.overlay.locate(d, TriplePattern{t.s, Variable{"p"},
+                                               Variable{"o"}}, 30);
+  ASSERT_TRUE(loc.ok);
+  EXPECT_TRUE(loc.providers.empty());
+}
+
 TEST(Overlay, WithoutReplicationRepublishRestoresIndex) {
   Fixture f;  // replication_factor = 1
   f.add_index_nodes(4);

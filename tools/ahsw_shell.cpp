@@ -14,6 +14,7 @@
 //   drop <addr> <ntriples line>  unshare one triple
 //   policy basic|chain|freq|adaptive [traffic_w latency_w]
 //   query <addr> <sparql...>     run a query (may span lines; end with ';')
+//   explain                      span tree of the last query, with costs
 //   fail-storage <addr>          crash a device
 //   fail-index                   crash one index node, then repair
 //   stats                        system summary
@@ -23,6 +24,8 @@
 #include <sstream>
 
 #include "dqp/processor.hpp"
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
 #include "sparql/format.hpp"
 #include "overlay/overlay.hpp"
 #include "common/strings.hpp"
@@ -37,8 +40,12 @@ struct Shell {
   std::unique_ptr<overlay::HybridOverlay> overlay;
   std::unique_ptr<dqp::DistributedQueryProcessor> processor;
   dqp::ExecutionPolicy policy;
+  obs::QueryTrace trace;
+  bool have_query = false;
 
   void make_system(std::size_t index_nodes, std::size_t storage_nodes) {
+    trace.unbind();  // the old network is about to be destroyed
+    have_query = false;
     network = std::make_unique<net::Network>();
     overlay::OverlayConfig cfg;
     cfg.replication_factor = 2;
@@ -50,6 +57,7 @@ struct Shell {
     }
     processor =
         std::make_unique<dqp::DistributedQueryProcessor>(*overlay, policy);
+    processor->set_trace(&trace);
     std::cout << "system: " << index_nodes << " index nodes, "
               << storage_nodes << " devices\n";
   }
@@ -65,7 +73,9 @@ struct Shell {
   void run_query(net::NodeAddress from, const std::string& text) {
     dqp::ExecutionReport rep;
     try {
+      trace.clear();
       sparql::QueryResult result = processor->execute(text, from, &rep);
+      have_query = true;
       std::cout << sparql::to_table(result);
       std::cout << "-- " << rep.traffic.messages << " msgs, "
                 << rep.traffic.bytes << " B, " << rep.response_time
@@ -92,7 +102,7 @@ int run(std::istream& in, bool interactive) {
         // comment / blank
       } else if (cmd == "help") {
         std::cout << "commands: system device load put drop policy query "
-                     "fail-storage fail-index stats quit\n";
+                     "explain fail-storage fail-index stats quit\n";
       } else if (cmd == "system") {
         std::size_t ix = 4, st = 4;
         ss >> ix >> st;
@@ -159,6 +169,7 @@ int run(std::istream& in, bool interactive) {
         if (shell.overlay != nullptr) {
           shell.processor = std::make_unique<dqp::DistributedQueryProcessor>(
               *shell.overlay, shell.policy);
+          shell.processor->set_trace(&shell.trace);
         }
         std::cout << "ok\n";
       } else if (cmd == "query") {
@@ -174,6 +185,14 @@ int run(std::istream& in, bool interactive) {
         auto semi = rest.rfind(';');
         if (semi != std::string::npos) rest = rest.substr(0, semi);
         if (shell.ready()) shell.run_query(addr, rest);
+      } else if (cmd == "explain") {
+        if (shell.ready()) {
+          if (!shell.have_query) {
+            std::cout << "error: no query yet; run `query` first\n";
+          } else {
+            std::cout << obs::explain(shell.trace);
+          }
+        }
       } else if (cmd == "fail-storage") {
         net::NodeAddress addr = 0;
         ss >> addr;

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the `asan-ubsan` preset; Debug, so assertions
+# such as the exhaustive category_name switch are live). Builds into
+# build-asan/, leaving the regular build/ tree untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --preset asan-ubsan "$@"
