@@ -82,6 +82,7 @@ struct Setup {
 void run_policy(benchmark::State& state, const char* name,
                 const dqp::ExecutionPolicy& policy) {
   Setup setup;
+  benchutil::maybe_audit(setup.bed, "adaptive/setup");
   dqp::DistributedQueryProcessor proc(setup.bed.overlay(), policy);
   for (auto _ : state) {
     std::vector<dqp::ExecutionReport> reports;

@@ -54,6 +54,7 @@ void BM_Churn_StorageFailures(benchmark::State& state) {
   const int fail_pct = static_cast<int>(state.range(0));
   for (auto _ : state) {
     workload::Testbed bed(base_config(1));
+    benchutil::maybe_audit(bed, "storage-fail/setup");
     dqp::DistributedQueryProcessor proc(bed.overlay());
     sparql::QueryResult before =
         proc.execute(kQuery, bed.storage_addrs().front(), nullptr);
@@ -64,6 +65,7 @@ void BM_Churn_StorageFailures(benchmark::State& state) {
     for (std::size_t i = 0; i < to_fail; ++i) {
       bed.overlay().storage_node_fail(bed.storage_addrs()[i + 1]);
     }
+    benchutil::maybe_audit(bed, "storage-fail/failed", /*churned=*/true);
     bed.network().reset_stats();
 
     dqp::ExecutionReport first_rep;
@@ -104,6 +106,7 @@ void BM_Churn_IndexFailures(benchmark::State& state) {
   for (auto _ : state) {
     workload::TestbedConfig cfg = base_config(replication);
     workload::Testbed bed(cfg);
+    benchutil::maybe_audit(bed, "index-fail/setup");
     dqp::DistributedQueryProcessor proc(bed.overlay());
 
     // Many primitive queries with distinct bound terms, so the probe set
@@ -138,6 +141,7 @@ void BM_Churn_IndexFailures(benchmark::State& state) {
     bed.network().reset_stats();
     bed.overlay().repair(0);
     bed.overlay().ring().fix_all_fingers_oracle();
+    benchutil::maybe_audit(bed, "index-fail/repaired", /*churned=*/true);
     auto repair_msgs = bed.network().stats().messages;
     benchutil::record_raw_json("index-fail/fail=" + std::to_string(fail_count) +
                                    "/repl=" + std::to_string(replication) +
@@ -158,6 +162,7 @@ void BM_Churn_IndexFailures(benchmark::State& state) {
     // Without replication, republication is the recovery path.
     bed.network().reset_stats();
     bed.overlay().republish_all(0);
+    benchutil::maybe_audit(bed, "index-fail/republished", /*churned=*/true);
     state.counters["republish_msgs"] =
         static_cast<double>(bed.network().stats().messages);
     benchutil::record_raw_json("index-fail/fail=" + std::to_string(fail_count) +
@@ -187,8 +192,10 @@ void BM_Churn_IndexJoinSliceCost(benchmark::State& state) {
     workload::TestbedConfig cfg = base_config(1);
     cfg.foaf.persons = persons;
     workload::Testbed bed(cfg);
+    benchutil::maybe_audit(bed, "join-slice/setup");
     bed.network().reset_stats();
     bed.overlay().add_index_node(0);
+    benchutil::maybe_audit(bed, "join-slice/joined", /*churned=*/true);
     auto idx = static_cast<std::size_t>(net::Category::kIndex);
     state.counters["slice_bytes"] =
         static_cast<double>(bed.network().stats().bytes_by[idx]);

@@ -45,6 +45,7 @@ void run_conjunction(benchmark::State& state, const char* query,
   const auto persons = static_cast<std::size_t>(state.range(0));
   const double overlap = static_cast<double>(state.range(1)) / 100.0;
   workload::Testbed bed = make_bed(persons, overlap);
+  benchutil::maybe_audit(bed, "conjunction/setup");
   dqp::ExecutionPolicy policy;
   policy.frequency_join_order = freq_order;
   policy.overlap_aware_sites = overlap_aware;
@@ -92,6 +93,7 @@ void BM_Conjunction_BasicIndexNodeJoin(benchmark::State& state) {
   // index node, solutions forwarded between index nodes (N4 -> N15 -> N1).
   workload::Testbed bed = make_bed(static_cast<std::size_t>(state.range(0)),
                                    0.2);
+  benchutil::maybe_audit(bed, "conjunction/order-setup");
   dqp::ExecutionPolicy policy;
   policy.primitive = optimizer::PrimitiveStrategy::kBasic;
   policy.frequency_join_order = false;

@@ -51,6 +51,7 @@ std::string query_with_selectivity(int selectivity_pct) {
 void run_filter(benchmark::State& state, bool push) {
   const int selectivity = static_cast<int>(state.range(0));
   workload::Testbed bed = make_bed();
+  benchutil::maybe_audit(bed, "filter/setup");
   dqp::ExecutionPolicy policy;
   policy.push_filters = push;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
@@ -88,6 +89,7 @@ void BM_Filter_RegexPushdown(benchmark::State& state) {
   cfg.storage_nodes = 8;
   cfg.foaf.persons = 600;
   workload::Testbed bed(cfg);
+  benchutil::maybe_audit(bed, "filter/regex-setup");
   dqp::ExecutionPolicy policy;
   policy.push_filters = state.range(0) != 0;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);

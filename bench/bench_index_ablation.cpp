@@ -74,6 +74,7 @@ void BM_IndexAblation_PairPatternQuery(benchmark::State& state) {
   const bool pair_keys = state.range(0) != 0;
   const auto persons = static_cast<std::size_t>(state.range(1));
   workload::Testbed bed = make_bed(pair_keys, persons);
+  benchutil::maybe_audit(bed, "index-ablation/po-setup");
   dqp::DistributedQueryProcessor proc(bed.overlay());
   // (?x, knowsNothingAbout, p0): a PO-shaped pattern whose object (the
   // most popular person) is shared with the far bulkier foaf:knows edges.
@@ -106,6 +107,7 @@ BENCHMARK(BM_IndexAblation_PairPatternQuery)
 void BM_IndexAblation_SpPatternQuery(benchmark::State& state) {
   const bool pair_keys = state.range(0) != 0;
   workload::Testbed bed = make_bed(pair_keys, 800);
+  benchutil::maybe_audit(bed, "index-ablation/sp-setup");
   dqp::DistributedQueryProcessor proc(bed.overlay());
   // (p3, knows, ?o): an SP-shaped pattern; the three-key mode falls back
   // to the S row (all of p3's triples — a mild over-approximation).

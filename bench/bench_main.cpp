@@ -1,0 +1,26 @@
+// Custom benchmark entry point: understands `--audit` (run the invariant
+// auditor over every benchmark system; corruption aborts the run) before
+// handing the remaining flags to Google Benchmark. AHSW_AUDIT=1 in the
+// environment enables auditing too.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--audit") == 0) {
+      ahsw::benchutil::set_audit(true);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

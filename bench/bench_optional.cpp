@@ -63,6 +63,7 @@ void run_policy(benchmark::State& state, JoinSitePolicy policy_kind,
   const int left = static_cast<int>(state.range(0));
   const int right = static_cast<int>(state.range(1));
   workload::Testbed bed = make_bed(left, right);
+  benchutil::maybe_audit(bed, "optional/setup");
   // Give a fixed node extra capacity so third-site has a distinguished
   // choice.
   bed.overlay().storage_state(bed.storage_addrs()[7]).capacity = 10.0;

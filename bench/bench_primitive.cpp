@@ -58,6 +58,7 @@ void run_strategy(benchmark::State& state, PrimitiveStrategy strategy) {
   const int providers = static_cast<int>(state.range(0));
   const double skew = static_cast<double>(state.range(1)) / 10.0;
   workload::Testbed bed = make_bed(providers, skew);
+  benchutil::maybe_audit(bed, "primitive/setup");
   dqp::ExecutionPolicy policy;
   policy.primitive = strategy;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
@@ -113,6 +114,7 @@ void BM_Primitive_Broadcast(benchmark::State& state) {
   cfg.storage_nodes = static_cast<std::size_t>(nodes);
   cfg.foaf.persons = 100;
   workload::Testbed bed(cfg);
+  benchutil::maybe_audit(bed, "primitive/broadcast-setup");
   dqp::DistributedQueryProcessor proc(bed.overlay());
   obs::QueryTrace trace;
   proc.set_trace(&trace);

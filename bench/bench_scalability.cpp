@@ -22,6 +22,7 @@ void run_mix(benchmark::State& state, std::size_t index_nodes,
   cfg.partition.seed = 102;
   cfg.partition.overlap = 0.15;
   workload::Testbed bed(cfg);
+  benchutil::maybe_audit(bed, "scalability/setup");
   dqp::DistributedQueryProcessor proc(bed.overlay());
 
   workload::QueryMixConfig mix;

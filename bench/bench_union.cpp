@@ -61,6 +61,7 @@ void run_union(benchmark::State& state, bool overlap_aware) {
   const int per_branch = static_cast<int>(state.range(0));
   const int shared = static_cast<int>(state.range(1));
   workload::Testbed bed = make_bed(per_branch, shared);
+  benchutil::maybe_audit(bed, "union/setup");
   dqp::ExecutionPolicy policy;
   policy.overlap_aware_sites = overlap_aware;
   dqp::DistributedQueryProcessor proc(bed.overlay(), policy);

@@ -9,14 +9,45 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
 #include <string>
 
+#include "check/audit.hpp"
 #include "dqp/processor.hpp"
 #include "obs/json.hpp"
 #include "workload/queries.hpp"
 #include "workload/testbed.hpp"
 
 namespace ahsw::benchutil {
+
+/// Process-wide audit switch: on when bench_main saw `--audit` or the
+/// AHSW_AUDIT environment variable asks for audits.
+inline bool& audit_flag() {
+  static bool flag = check::audit_enabled();
+  return flag;
+}
+inline void set_audit(bool on) { audit_flag() = on; }
+
+/// Run the invariant auditor over a benchmark system when auditing is on.
+/// Corruption aborts the process: a benchmark series must never publish
+/// numbers measured against a corrupted system.
+inline void maybe_audit(const overlay::HybridOverlay& overlay,
+                        const std::string& where, bool churned = false) {
+  if (!audit_flag()) return;
+  check::AuditOptions opt;
+  opt.churned = churned;
+  check::AuditReport rep = check::audit(overlay, opt);
+  if (!rep.clean()) {
+    std::cerr << "[audit] corruption at " << where << ":\n"
+              << rep.to_string() << "\n";
+    std::exit(1);
+  }
+}
+inline void maybe_audit(workload::Testbed& bed, const std::string& where,
+                        bool churned = false) {
+  maybe_audit(bed.overlay(), where, churned);
+}
 
 /// Publish one execution report's metrics as benchmark counters.
 inline void report_counters(benchmark::State& state,

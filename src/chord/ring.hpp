@@ -145,6 +145,10 @@ class Ring {
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] bool contains(Key id) const { return nodes_.count(id) > 0; }
   [[nodiscard]] const NodeState& state(Key id) const { return nodes_.at(id); }
+  /// Mutable ground-truth state: a fault-injection hook for tests and the
+  /// invariant auditor's seeded-corruption suite (tests/check). Production
+  /// code routes every mutation through join/leave/fail/repair.
+  [[nodiscard]] NodeState& mutable_state(Key id) { return nodes_.at(id); }
   [[nodiscard]] const std::map<Key, NodeState>& nodes() const noexcept {
     return nodes_;
   }

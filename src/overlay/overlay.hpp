@@ -151,6 +151,12 @@ class HybridOverlay {
       const noexcept {
     return index_;
   }
+  /// Mutable index-node state: a fault-injection hook for the invariant
+  /// auditor's seeded-corruption tests (tests/check). Production code
+  /// routes every mutation through publish/retract/transfer/repair.
+  [[nodiscard]] IndexNodeState& index_state(chord::Key id) {
+    return index_.at(id);
+  }
   [[nodiscard]] const std::map<net::NodeAddress, StorageNodeState>&
   storage_nodes() const noexcept {
     return storage_;
@@ -162,6 +168,7 @@ class HybridOverlay {
   [[nodiscard]] std::vector<net::NodeAddress> live_storage_addresses() const;
 
   [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  [[nodiscard]] const net::Network& network() const noexcept { return *net_; }
   [[nodiscard]] chord::Ring& ring() noexcept { return ring_; }
   [[nodiscard]] const chord::Ring& ring() const noexcept { return ring_; }
   [[nodiscard]] const OverlayConfig& config() const noexcept {

@@ -4,13 +4,13 @@ namespace ahsw::sparql {
 
 namespace {
 
-AlgebraPtr node(AlgebraKind k) {
+// Nodes are built mutable and only become const (AlgebraPtr) when handed
+// out, so construction never casts constness away.
+std::shared_ptr<Algebra> node(AlgebraKind k) {
   auto a = std::make_shared<Algebra>();
   a->kind = k;
   return a;
 }
-
-Algebra& mut(const AlgebraPtr& p) { return const_cast<Algebra&>(*p); }
 
 [[nodiscard]] bool is_empty_bgp(const AlgebraPtr& a) {
   return a != nullptr && a->kind == AlgebraKind::kBgp && a->bgp.empty();
@@ -40,8 +40,8 @@ AlgebraPtr Algebra::make_bgp(std::vector<rdf::TriplePattern> patterns) {
 }
 
 AlgebraPtr Algebra::make_bgp2(std::vector<BgpPattern> patterns) {
-  AlgebraPtr a = node(AlgebraKind::kBgp);
-  mut(a).bgp = std::move(patterns);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kBgp);
+  a->bgp = std::move(patterns);
   return a;
 }
 
@@ -56,70 +56,70 @@ AlgebraPtr Algebra::make_join(AlgebraPtr l, AlgebraPtr r) {
     merged.insert(merged.end(), r->bgp.begin(), r->bgp.end());
     return make_bgp2(std::move(merged));
   }
-  AlgebraPtr a = node(AlgebraKind::kJoin);
-  mut(a).left = std::move(l);
-  mut(a).right = std::move(r);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kJoin);
+  a->left = std::move(l);
+  a->right = std::move(r);
   return a;
 }
 
 AlgebraPtr Algebra::make_left_join(AlgebraPtr l, AlgebraPtr r,
                                    ExprPtr condition) {
-  AlgebraPtr a = node(AlgebraKind::kLeftJoin);
-  mut(a).left = std::move(l);
-  mut(a).right = std::move(r);
-  mut(a).expr = std::move(condition);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kLeftJoin);
+  a->left = std::move(l);
+  a->right = std::move(r);
+  a->expr = std::move(condition);
   return a;
 }
 
 AlgebraPtr Algebra::make_union(AlgebraPtr l, AlgebraPtr r) {
-  AlgebraPtr a = node(AlgebraKind::kUnion);
-  mut(a).left = std::move(l);
-  mut(a).right = std::move(r);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kUnion);
+  a->left = std::move(l);
+  a->right = std::move(r);
   return a;
 }
 
 AlgebraPtr Algebra::make_filter(ExprPtr condition, AlgebraPtr inner) {
-  AlgebraPtr a = node(AlgebraKind::kFilter);
-  mut(a).expr = std::move(condition);
-  mut(a).left = std::move(inner);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kFilter);
+  a->expr = std::move(condition);
+  a->left = std::move(inner);
   return a;
 }
 
 AlgebraPtr Algebra::make_project(std::vector<std::string> vars,
                                  AlgebraPtr inner) {
-  AlgebraPtr a = node(AlgebraKind::kProject);
-  mut(a).vars = std::move(vars);
-  mut(a).left = std::move(inner);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kProject);
+  a->vars = std::move(vars);
+  a->left = std::move(inner);
   return a;
 }
 
 AlgebraPtr Algebra::make_distinct(AlgebraPtr inner) {
-  AlgebraPtr a = node(AlgebraKind::kDistinct);
-  mut(a).left = std::move(inner);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kDistinct);
+  a->left = std::move(inner);
   return a;
 }
 
 AlgebraPtr Algebra::make_reduced(AlgebraPtr inner) {
-  AlgebraPtr a = node(AlgebraKind::kReduced);
-  mut(a).left = std::move(inner);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kReduced);
+  a->left = std::move(inner);
   return a;
 }
 
 AlgebraPtr Algebra::make_order_by(std::vector<OrderCondition> order,
                                   AlgebraPtr inner) {
-  AlgebraPtr a = node(AlgebraKind::kOrderBy);
-  mut(a).order = std::move(order);
-  mut(a).left = std::move(inner);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kOrderBy);
+  a->order = std::move(order);
+  a->left = std::move(inner);
   return a;
 }
 
 AlgebraPtr Algebra::make_slice(std::uint64_t offset,
                                std::optional<std::uint64_t> limit,
                                AlgebraPtr inner) {
-  AlgebraPtr a = node(AlgebraKind::kSlice);
-  mut(a).offset = offset;
-  mut(a).limit = limit;
-  mut(a).left = std::move(inner);
+  std::shared_ptr<Algebra> a = node(AlgebraKind::kSlice);
+  a->offset = offset;
+  a->limit = limit;
+  a->left = std::move(inner);
   return a;
 }
 

@@ -5,6 +5,7 @@
 // ring "eventually recovers" from arbitrary membership change.
 #include <gtest/gtest.h>
 
+#include "check/audit.hpp"
 #include "chord/ring.hpp"
 #include "common/rng.hpp"
 
@@ -12,6 +13,19 @@ namespace ahsw::chord {
 namespace {
 
 class ChurnStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// AHSW_AUDIT=1 hook: run the invariant auditor over the ring and assert
+/// nothing corrupt surfaced. `churned` selects the lenient severity model
+/// for audits taken while membership events are still unrepaired.
+void maybe_audit(const Ring& ring, const net::Network& net, bool churned,
+                 const char* where) {
+  if (!check::audit_enabled()) return;
+  check::AuditOptions opt;
+  opt.churned = churned;
+  check::AuditReport rep;
+  check::audit_ring(ring, net, rep, opt);
+  ASSERT_TRUE(rep.clean()) << where << "\n" << rep.to_string();
+}
 
 TEST_P(ChurnStress, RingStaysConsistentUnderRandomChurn) {
   net::Network network;
@@ -43,10 +57,12 @@ TEST_P(ChurnStress, RingStaysConsistentUnderRandomChurn) {
         Key id = fresh_id();
         ring.join(network.allocate_address(), id, live.front(), 0);
         live.push_back(id);
+        maybe_audit(ring, network, /*churned=*/true, "after join");
       } else if (u < 0.7) {
         std::size_t victim = 1 + rng.below(live.size() - 1);
         ring.leave(live[victim], 0);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        maybe_audit(ring, network, /*churned=*/true, "after leave");
       } else if (failures_this_batch < 3) {
         // Cap concurrent crashes below the successor-list length so the
         // ring is guaranteed repairable.
@@ -54,10 +70,14 @@ TEST_P(ChurnStress, RingStaysConsistentUnderRandomChurn) {
         ring.fail(live[victim]);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
         ++failures_this_batch;
+        maybe_audit(ring, network, /*churned=*/true, "after fail");
       }
     }
     ring.repair(0);
     ring.stabilize_all(0);
+    // Repair + stabilization settles pointers again, so the strict
+    // severity model applies: any remaining drift would be corrupt.
+    maybe_audit(ring, network, /*churned=*/false, "after batch repair");
     // fix_fingers for a few random nodes (incremental maintenance, as the
     // protocol would do over time); oracle for the rest every few batches
     // to model convergence.

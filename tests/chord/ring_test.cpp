@@ -225,9 +225,8 @@ TEST(Ring, FixFingersConvergesToOracle) {
   Key node = ids[5];
   {
     // Point all fingers at the immediate successor: valid but slow.
-    const NodeState& st = f.ring.state(node);
-    Key succ = st.successors.front();
-    const_cast<NodeState&>(st).fingers.assign(st.fingers.size(), succ);
+    NodeState& st = f.ring.mutable_state(node);
+    st.fingers.assign(st.fingers.size(), st.successors.front());
   }
   f.ring.fix_fingers(node, 0);
   const NodeState& st = f.ring.state(node);

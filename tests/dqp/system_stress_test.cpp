@@ -6,6 +6,7 @@
 // working.
 #include <gtest/gtest.h>
 
+#include "check/audit.hpp"
 #include "dqp_test_util.hpp"
 #include "workload/generators.hpp"
 #include "workload/queries.hpp"
@@ -45,18 +46,43 @@ TEST_P(SystemStress, QueriesStayOracleCorrectThroughChurn) {
   std::vector<std::string> queries =
       workload::generate_query_mix(24, cfg.foaf, mix);
 
+  // AHSW_AUDIT=1: trace every query and check the I5 conservation invariant
+  // (span self-counters must sum exactly to the query's traffic delta).
+  obs::QueryTrace trace;
+  if (check::audit_enabled()) proc.set_trace(&trace);
+
   auto check = [&](const std::string& q) {
     net::NodeAddress initiator = storages[rng.below(storages.size())];
     while (bed.network().is_failed(initiator)) {
       initiator = storages[rng.below(storages.size())];
     }
     sparql::Query parsed = sparql::parse_query(q);
+    trace.clear();
+    net::TrafficStats before = bed.network().stats();
     sparql::QueryResult dist = proc.execute(parsed, initiator, nullptr);
+    if (check::audit_enabled()) {
+      net::TrafficStats delta = bed.network().stats().delta_since(before);
+      check::AuditReport rep;
+      check::audit_conservation(trace, delta, rep);
+      ASSERT_TRUE(rep.clean()) << q << "\n" << rep.to_string();
+    }
     sparql::QueryResult oracle =
         sparql::execute_local(parsed, bed.overlay().merged_store());
     ASSERT_EQ(canon(dist.solutions).rows(), canon(oracle.solutions).rows())
         << q;
   };
+
+  // AHSW_AUDIT=1: full-overlay audit after every mutation phase. The system
+  // is mid-churn (stale provider pointers, replica drift), so the lenient
+  // severity model applies — but nothing may ever be corrupt.
+  auto audit_overlay_state = [&](int phase) {
+    if (!check::audit_enabled()) return;
+    check::AuditOptions opt;
+    opt.churned = true;
+    check::AuditReport rep = check::audit(bed.overlay(), opt);
+    ASSERT_TRUE(rep.clean()) << "phase " << phase << "\n" << rep.to_string();
+  };
+  audit_overlay_state(-1);  // freshly built system
 
   std::size_t next_query = 0;
   std::size_t extra_cursor = 0;
@@ -122,6 +148,8 @@ TEST_P(SystemStress, QueriesStayOracleCorrectThroughChurn) {
         break;
       }
     }
+
+    audit_overlay_state(phase);
 
     // -- queries must still match the live oracle -------------------------
     for (int q = 0; q < 3; ++q) {

@@ -17,12 +17,14 @@
 //   explain                      span tree of the last query, with costs
 //   fail-storage <addr>          crash a device
 //   fail-index                   crash one index node, then repair
+//   audit                        run the invariant auditor (I1-I5)
 //   stats                        system summary
 //   quit
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "check/audit.hpp"
 #include "dqp/processor.hpp"
 #include "obs/explain.hpp"
 #include "obs/trace.hpp"
@@ -42,10 +44,16 @@ struct Shell {
   dqp::ExecutionPolicy policy;
   obs::QueryTrace trace;
   bool have_query = false;
+  /// Injected failures since the last settled state: the auditor's lenient
+  /// severity model applies (stale drift expected, corruption never).
+  bool churned = false;
+  /// Traffic delta of the last query, for the I5 conservation audit.
+  net::TrafficStats last_query_delta;
 
   void make_system(std::size_t index_nodes, std::size_t storage_nodes) {
     trace.unbind();  // the old network is about to be destroyed
     have_query = false;
+    churned = false;
     network = std::make_unique<net::Network>();
     overlay::OverlayConfig cfg;
     cfg.replication_factor = 2;
@@ -74,7 +82,9 @@ struct Shell {
     dqp::ExecutionReport rep;
     try {
       trace.clear();
+      net::TrafficStats before = network->stats();
       sparql::QueryResult result = processor->execute(text, from, &rep);
+      last_query_delta = network->stats().delta_since(before);
       have_query = true;
       std::cout << sparql::to_table(result);
       std::cout << "-- " << rep.traffic.messages << " msgs, "
@@ -85,6 +95,21 @@ struct Shell {
                 << "\n";
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
+    }
+  }
+
+  void audit() {
+    check::AuditOptions opt;
+    opt.churned = churned;
+    check::AuditReport rep = check::audit(*overlay, opt);
+    if (have_query) {
+      // I5 over the last query: its spans are still in the trace.
+      check::audit_conservation(trace, last_query_delta, rep, opt);
+    }
+    std::cout << rep.to_string() << "\n";
+    if (churned && rep.stale > 0) {
+      std::cout << "(stale entries are expected after injected failures; "
+                   "they repair lazily)\n";
     }
   }
 };
@@ -102,7 +127,7 @@ int run(std::istream& in, bool interactive) {
         // comment / blank
       } else if (cmd == "help") {
         std::cout << "commands: system device load put drop policy query "
-                     "explain fail-storage fail-index stats quit\n";
+                     "explain fail-storage fail-index audit stats quit\n";
       } else if (cmd == "system") {
         std::size_t ix = 4, st = 4;
         ss >> ix >> st;
@@ -198,6 +223,7 @@ int run(std::istream& in, bool interactive) {
         ss >> addr;
         if (shell.ready()) {
           shell.overlay->storage_node_fail(addr);
+          shell.churned = true;
           std::cout << "ok\n";
         }
       } else if (cmd == "fail-index") {
@@ -206,8 +232,11 @@ int run(std::istream& in, bool interactive) {
           shell.overlay->index_node_fail(victim);
           shell.overlay->repair(0);
           shell.overlay->ring().fix_all_fingers_oracle();
+          shell.churned = true;
           std::cout << "index node " << victim << " failed and repaired\n";
         }
+      } else if (cmd == "audit") {
+        if (shell.ready()) shell.audit();
       } else if (cmd == "stats") {
         if (shell.ready()) {
           std::size_t entries = 0;

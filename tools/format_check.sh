@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: clang-format --dry-run over every C++ source,
+# against the repo .clang-format. Never rewrites files. Skips with a notice
+# when clang-format is missing, unless AHSW_STATIC_STRICT=1 (CI).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  if [ "${AHSW_STATIC_STRICT:-0}" = "1" ]; then
+    echo "error: clang-format not found and AHSW_STATIC_STRICT=1" >&2
+    exit 1
+  fi
+  echo "note: clang-format not found; skipping (set AHSW_STATIC_STRICT=1 to fail)"
+  exit 0
+fi
+
+mapfile -t sources < <(find src tests bench tools -name '*.cpp' -o -name '*.hpp' | sort)
+echo "== clang-format --dry-run (${#sources[@]} files) =="
+clang-format --dry-run -Werror "${sources[@]}"

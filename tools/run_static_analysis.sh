@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy (profile in .clang-tidy) and cppcheck over
+# the library sources, driven by a compile_commands.json exported into
+# build-analysis/. The dynamic counterpart of this gate is the invariant
+# auditor (src/check/, AHSW_AUDIT=1); see docs/static_analysis.md.
+#
+# Exit codes: non-zero on any finding. When a tool is not installed the step
+# is skipped with a notice — unless AHSW_STATIC_STRICT=1 (set in CI), in
+# which case a missing tool is itself a failure.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+strict="${AHSW_STATIC_STRICT:-0}"
+status=0
+
+missing_tool() {
+  if [ "${strict}" = "1" ]; then
+    echo "error: $1 not found and AHSW_STATIC_STRICT=1" >&2
+    status=1
+  else
+    echo "note: $1 not found; skipping (set AHSW_STATIC_STRICT=1 to fail)"
+  fi
+}
+
+# Sources under analysis: the libraries plus the tools that link them.
+# Tests and benches are intentionally out of scope for cppcheck/tidy — GTest
+# and Google Benchmark macros trip too many style checks to be useful.
+mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+
+build_dir=build-analysis
+if command -v clang-tidy >/dev/null 2>&1 || command -v cppcheck >/dev/null 2>&1; then
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 1
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (${#sources[@]} files) =="
+  if ! clang-tidy -p "${build_dir}" --quiet "${sources[@]}"; then
+    status=1
+  fi
+else
+  missing_tool clang-tidy
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+  echo "== cppcheck =="
+  if ! cppcheck --project="${build_dir}/compile_commands.json" \
+      --enable=warning,performance,portability \
+      --suppress='*:/usr/*' \
+      --inline-suppr --quiet --error-exitcode=1; then
+    status=1
+  fi
+else
+  missing_tool cppcheck
+fi
+
+exit "${status}"
