@@ -1,0 +1,153 @@
+// E14 — concurrent multi-query throughput through the DAG engine's shared
+// event scheduler: N initiators issue a mixed workload simultaneously and
+// the batch makespan is compared against running the same queries serially.
+//
+// Expected shape: with no per-node contention the makespan equals the
+// slowest single query (perfect overlap), so speedup approaches N for a
+// balanced mix; a non-zero service time shifts queueing delay onto queries
+// whose work collides on a node, degrading speedup gracefully. Traffic is
+// identical in all variants — concurrency costs time, never bytes.
+#include <numeric>
+#include <string>
+
+#include "bench_util.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+workload::TestbedConfig make_config() {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 8;
+  cfg.foaf.persons = 120;
+  cfg.foaf.seed = 91;
+  cfg.partition.overlap = 0.25;
+  cfg.partition.seed = 92;
+  cfg.overlay.seed = 93;
+  return cfg;
+}
+
+constexpr std::string_view kPrologue =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n";
+
+/// The batch: `n` queries cycling through the plan classes, one initiator
+/// per storage node (round-robin).
+std::vector<std::string> make_queries(int n) {
+  const char* bodies[] = {
+      "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }",
+      "SELECT ?x ?n ?o WHERE { ?x foaf:name ?n . ?x foaf:knows ?o . }",
+      "SELECT ?x ?y ?n WHERE { ?x foaf:knows ?y . "
+      "OPTIONAL { ?y foaf:nick ?n . } }",
+      "SELECT ?x WHERE { { ?x foaf:nick ?n . } UNION "
+      "{ ?x foaf:mbox ?m . } }",
+      "SELECT ?x ?n WHERE { ?x foaf:name ?n . FILTER regex(?n, \"a\") }",
+      "ASK { ?x foaf:knows ?y . }",
+      "SELECT ?o WHERE { <http://example.org/people/p1> foaf:knows ?o . }",
+      "SELECT DISTINCT ?n WHERE { ?x foaf:name ?n . } ORDER BY ?n LIMIT 5",
+  };
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(std::string(kPrologue) +
+                  bodies[static_cast<std::size_t>(i) % std::size(bodies)]);
+  }
+  return out;
+}
+
+std::vector<net::NodeAddress> make_initiators(const workload::Testbed& bed,
+                                              std::size_t n) {
+  std::vector<net::NodeAddress> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(bed.storage_addrs()[i % bed.storage_addrs().size()]);
+  }
+  return out;
+}
+
+/// Serial baseline: the same queries one at a time on a fresh identical
+/// testbed; returns the sum of their response times.
+net::SimTime serial_sum(const std::vector<std::string>& queries) {
+  workload::Testbed bed(make_config());
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  net::SimTime sum = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    dqp::ExecutionReport rep;
+    (void)proc.execute(queries[i],
+                       bed.storage_addrs()[i % bed.storage_addrs().size()],
+                       &rep);
+    sum += rep.response_time;
+  }
+  return sum;
+}
+
+/// Under --audit, check I5 conservation of the interleaved trace against
+/// the batch-wide network delta AND exact per-query attribution (the
+/// per-query traffic reports must sum to the delta, nothing lost, nothing
+/// double-charged). Corruption aborts: see benchutil::maybe_audit.
+void audit_batch(const obs::QueryTrace& trace, const net::TrafficStats& delta,
+                 const dqp::BatchResult& r) {
+  if (!benchutil::audit_flag()) return;
+  check::AuditReport rep;
+  check::audit_conservation(trace, delta, rep);
+  net::TrafficStats sum;
+  for (const dqp::ExecutionReport& q : r.reports) {
+    sum.messages += q.traffic.messages;
+    sum.bytes += q.traffic.bytes;
+    sum.timeouts += q.traffic.timeouts;
+  }
+  bool attributed = sum.messages == delta.messages &&
+                    sum.bytes == delta.bytes && sum.timeouts == delta.timeouts;
+  if (!rep.pristine() || !attributed) {
+    std::cerr << "[audit] batch conservation violated:\n"
+              << rep.to_string() << "\nattributed msgs=" << sum.messages
+              << "/" << delta.messages << " bytes=" << sum.bytes << "/"
+              << delta.bytes << "\n";
+    std::exit(1);
+  }
+}
+
+// Args: {N initiators, service_ms*10}.
+void BM_Throughput_Batch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double service_ms = static_cast<double>(state.range(1)) / 10.0;
+  std::vector<std::string> queries = make_queries(n);
+  const net::SimTime serial = serial_sum(queries);
+
+  workload::Testbed bed(make_config());
+  benchutil::maybe_audit(bed, "throughput/setup");
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  obs::QueryTrace trace;
+  proc.set_trace(&trace);
+  dqp::BatchOptions opts;
+  opts.service.service_ms = service_ms;
+
+  char svc[16];
+  std::snprintf(svc, sizeof svc, "%.1f", service_ms);
+  std::string name = "batch/n=" + std::to_string(n) + "/service_ms=" + svc;
+
+  for (auto _ : state) {
+    trace.clear();
+    const net::TrafficStats before = bed.network().stats();
+    dqp::BatchResult r =
+        proc.execute_batch(queries, make_initiators(bed, queries.size()), opts);
+    audit_batch(trace, bed.network().stats().delta_since(before), r);
+
+    state.counters["makespan_ms"] = r.makespan;
+    state.counters["serial_ms"] = serial;
+    state.counters["speedup"] = serial / r.makespan;
+    benchutil::record_mean_json(state, name, r.reports, &trace);
+  }
+  benchutil::maybe_audit(bed, "throughput/done");
+}
+
+BENCHMARK(BM_Throughput_Batch)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({8, 10})
+    ->Args({8, 40})
+    ->Args({16, 10})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

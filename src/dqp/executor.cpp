@@ -1,0 +1,823 @@
+#include "dqp/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "obs/explain.hpp"
+#include "sparql/ast.hpp"
+
+namespace ahsw::dqp {
+
+using optimizer::JoinSitePolicy;
+using optimizer::PrimitiveStrategy;
+using sparql::Binding;
+using sparql::SolutionSet;
+
+namespace {
+
+[[nodiscard]] std::string_view form_name(sparql::QueryForm f) {
+  switch (f) {
+    case sparql::QueryForm::kSelect: return "SELECT";
+    case sparql::QueryForm::kConstruct: return "CONSTRUCT";
+    case sparql::QueryForm::kAsk: return "ASK";
+    case sparql::QueryForm::kDescribe: return "DESCRIBE";
+  }
+  return "?";
+}
+
+/// Move `end` to the back of `chain` if present (chains may be asked to
+/// finish at an overlap node; relative order of the rest is preserved).
+void rotate_end_to_back(std::vector<overlay::Provider>& chain,
+                        net::NodeAddress end) {
+  auto it = std::find_if(
+      chain.begin(), chain.end(),
+      [&](const overlay::Provider& p) { return p.address == end; });
+  if (it == chain.end()) return;
+  overlay::Provider saved = *it;
+  chain.erase(it);
+  chain.push_back(saved);
+}
+
+void accumulate(net::TrafficStats& into, const net::TrafficStats& delta) {
+  into.messages += delta.messages;
+  into.bytes += delta.bytes;
+  into.timeouts += delta.timeouts;
+  for (int c = 0; c < net::kCategoryCount; ++c) {
+    into.messages_by[c] += delta.messages_by[c];
+    into.bytes_by[c] += delta.bytes_by[c];
+    into.timeouts_by[c] += delta.timeouts_by[c];
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Legacy-identical primitives.
+
+overlay::HybridOverlay::Located DagExecutor::locate(
+    const rdf::TriplePattern& p, net::NodeAddress initiator, net::SimTime now,
+    ExecutionReport& rep) {
+  overlay::HybridOverlay::Located loc = overlay_->locate(initiator, p, now);
+  ++rep.index_lookups;
+  rep.ring_hops += loc.hops;
+  if (!loc.ok) rep.complete = false;
+  return loc;
+}
+
+DagExecutor::Located DagExecutor::ship(Located from, net::NodeAddress target,
+                                       net::Category category) {
+  if (from.site == target) return from;
+  from.ready_at = net().send(from.site, target, from.set.byte_size(),
+                             from.ready_at, category);
+  from.site = target;
+  return from;
+}
+
+std::optional<SolutionSet> DagExecutor::run_at_provider(
+    net::NodeAddress provider, const sparql::BgpPattern& p, net::SimTime& now,
+    net::NodeAddress initiator, ExecutionReport& rep) {
+  if (net().is_failed(provider)) {
+    now = net().timeout(now, provider, net::Category::kQuery);
+    ++rep.dead_providers_skipped;
+    overlay_->report_dead_provider(initiator, p.pattern, provider, now);
+    return std::nullopt;
+  }
+  ++rep.providers_contacted;
+  sparql::LocalEngine engine(overlay_->store_of(provider));
+  return engine.match_pattern(p);
+}
+
+std::pair<DagExecutor::Located, DagExecutor::Located> DagExecutor::colocate(
+    Located a, Located b, net::NodeAddress initiator, ExecutionReport& rep) {
+  std::vector<optimizer::SiteCandidate> candidates;
+  if (policy_.join_site == JoinSitePolicy::kThirdSite) {
+    for (net::NodeAddress addr : overlay_->live_storage_addresses()) {
+      candidates.push_back(optimizer::SiteCandidate{
+          addr, overlay_->storage_state(addr).capacity});
+    }
+  }
+  net::NodeAddress site = optimizer::choose_join_site(
+      policy_.join_site,
+      optimizer::LocatedOperand{a.site, a.set.byte_size()},
+      optimizer::LocatedOperand{b.site, b.set.byte_size()}, initiator,
+      candidates);
+  rep.plan_notes.push_back(
+      std::string("join-site: ") +
+      std::string(optimizer::join_site_policy_name(policy_.join_site)) +
+      " -> node " + std::to_string(site));
+  obs::SpanScope span(trace_, obs::SpanKind::kJoinSite,
+                      "node " + std::to_string(site),
+                      std::min(a.ready_at, b.ready_at), site);
+  Located ca = ship(std::move(a), site, net::Category::kData);
+  Located cb = ship(std::move(b), site, net::Category::kData);
+  span.finish(std::max(ca.ready_at, cb.ready_at));
+  return {std::move(ca), std::move(cb)};
+}
+
+net::SimTime DagExecutor::claim(net::NodeAddress node, std::uint32_t qid,
+                                net::SimTime at) {
+  if (opts_.service.service_ms <= 0) return at;
+  auto& [busy_until, last] = busy_[node];
+  // Only *cross-query* overlap queues: a query never waits on its own work
+  // (the legacy engine models one query's parallelism as free).
+  if (last != 0 && last != qid + 1 && busy_until > at) at = busy_until;
+  busy_until = std::max(busy_until, at + opts_.service.service_ms);
+  last = qid + 1;
+  return at;
+}
+
+// ---------------------------------------------------------------------------
+// Setup.
+
+DagExecutor::TaskId DagExecutor::add_task(QueryRun& run, Task t) {
+  TaskId id = static_cast<TaskId>(run.tasks.size());
+  t.pending = 0;
+  for (TaskId d : t.deps) {
+    if (!run.tasks[d].done) ++t.pending;
+  }
+  run.tasks.push_back(std::move(t));
+  for (TaskId d : run.tasks[id].deps) run.tasks[d].dependents.push_back(id);
+  if (run.tasks[id].pending == 0) schedule(run, id);
+  return id;
+}
+
+void DagExecutor::schedule(QueryRun& run, TaskId id) {
+  Task& t = run.tasks[id];
+  net::SimTime at = t.base;
+  for (TaskId d : t.deps) at = std::max(at, run.tasks[d].finish);
+  queue_.push(net::ReadyEvent{at, run.qid, id});
+}
+
+void DagExecutor::complete(QueryRun& run, TaskId id, net::SimTime finish) {
+  Task& t = run.tasks[id];
+  assert(!t.done && "task completed twice");
+  t.done = true;
+  t.finish = finish;
+  for (TaskId d : t.dependents) {
+    Task& dep = run.tasks[d];
+    assert(dep.pending > 0);
+    if (--dep.pending == 0) schedule(run, d);
+  }
+}
+
+void DagExecutor::setup_query(QueryRun& run) {
+  const sparql::Query& q = run.query;
+
+  obs::SpanId plan_span = obs::kNoSpan;
+  if (trace_ != nullptr) {
+    std::string label = std::string(form_name(q.form));
+    if (opts_.label_query_ids) {
+      label = "q" + std::to_string(run.qid) + " " + label;
+    }
+    run.root_span = trace_->open(obs::SpanKind::kQuery, std::move(label), 0.0,
+                                 run.initiator);
+    plan_span = trace_->open(obs::SpanKind::kPlan,
+                             "transform + global optimization", 0.0,
+                             run.initiator);
+  }
+  sparql::AlgebraPtr pattern = sparql::translate_pattern(q.where);
+  if (policy_.push_filters) pattern = optimizer::push_filters(pattern);
+  if (trace_ != nullptr) {
+    trace_->close(plan_span, 0.0);
+    trace_->close(run.root_span, 0.0);
+  }
+  run.rep.plan_notes.push_back("algebra: " + pattern->to_string());
+  run.plan = compile_physical_plan(*pattern, policy_, q.form);
+
+  // One static task per plan op, in op order (so task id == op id). Control
+  // and preferred-end edges gate firing alongside the data inputs.
+  for (const PhysicalOp& op : run.plan.ops) {
+    Task t;
+    t.op = op.id;
+    t.parent_span = run.root_span;
+    t.deps = op.inputs;
+    for (OpId c : op.control) {
+      if (std::find(t.deps.begin(), t.deps.end(), c) == t.deps.end()) {
+        t.deps.push_back(c);
+      }
+    }
+    if (op.preferred_end_from != kNoOp &&
+        std::find(t.deps.begin(), t.deps.end(), op.preferred_end_from) ==
+            t.deps.end()) {
+      t.deps.push_back(op.preferred_end_from);
+    }
+    switch (op.kind) {
+      case PhysOpKind::kConst: t.kind = TaskKind::kConst; break;
+      case PhysOpKind::kIndexLookup:
+        t.kind = TaskKind::kLookup;
+        t.pattern = op.pattern;
+        break;
+      case PhysOpKind::kProviderScan: t.kind = TaskKind::kScan; break;
+      case PhysOpKind::kChainHop:
+        assert(false && "ChainHop is a dynamic task, never compiled");
+        break;
+      case PhysOpKind::kShip:
+        t.kind = TaskKind::kShip;
+        t.ship_target = run.initiator;
+        t.ship_category = net::Category::kResult;
+        break;
+      case PhysOpKind::kJoin: t.kind = TaskKind::kJoin; break;
+      case PhysOpKind::kLeftJoin: t.kind = TaskKind::kLeftJoin; break;
+      case PhysOpKind::kUnion: t.kind = TaskKind::kUnion; break;
+      case PhysOpKind::kMinus: t.kind = TaskKind::kMinus; break;
+      case PhysOpKind::kFilter: t.kind = TaskKind::kFilter; break;
+      case PhysOpKind::kModifier: t.kind = TaskKind::kModifier; break;
+      case PhysOpKind::kPostProcess: t.kind = TaskKind::kPostProcess; break;
+    }
+    add_task(run, std::move(t));
+  }
+  run.final_task = run.plan.post;
+}
+
+// ---------------------------------------------------------------------------
+// Firing.
+
+void DagExecutor::fire(QueryRun& run, TaskId id) {
+  const net::TrafficStats before = net().stats();
+  const obs::SpanId parent = run.tasks[id].parent_span;
+  if (trace_ != nullptr && parent != obs::kNoSpan) trace_->reopen(parent);
+
+  net::SimTime hint = 0;
+  switch (run.tasks[id].kind) {
+    case TaskKind::kConst: {
+      Task& t = run.tasks[id];
+      t.out.set.add(Binding{});  // the empty BGP has the empty solution
+      t.out.site = run.initiator;
+      t.out.ready_at = t.base;
+      complete(run, id, t.out.ready_at);
+      break;
+    }
+    case TaskKind::kLookup: hint = fire_lookup(run, id); break;
+    case TaskKind::kScan: hint = fire_scan(run, id); break;
+    case TaskKind::kScatterLeg: hint = fire_scatter_leg(run, id); break;
+    case TaskKind::kChainHop: hint = fire_chain_hop(run, id); break;
+    case TaskKind::kShip: hint = fire_ship(run, id); break;
+    case TaskKind::kJoin:
+    case TaskKind::kLeftJoin:
+    case TaskKind::kUnion:
+    case TaskKind::kMinus: hint = fire_binary(run, id); break;
+    case TaskKind::kFilter: hint = fire_filter(run, id); break;
+    case TaskKind::kModifier: hint = fire_modifier(run, id); break;
+    case TaskKind::kPostProcess: hint = fire_post(run, id); break;
+    case TaskKind::kDescribeGather:
+      hint = fire_describe_gather(run, id);
+      break;
+  }
+
+  if (trace_ != nullptr && parent != obs::kNoSpan) trace_->close(parent, hint);
+  accumulate(run.rep.traffic, net().stats().delta_since(before));
+}
+
+net::SimTime DagExecutor::fire_lookup(QueryRun& run, TaskId id) {
+  Task& t = run.tasks[id];
+  t.loc = locate(t.pattern.pattern, run.initiator, t.base, run.rep);
+  complete(run, id, t.loc.completed_at);
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_scan(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  const PhysicalOp* op =
+      task.op != kNoOp ? &run.plan.ops[task.op] : nullptr;
+
+  sparql::BgpPattern pat;
+  overlay::HybridOverlay::Located loc;
+  const Located* carry = nullptr;
+  std::optional<net::NodeAddress> pend;
+
+  if (op == nullptr) {
+    // Dynamic DESCRIBE part: standalone pattern, no pend, no carry.
+    pat = task.pattern;
+    loc = run.tasks[task.deps.front()].loc;
+    if (!loc.ok) {
+      task.out.site = run.initiator;
+      task.out.ready_at = task.base;
+      complete(run, id, task.out.ready_at);
+      return 0;
+    }
+  } else if (op->slot < 0) {
+    // Standalone single-pattern BGP.
+    pat = op->pattern;
+    loc = run.tasks[op->lookup].loc;
+    if (op->preferred_end_from != kNoOp) {
+      pend = run.tasks[op->preferred_end_from].out.site;
+    }
+    if (!loc.ok) {
+      task.out.site = run.initiator;
+      task.out.ready_at = task.base;
+      complete(run, id, task.out.ready_at);
+      return 0;
+    }
+  } else {
+    // One slot of a conjunction (Sect. IV-D).
+    Task& g0 = run.tasks[op->group];
+    const std::vector<OpId>& lookups = run.plan.ops[op->group].group_lookups;
+    if (op->slot == 0) {
+      // Resolve the runtime join order from the lookup frequencies.
+      std::vector<optimizer::PatternStats> stats;
+      stats.reserve(lookups.size());
+      for (OpId l : lookups) {
+        stats.push_back(optimizer::PatternStats{
+            run.tasks[l].pattern.pattern, run.tasks[l].loc.providers});
+      }
+      g0.group = std::make_unique<GroupState>();
+      if (policy_.frequency_join_order) {
+        g0.group->order = optimizer::order_join_patterns(stats);
+      } else {
+        g0.group->order.resize(lookups.size());
+        for (std::size_t i = 0; i < lookups.size(); ++i) {
+          g0.group->order[i] = i;
+        }
+      }
+      std::string note = "join-order:";
+      for (std::size_t i : g0.group->order) {
+        note += " " + run.tasks[lookups[i]].pattern.pattern.to_string();
+      }
+      run.rep.plan_notes.push_back(std::move(note));
+    }
+    const GroupState& g = *g0.group;
+    const std::size_t i = g.order[static_cast<std::size_t>(op->slot)];
+    pat = run.tasks[lookups[i]].pattern;
+    loc = run.tasks[lookups[i]].loc;
+    if (op->slot > 0) {
+      const Task& prev = run.tasks[op->inputs.front()];
+      if (prev.out.set.empty()) {
+        // Legacy `break`: one empty operand empties the whole join; the
+        // remaining slots pass the result through untouched (no traffic).
+        task.out = prev.out;
+        complete(run, id, task.out.ready_at);
+        return 0;
+      }
+      task.carry = prev.out;
+      task.has_carry = true;
+      carry = &task.carry;
+    }
+    if (op->preferred_end_from != kNoOp) {
+      pend = run.tasks[op->preferred_end_from].out.site;
+    }
+    if (policy_.overlap_aware_sites &&
+        op->slot + 1 < static_cast<int>(g.order.size())) {
+      std::vector<net::NodeAddress> shared = optimizer::provider_overlap(
+          loc.providers,
+          run.tasks[lookups[g.order[static_cast<std::size_t>(op->slot) + 1]]]
+              .loc.providers);
+      if (!shared.empty()) pend = shared.front();
+    }
+  }
+
+  // --- exec_pattern, reified (same formulas as the legacy engine). ---
+  const net::SimTime now = loc.completed_at;
+
+  if (loc.providers.empty()) {
+    task.out.site = carry != nullptr ? carry->site : run.initiator;
+    task.out.ready_at =
+        std::max(now, carry != nullptr ? carry->ready_at : now);
+    complete(run, id, task.out.ready_at);
+    return 0;
+  }
+
+  if (trace_ != nullptr) {
+    task.pattern_span = trace_->open(obs::SpanKind::kPattern,
+                                     pat.pattern.to_string(), now,
+                                     run.initiator);
+  }
+
+  PrimitiveStrategy strategy = policy_.primitive;
+  if (policy_.adaptive && !loc.broadcast && loc.providers.size() > 1) {
+    strategy = optimizer::choose_primitive_strategy(
+        loc.providers, net().cost_model(), policy_.objectives);
+    run.rep.plan_notes.push_back(
+        std::string("adaptive: ") + pat.pattern.to_string() + " -> " +
+        std::string(optimizer::primitive_strategy_name(strategy)));
+  }
+
+  task.pattern = pat;
+  const bool scatter_gather =
+      strategy == PrimitiveStrategy::kBasic || loc.broadcast;
+
+  if (scatter_gather) {
+    // Basic strategy (Sect. IV-C): the index node is the assembly site; all
+    // providers evaluate in parallel and ship their mappings to it. A
+    // broadcast (fully unbound) pattern floods from the initiator instead.
+    task.assembly = loc.broadcast ? run.initiator
+                    : overlay_->ring().contains(loc.index_node)
+                        ? overlay_->ring().address_of(loc.index_node)
+                        : run.initiator;
+    task.chain = loc.providers;
+    task.remaining = task.chain.size();
+    task.t = now;
+    task.done_at = now;
+    for (std::size_t k = 0; k < task.chain.size(); ++k) {
+      Task leg;
+      leg.kind = TaskKind::kScatterLeg;
+      leg.scan = id;
+      leg.position = k;
+      leg.base = now;
+      leg.parent_span = run.tasks[id].pattern_span;
+      add_task(run, std::move(leg));
+    }
+    if (trace_ != nullptr) trace_->close(run.tasks[id].pattern_span, 0.0);
+    return 0;
+  }
+
+  // Chain strategies: the sub-query travels a provider chain; every
+  // provider merges its local mappings into the travelling set.
+  std::vector<overlay::Provider> chain =
+      optimizer::chain_order(loc.providers, strategy);
+  if (policy_.overlap_aware_sites && pend.has_value()) {
+    rotate_end_to_back(chain, *pend);
+  }
+
+  net::NodeAddress owner_addr =
+      overlay_->ring().contains(loc.index_node)
+          ? overlay_->ring().address_of(loc.index_node)
+          : run.initiator;
+  net::SimTime t;
+  {
+    obs::SpanScope ship_span(
+        trace_, obs::SpanKind::kSubQueryShip,
+        "to node " + std::to_string(chain.front().address), now, owner_addr);
+    t = net().send(owner_addr, chain.front().address, subquery_wire_bytes(pat),
+                   now, net::Category::kQuery);
+    if (carry != nullptr) {
+      t = std::max(t, net().send(carry->site, chain.front().address,
+                                 carry->set.byte_size(), carry->ready_at,
+                                 net::Category::kData));
+      task.carry_bytes = carry->set.byte_size();
+    }
+    ship_span.finish(t);
+  }
+  task.chain = std::move(chain);
+  task.t = t;
+  task.sender = owner_addr;
+  task.site = owner_addr;
+
+  Task hop;
+  hop.kind = TaskKind::kChainHop;
+  hop.scan = id;
+  hop.position = 0;
+  hop.base = t;
+  hop.parent_span = task.pattern_span;
+  add_task(run, std::move(hop));
+  if (trace_ != nullptr) trace_->close(run.tasks[id].pattern_span, 0.0);
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_scatter_leg(QueryRun& run, TaskId id) {
+  Task& leg = run.tasks[id];
+  Task& scan = run.tasks[leg.scan];
+  const net::NodeAddress prov = scan.chain[leg.position].address;
+
+  net::SimTime t;
+  {
+    obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
+                             "to node " + std::to_string(prov), scan.t,
+                             scan.assembly);
+    t = net().send(scan.assembly, prov, subquery_wire_bytes(scan.pattern),
+                   scan.t, net::Category::kQuery);
+    ship_span.finish(t);
+  }
+  t = claim(prov, run.qid, t);
+  {
+    obs::SpanScope exec_span(trace_, obs::SpanKind::kLocalExec,
+                             "node " + std::to_string(prov), t, prov);
+    std::optional<SolutionSet> local =
+        run_at_provider(prov, scan.pattern, t, run.initiator, run.rep);
+    if (local.has_value()) {
+      t = net().send(prov, scan.assembly, local->byte_size(), t,
+                     net::Category::kData);
+      scan.merged = sparql::deduplicated(
+          sparql::set_union(scan.merged, *local));
+    }
+    exec_span.finish(t);
+  }
+  scan.done_at = std::max(scan.done_at, t);
+  complete(run, id, t);
+
+  assert(scan.remaining > 0);
+  if (--scan.remaining > 0) return t;
+
+  // Last leg: gather at the assembly site, joining any carried set there.
+  Located out;
+  out.set = std::move(scan.merged);
+  out.site = scan.assembly;
+  out.ready_at = scan.done_at;
+  if (scan.has_carry) {
+    obs::SpanScope ship_span(trace_, obs::SpanKind::kShip,
+                             "carry to assembly", scan.carry.ready_at,
+                             scan.assembly);
+    Located c = ship(scan.carry, scan.assembly, net::Category::kData);
+    ship_span.finish(c.ready_at);
+    out.set = sparql::join(c.set, out.set);
+    out.ready_at = std::max(out.ready_at, c.ready_at);
+  }
+  scan.out = std::move(out);
+  complete(run, leg.scan, scan.out.ready_at);
+  return scan.out.ready_at;
+}
+
+net::SimTime DagExecutor::fire_chain_hop(QueryRun& run, TaskId id) {
+  Task& hop = run.tasks[id];
+  Task& scan = run.tasks[hop.scan];
+  const net::NodeAddress prov = scan.chain[hop.position].address;
+
+  net::SimTime t = claim(prov, run.qid, scan.t);
+  obs::SpanScope hop_span(trace_, obs::SpanKind::kChainHop,
+                          "node " + std::to_string(prov), t, prov);
+  std::optional<SolutionSet> local =
+      run_at_provider(prov, scan.pattern, t, run.initiator, run.rep);
+  if (local.has_value()) {
+    SolutionSet contribution = scan.has_carry
+                                   ? sparql::join(scan.carry.set, *local)
+                                   : std::move(*local);
+    scan.acc =
+        sparql::deduplicated(sparql::set_union(scan.acc, contribution));
+    scan.site = prov;
+    scan.sender = prov;
+  }
+  const bool last = hop.position + 1 >= scan.chain.size();
+  if (!last) {
+    const net::NodeAddress next = scan.chain[hop.position + 1].address;
+    const std::size_t payload = subquery_wire_bytes(scan.pattern) +
+                                scan.acc.byte_size() + scan.carry_bytes;
+    t = net().send(scan.sender, next, payload, t, net::Category::kData);
+  }
+  hop_span.finish(t);
+  scan.t = t;
+  complete(run, id, t);
+
+  if (!last) {
+    Task next_hop;
+    next_hop.kind = TaskKind::kChainHop;
+    next_hop.scan = hop.scan;
+    next_hop.position = hop.position + 1;
+    next_hop.base = t;
+    next_hop.parent_span = scan.pattern_span;
+    add_task(run, std::move(next_hop));
+    return 0;
+  }
+  scan.out.set = std::move(scan.acc);
+  scan.out.site = scan.site;
+  scan.out.ready_at = t;
+  complete(run, hop.scan, t);
+  return t;
+}
+
+net::SimTime DagExecutor::fire_ship(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  Located in = run.tasks[task.deps.front()].out;
+  if (task.quiet_ship || trace_ == nullptr) {
+    task.out = ship(std::move(in), task.ship_target, task.ship_category);
+  } else {
+    obs::SpanScope span(trace_, obs::SpanKind::kShip, "result to initiator",
+                        in.ready_at, run.initiator);
+    task.out = ship(std::move(in), task.ship_target, task.ship_category);
+    span.finish(task.out.ready_at);
+  }
+  complete(run, id, task.out.ready_at);
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_binary(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  const PhysicalOp& op = run.plan.ops[task.op];
+  Located l = run.tasks[op.inputs[0]].out;
+  Located r = run.tasks[op.inputs[1]].out;
+  Located out;
+  switch (task.kind) {
+    case TaskKind::kJoin: {
+      auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
+                               run.rep);
+      out.set = sparql::join(cl.set, cr.set);
+      out.site = cl.site;
+      out.ready_at = std::max(cl.ready_at, cr.ready_at);
+      break;
+    }
+    case TaskKind::kLeftJoin: {
+      auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
+                               run.rep);
+      out.set = sparql::left_join_conditioned(cl.set, cr.set, op.expr);
+      out.site = cl.site;
+      out.ready_at = std::max(cl.ready_at, cr.ready_at);
+      break;
+    }
+    case TaskKind::kMinus: {
+      auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
+                               run.rep);
+      out.set = sparql::minus(cl.set, cr.set);
+      out.site = cl.site;
+      out.ready_at = std::max(cl.ready_at, cr.ready_at);
+      break;
+    }
+    case TaskKind::kUnion: {
+      if (r.site != l.site) {
+        // Fall back to the configured colocation policy between the two
+        // branch sites (the overlap-aware end did not pan out).
+        auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
+                                 run.rep);
+        l = std::move(cl);
+        r = std::move(cr);
+      }
+      out.set = sparql::deduplicated(sparql::set_union(l.set, r.set));
+      out.site = l.site;
+      out.ready_at = std::max(l.ready_at, r.ready_at);
+      break;
+    }
+    default:
+      assert(false && "fire_binary on a non-binary task");
+  }
+  task.out = std::move(out);
+  complete(run, id, task.out.ready_at);
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_filter(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  const PhysicalOp& op = run.plan.ops[task.op];
+  Located l = run.tasks[op.inputs.front()].out;
+  l.set = sparql::filter_set(l.set, *op.expr);
+  task.out = std::move(l);
+  complete(run, id, task.out.ready_at);
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_modifier(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  const PhysicalOp& op = run.plan.ops[task.op];
+  Located l = run.tasks[op.inputs.front()].out;
+  switch (op.modifier) {
+    case sparql::AlgebraKind::kProject: {
+      SolutionSet projected;
+      for (const Binding& b : l.set.rows()) {
+        projected.add(b.projected(op.vars));
+      }
+      l.set = std::move(projected);
+      break;
+    }
+    case sparql::AlgebraKind::kDistinct:
+    case sparql::AlgebraKind::kReduced:
+      l.set = sparql::deduplicated(std::move(l.set));
+      break;
+    case sparql::AlgebraKind::kOrderBy:
+      sparql::order_solutions(l.set, op.order);
+      break;
+    case sparql::AlgebraKind::kSlice: {
+      auto& rows = l.set.rows();
+      std::size_t off = std::min<std::size_t>(rows.size(), op.offset);
+      rows.erase(rows.begin(),
+                 rows.begin() + static_cast<std::ptrdiff_t>(off));
+      if (op.limit.has_value() && rows.size() > *op.limit) {
+        rows.resize(*op.limit);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  task.out = std::move(l);
+  complete(run, id, task.out.ready_at);
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_post(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  Located in = run.tasks[task.deps.front()].out;
+
+  if (run.query.form != sparql::QueryForm::kDescribe) {
+    obs::SpanScope post_span(trace_, obs::SpanKind::kPostProcess,
+                             "modifiers + projection", in.ready_at,
+                             run.initiator);
+    post_span.finish(in.ready_at);
+    run.result =
+        sparql::finalize_result(run.query, std::move(in.set), nullptr);
+    run.rep.response_time = in.ready_at;
+    complete(run, id, in.ready_at);
+    return in.ready_at;
+  }
+
+  // Distributed DESCRIBE: resolve each target's surrounding triples with
+  // two primitive pattern queries (t, ?, ?) and (?, ?, t). Parts run
+  // sequentially (control-chained) to mirror the legacy engine's index
+  // repair order; each starts its lookup at the result's arrival time.
+  std::set<rdf::Term> target_set;
+  for (const rdf::PatternTerm& pt : run.query.describe_targets) {
+    if (const rdf::Term* t = rdf::term_of(pt)) {
+      target_set.insert(*t);
+    } else {
+      const rdf::Variable& v = std::get<rdf::Variable>(pt);
+      for (const Binding& b : in.set.rows()) {
+        if (const rdf::Term* bound = b.get(v.name)) target_set.insert(*bound);
+      }
+    }
+  }
+  const net::SimTime t0 = in.ready_at;
+  complete(run, id, t0);
+
+  Task gather;
+  gather.kind = TaskKind::kDescribeGather;
+  gather.base = t0;
+  gather.parent_span = run.root_span;
+
+  TaskId prev_ship = kNoTask;
+  for (const rdf::Term& t : target_set) {
+    gather.targets.push_back(t);
+    for (const rdf::TriplePattern& tp :
+         {rdf::TriplePattern{t, rdf::Variable{"__p"}, rdf::Variable{"__o"}},
+          rdf::TriplePattern{rdf::Variable{"__s"}, rdf::Variable{"__p"},
+                             t}}) {
+      Task lk;
+      lk.kind = TaskKind::kLookup;
+      lk.pattern = sparql::BgpPattern{tp, nullptr};
+      lk.base = t0;
+      lk.parent_span = run.root_span;
+      if (prev_ship != kNoTask) lk.deps.push_back(prev_ship);
+      TaskId lk_id = add_task(run, std::move(lk));
+
+      Task sc;
+      sc.kind = TaskKind::kScan;
+      sc.pattern = sparql::BgpPattern{tp, nullptr};
+      sc.base = t0;
+      sc.parent_span = run.root_span;
+      sc.deps.push_back(lk_id);
+      TaskId sc_id = add_task(run, std::move(sc));
+
+      Task sh;
+      sh.kind = TaskKind::kShip;
+      sh.quiet_ship = true;  // legacy DESCRIBE ships open no span
+      sh.ship_target = run.initiator;
+      sh.ship_category = net::Category::kResult;
+      sh.base = t0;
+      sh.parent_span = run.root_span;
+      sh.deps.push_back(sc_id);
+      prev_ship = add_task(run, std::move(sh));
+      gather.parts.push_back(prev_ship);
+    }
+  }
+  gather.deps = gather.parts;
+  run.final_task = add_task(run, std::move(gather));
+  return 0;
+}
+
+net::SimTime DagExecutor::fire_describe_gather(QueryRun& run, TaskId id) {
+  Task& task = run.tasks[id];
+  net::SimTime ready = task.base;
+  std::set<rdf::Triple> triples;
+  for (std::size_t i = 0; i < task.parts.size(); ++i) {
+    const Located& part = run.tasks[task.parts[i]].out;
+    ready = std::max(ready, part.ready_at);
+    const rdf::Term& t = task.targets[i / 2];
+    for (const Binding& b : part.set.rows()) {
+      rdf::Triple tr{t, t, t};
+      if (const rdf::Term* s = b.get("__s")) tr.s = *s;
+      if (const rdf::Term* p = b.get("__p")) tr.p = *p;
+      if (const rdf::Term* o = b.get("__o")) tr.o = *o;
+      triples.insert(tr);
+    }
+  }
+  run.result.form = sparql::QueryForm::kDescribe;
+  run.result.graph.assign(triples.begin(), triples.end());
+  run.rep.response_time = ready;
+  complete(run, id, ready);
+  return ready;
+}
+
+// ---------------------------------------------------------------------------
+
+BatchResult DagExecutor::run(const std::vector<BatchQuery>& batch) {
+  runs_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    QueryRun& run = runs_.emplace_back();
+    run.qid = static_cast<std::uint32_t>(i);
+    run.query = batch[i].query;
+    run.initiator = batch[i].initiator;
+    setup_query(run);
+  }
+
+  while (!queue_.empty()) {
+    const net::ReadyEvent ev = queue_.pop();
+    fire(runs_[ev.query], ev.task);
+  }
+
+  BatchResult out;
+  out.results.reserve(runs_.size());
+  out.reports.reserve(runs_.size());
+  for (QueryRun& run : runs_) {
+    assert(run.final_task != kNoTask && run.tasks[run.final_task].done &&
+           "batch drained with an incomplete query");
+    // Traced executions carry their EXPLAIN tree in the plan notes, so any
+    // consumer of the report can see the per-phase cost without the trace.
+    if (trace_ != nullptr && run.root_span != obs::kNoSpan) {
+      for (std::string& line : obs::explain_lines(*trace_, run.root_span)) {
+        run.rep.plan_notes.push_back(std::move(line));
+      }
+    }
+    out.makespan = std::max(out.makespan, run.rep.response_time);
+    out.root_spans.push_back(run.root_span);
+    out.results.push_back(std::move(run.result));
+    out.reports.push_back(std::move(run.rep));
+  }
+  return out;
+}
+
+}  // namespace ahsw::dqp

@@ -1,0 +1,196 @@
+// Deterministic event-driven executor for physical plans.
+//
+// Runs N queries concurrently through one scheduler: every operator of
+// every plan becomes a task; a task becomes ready when all of its inputs
+// (data and control) have finished; ready events pop in (time, query, task)
+// order from net::EventQueue, so a batch replays bit-for-bit.
+//
+// Two invariants tie the executor to the legacy recursive engine:
+//
+//   1. *Value identity.* Every task computes its output with exactly the
+//      legacy formulas — same logical start times (all subtrees of one
+//      query start at t=0, DESCRIBE parts at the result's arrival), same
+//      merge/dedup canonicalization, same traffic charges. Event order only
+//      decides *when* a charge is booked, never how large it is, so
+//      single-query DAG runs reproduce legacy results, TrafficStats and
+//      response times exactly (the A/B equivalence tests pin this).
+//
+//   2. *State-mutation order.* Lazy index repairs mutate shared overlay
+//      state; the plan's control edges serialize each query's fires into
+//      the legacy left-to-right order so repairs and lookups interleave
+//      identically.
+//
+// Dynamic expansion: chain hops, scatter legs and DESCRIBE part queries
+// depend on runtime information (provider lists, join order, result
+// bindings), so those tasks are spawned at fire time; their ids are
+// assigned in deterministic creation order.
+//
+// Contention: with BatchOptions::service.service_ms > 0, a provider node
+// serving one query delays work arriving from *other* queries until it is
+// free (per-node busy-until bookkeeping). The default 0 disables the model,
+// keeping single-query execution byte-identical.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dqp/processor.hpp"
+#include "net/event_queue.hpp"
+
+namespace ahsw::dqp {
+
+class DagExecutor {
+ public:
+  DagExecutor(overlay::HybridOverlay& ov, ExecutionPolicy policy,
+              obs::QueryTrace* trace, BatchOptions opts = {})
+      : overlay_(&ov), policy_(policy), trace_(trace),
+        opts_(std::move(opts)) {}
+
+  /// Execute the batch to completion; returns per-query results/reports in
+  /// batch order plus the batch makespan.
+  [[nodiscard]] BatchResult run(const std::vector<BatchQuery>& batch);
+
+ private:
+  /// An intermediate solution set living at a node of the overlay.
+  struct Located {
+    sparql::SolutionSet set;
+    net::NodeAddress site = net::kNoAddress;
+    net::SimTime ready_at = 0;
+  };
+
+  using TaskId = std::uint32_t;
+  static constexpr TaskId kNoTask = 0xffffffffu;
+
+  enum class TaskKind : std::uint8_t {
+    kConst,
+    kLookup,
+    kScan,         // one pattern under its strategy (static or DESCRIBE part)
+    kScatterLeg,   // dynamic: one provider of a scatter/gather pattern
+    kChainHop,     // dynamic: one provider visit of a chain
+    kShip,
+    kJoin,
+    kLeftJoin,
+    kUnion,
+    kMinus,
+    kFilter,
+    kModifier,
+    kPostProcess,
+    kDescribeGather,  // dynamic: assemble DESCRIBE part results
+  };
+
+  /// Runtime state shared by the slots of one conjunction (owned by slot 0).
+  struct GroupState {
+    std::vector<std::size_t> order;  // join order over bgp positions
+  };
+
+  /// One schedulable unit. Static tasks mirror plan ops one-to-one (task id
+  /// == op id); dynamic tasks carry their payload inline (op == kNoOp).
+  struct Task {
+    TaskKind kind = TaskKind::kConst;
+    OpId op = kNoOp;
+    std::vector<TaskId> deps;
+    std::vector<TaskId> dependents;
+    std::uint32_t pending = 0;
+    bool done = false;
+    net::SimTime base = 0;     // earliest logical start (0 / DESCRIBE t0)
+    net::SimTime finish = 0;   // when done: drives dependents' event times
+    obs::SpanId parent_span = obs::kNoSpan;  // reopened around this fire
+
+    Located out;
+    overlay::HybridOverlay::Located loc;  // kLookup output
+
+    // Dynamic payloads / runtime scan state.
+    sparql::BgpPattern pattern;
+    TaskId scan = kNoTask;      // kScatterLeg / kChainHop: owning scan
+    std::size_t position = 0;   // provider index within the scan
+    bool quiet_ship = false;    // kShip without a span (DESCRIBE parts)
+    net::Category ship_category = net::Category::kResult;
+    net::NodeAddress ship_target = net::kNoAddress;
+
+    std::unique_ptr<GroupState> group;  // kScan slot 0 of a conjunction
+    obs::SpanId pattern_span = obs::kNoSpan;
+    bool has_carry = false;
+    Located carry;
+    std::size_t carry_bytes = 0;
+    net::NodeAddress assembly = net::kNoAddress;
+    std::size_t remaining = 0;               // outstanding scatter legs
+    sparql::SolutionSet merged;              // scatter merge accumulator
+    net::SimTime done_at = 0;                // scatter completion max
+    std::vector<overlay::Provider> chain;    // providers in visit order
+    sparql::SolutionSet acc;                 // chain accumulator
+    net::SimTime t = 0;                      // chain clock / scatter start
+    net::NodeAddress sender = net::kNoAddress;
+    net::NodeAddress site = net::kNoAddress;
+
+    std::vector<TaskId> parts;       // kDescribeGather: part ships in order
+    std::vector<rdf::Term> targets;  // kDescribeGather: described terms
+  };
+
+  struct QueryRun {
+    std::uint32_t qid = 0;
+    sparql::Query query;
+    net::NodeAddress initiator = net::kNoAddress;
+    PhysicalPlan plan;
+    std::deque<Task> tasks;  // deque: fires append while holding references
+    ExecutionReport rep;
+    obs::SpanId root_span = obs::kNoSpan;
+    sparql::QueryResult result;
+    TaskId final_task = kNoTask;
+  };
+
+  // Setup.
+  void setup_query(QueryRun& run);
+  TaskId add_task(QueryRun& run, Task t);
+  void schedule(QueryRun& run, TaskId id);
+  void complete(QueryRun& run, TaskId id, net::SimTime finish);
+
+  // Firing. Each fire_* returns the end hint folded into the parent span's
+  // close (0 when children already extended it).
+  void fire(QueryRun& run, TaskId id);
+  net::SimTime fire_lookup(QueryRun& run, TaskId id);
+  net::SimTime fire_scan(QueryRun& run, TaskId id);
+  net::SimTime fire_scatter_leg(QueryRun& run, TaskId id);
+  net::SimTime fire_chain_hop(QueryRun& run, TaskId id);
+  net::SimTime fire_ship(QueryRun& run, TaskId id);
+  net::SimTime fire_binary(QueryRun& run, TaskId id);
+  net::SimTime fire_filter(QueryRun& run, TaskId id);
+  net::SimTime fire_modifier(QueryRun& run, TaskId id);
+  net::SimTime fire_post(QueryRun& run, TaskId id);
+  net::SimTime fire_describe_gather(QueryRun& run, TaskId id);
+
+  // Legacy-identical primitives (same formulas as the recursive engine).
+  overlay::HybridOverlay::Located locate(const rdf::TriplePattern& p,
+                                         net::NodeAddress initiator,
+                                         net::SimTime now,
+                                         ExecutionReport& rep);
+  Located ship(Located from, net::NodeAddress target, net::Category category);
+  std::optional<sparql::SolutionSet> run_at_provider(
+      net::NodeAddress provider, const sparql::BgpPattern& p,
+      net::SimTime& now, net::NodeAddress initiator, ExecutionReport& rep);
+  std::pair<Located, Located> colocate(Located a, Located b,
+                                       net::NodeAddress initiator,
+                                       ExecutionReport& rep);
+
+  /// Service model: delay `at` until `node` is free of other queries' work,
+  /// then occupy it for service_ms. Identity when the model is disabled.
+  net::SimTime claim(net::NodeAddress node, std::uint32_t qid,
+                     net::SimTime at);
+
+  [[nodiscard]] net::Network& net() { return overlay_->network(); }
+
+  overlay::HybridOverlay* overlay_;
+  ExecutionPolicy policy_;
+  obs::QueryTrace* trace_;
+  BatchOptions opts_;
+  net::EventQueue queue_;
+  std::deque<QueryRun> runs_;  // deque: QueryRun is pinned (not movable)
+  /// node -> (busy until, last claimant qid + 1). Ordered map for
+  /// deterministic bookkeeping.
+  std::map<net::NodeAddress, std::pair<net::SimTime, std::uint32_t>> busy_;
+};
+
+}  // namespace ahsw::dqp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dqp/executor.hpp"
 #include "obs/explain.hpp"
 #include "sparql/ast.hpp"
 
@@ -17,14 +18,6 @@ using sparql::Binding;
 using sparql::SolutionSet;
 
 namespace {
-
-/// Wire size of a shipped sub-query: the pattern, any pushed filter, and
-/// plan metadata (chain list, return address).
-[[nodiscard]] std::size_t subquery_bytes(const sparql::BgpPattern& p) {
-  std::size_t n = p.pattern.byte_size() + 32;
-  if (p.pushed_filter != nullptr) n += p.pushed_filter->byte_size();
-  return n;
-}
 
 [[nodiscard]] std::string_view form_name(sparql::QueryForm f) {
   switch (f) {
@@ -145,7 +138,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
         obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
                                  "to node " + std::to_string(prov.address),
                                  now, assembly);
-        t = net.send(assembly, prov.address, subquery_bytes(p), now,
+        t = net.send(assembly, prov.address, subquery_wire_bytes(p), now,
                      net::Category::kQuery);
         ship_span.finish(t);
       }
@@ -204,7 +197,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
     obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
                              "to node " + std::to_string(chain.front().address),
                              now, owner_addr);
-    t = net.send(owner_addr, chain.front().address, subquery_bytes(p), now,
+    t = net.send(owner_addr, chain.front().address, subquery_wire_bytes(p), now,
                  net::Category::kQuery);
     if (carry != nullptr) {
       t = std::max(t, net.send(carry->site, chain.front().address,
@@ -238,7 +231,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
     if (i + 1 < chain.size()) {
       net::NodeAddress next = chain[i + 1].address;
       std::size_t payload =
-          subquery_bytes(p) + acc.byte_size() + carry_bytes;
+          subquery_wire_bytes(p) + acc.byte_size() + carry_bytes;
       t = net.send(sender, next, payload, t, net::Category::kData);
     }
     hop_span.finish(t);
@@ -467,6 +460,17 @@ sparql::QueryResult DistributedQueryProcessor::execute(
 sparql::QueryResult DistributedQueryProcessor::execute(
     const sparql::Query& q, net::NodeAddress initiator,
     ExecutionReport* report) {
+  if (policy_.engine == ExecutionEngine::kDag) {
+    // Single-query batch through the DAG engine. Root spans keep their
+    // legacy labels (no query-id prefix) so traces stay comparable.
+    BatchOptions opts;
+    opts.label_query_ids = false;
+    DagExecutor exec(*overlay_, policy_, trace_, opts);
+    BatchResult r = exec.run({BatchQuery{q, initiator}});
+    if (report != nullptr) *report = std::move(r.reports.front());
+    return std::move(r.results.front());
+  }
+
   net::Network& net = overlay_->network();
   const net::TrafficStats before = net.stats();
   ExecutionReport rep;
@@ -562,6 +566,27 @@ sparql::QueryResult DistributedQueryProcessor::execute(
   }
   if (report != nullptr) *report = std::move(rep);
   return out;
+}
+
+BatchResult DistributedQueryProcessor::execute_batch(
+    const std::vector<BatchQuery>& batch, const BatchOptions& opts) {
+  DagExecutor exec(*overlay_, policy_, trace_, opts);
+  return exec.run(batch);
+}
+
+BatchResult DistributedQueryProcessor::execute_batch(
+    const std::vector<std::string>& query_texts,
+    const std::vector<net::NodeAddress>& initiators,
+    const BatchOptions& opts) {
+  assert(query_texts.size() == initiators.size() &&
+         "execute_batch: one initiator per query");
+  std::vector<BatchQuery> batch;
+  batch.reserve(query_texts.size());
+  for (std::size_t i = 0; i < query_texts.size(); ++i) {
+    batch.push_back(
+        BatchQuery{sparql::parse_query(query_texts[i]), initiators[i]});
+  }
+  return execute_batch(batch, opts);
 }
 
 }  // namespace ahsw::dqp

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dqp/physical_plan.hpp"
 #include "net/network.hpp"
 #include "obs/trace.hpp"
 #include "optimizer/planner.hpp"
@@ -33,22 +34,29 @@
 
 namespace ahsw::dqp {
 
-/// Plan-selection knobs (the paper's optimization alternatives).
-struct ExecutionPolicy {
-  optimizer::PrimitiveStrategy primitive =
-      optimizer::PrimitiveStrategy::kFrequencyChain;
-  optimizer::JoinSitePolicy join_site = optimizer::JoinSitePolicy::kMoveSmall;
-  bool push_filters = true;          // Sect. IV-G rewrite
-  bool frequency_join_order = true;  // IV-D: order AND patterns by frequency
-  bool overlap_aware_sites = true;   // IV-D/IV-F: end chains at shared nodes
+// ExecutionPolicy and ExecutionEngine live in dqp/physical_plan.hpp (the
+// plan compiler consumes them); this header re-exports them for callers.
 
-  /// Adaptive per-pattern strategy selection (the paper's Sect. V future
-  /// work: plans under a mixture of traffic and response-time objectives).
-  /// When set, `primitive` is ignored for index-served patterns and the
-  /// strategy with the lowest weighted estimated cost is chosen from the
-  /// location-table frequencies.
-  bool adaptive = false;
-  optimizer::ObjectiveWeights objectives;
+/// Per-node queueing model for concurrent batches: when a node is serving
+/// one query's work and another query's work arrives, the newcomer waits
+/// until the node frees up, then occupies it for `service_ms`. Zero (the
+/// default) disables contention entirely, so single-query DAG execution
+/// stays byte-identical to the legacy recursive engine.
+struct ServiceModel {
+  double service_ms = 0.0;
+};
+
+/// One entry of a concurrent batch: a parsed query and the node issuing it.
+struct BatchQuery {
+  sparql::Query query;
+  net::NodeAddress initiator = net::kNoAddress;
+};
+
+struct BatchOptions {
+  ServiceModel service;
+  /// Prefix every root span label with "q<id> " so interleaved traces stay
+  /// attributable (shell `trace` output keys on it).
+  bool label_query_ids = true;
 };
 
 /// What one query execution cost. Captures the paper's two optimization
@@ -63,6 +71,16 @@ struct ExecutionReport {
   int dead_providers_skipped = 0;   // stale location entries hit (III-D)
   bool complete = true;             // false if index rows were unreachable
   std::vector<std::string> plan_notes;  // human-readable plan decisions
+};
+
+/// Outcome of `execute_batch`: one result + report per query (batch order)
+/// and the batch-level completion time. When a trace is attached,
+/// `root_spans[i]` is query i's kQuery root span in that trace.
+struct BatchResult {
+  std::vector<sparql::QueryResult> results;
+  std::vector<ExecutionReport> reports;
+  std::vector<obs::SpanId> root_spans;
+  net::SimTime makespan = 0;
 };
 
 /// The distributed query processor. One instance per system; `execute` may
@@ -84,6 +102,22 @@ class DistributedQueryProcessor {
   [[nodiscard]] sparql::QueryResult execute(const sparql::Query& q,
                                             net::NodeAddress initiator,
                                             ExecutionReport* report = nullptr);
+
+  /// Execute N queries concurrently through one deterministic event
+  /// scheduler (always the DAG engine, regardless of `policy().engine`).
+  /// Operators of different queries interleave in (time, query, task)
+  /// order; with `opts.service.service_ms > 0` a per-node service model
+  /// charges queueing delay where their work overlaps. Deterministic: the
+  /// same batch on the same system yields byte-identical reports + traces.
+  [[nodiscard]] BatchResult execute_batch(const std::vector<BatchQuery>& batch,
+                                          const BatchOptions& opts = {});
+
+  /// Convenience overload: parses `query_texts[i]` and runs it from
+  /// `initiators[i]` (sizes must match).
+  [[nodiscard]] BatchResult execute_batch(
+      const std::vector<std::string>& query_texts,
+      const std::vector<net::NodeAddress>& initiators,
+      const BatchOptions& opts = {});
 
   [[nodiscard]] ExecutionPolicy& policy() noexcept { return policy_; }
   [[nodiscard]] const ExecutionPolicy& policy() const noexcept {

@@ -1,0 +1,31 @@
+#include "net/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahsw::net {
+
+namespace {
+
+/// std::*_heap builds a max-heap, so invert: the "largest" element under
+/// this comparator is the smallest ReadyEvent.
+[[nodiscard]] bool later(const ReadyEvent& a, const ReadyEvent& b) noexcept {
+  return b < a;
+}
+
+}  // namespace
+
+void EventQueue::push(ReadyEvent e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+ReadyEvent EventQueue::pop() {
+  assert(!heap_.empty() && "pop() on an empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  ReadyEvent e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+}  // namespace ahsw::net

@@ -1,0 +1,60 @@
+// Deterministic ready-queue for event-driven execution on top of the
+// simulated network.
+//
+// The DAG executor (src/dqp/executor) runs many queries through one
+// scheduler: an operator becomes *ready* when all of its inputs have
+// produced their outputs, and fires at a simulated start time computed from
+// those inputs' ready_at times. Ready events pop in (time, query, task)
+// order — time first so the simulation advances monotonically per node,
+// then query id and task id as total tie-breakers — which makes every run
+// with the same inputs reproduce the same event order bit for bit. There is
+// no wall-clock anywhere in the key, so replays are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ahsw::net {
+
+/// One schedulable unit of work: task `task` of query `query` may start at
+/// simulated time `at`.
+struct ReadyEvent {
+  SimTime at = 0;
+  std::uint32_t query = 0;
+  std::uint32_t task = 0;
+
+  /// Strict weak ordering by (at, query, task): earlier time first, then
+  /// lower query id, then lower task id. Total — no two distinct events of
+  /// one run compare equal, so heap order is deterministic.
+  [[nodiscard]] friend bool operator<(const ReadyEvent& a,
+                                      const ReadyEvent& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.query != b.query) return a.query < b.query;
+    return a.task < b.task;
+  }
+};
+
+/// Min-heap of ready events. A thin wrapper over std::push_heap /
+/// std::pop_heap rather than std::priority_queue so the element order is
+/// pinned to ReadyEvent's own comparator and the storage stays inspectable
+/// (tests assert pop sequences).
+class EventQueue {
+ public:
+  void push(ReadyEvent e);
+
+  /// Remove and return the smallest event. Precondition: !empty().
+  ReadyEvent pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The smallest event without removing it. Precondition: !empty().
+  [[nodiscard]] const ReadyEvent& top() const noexcept { return heap_.front(); }
+
+ private:
+  std::vector<ReadyEvent> heap_;  // max-heap on the inverted comparator
+};
+
+}  // namespace ahsw::net

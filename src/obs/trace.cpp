@@ -87,6 +87,11 @@ void QueryTrace::close(SpanId id, net::SimTime at) {
   }
 }
 
+void QueryTrace::reopen(SpanId id) {
+  assert(id < spans_.size() && "reopen: unknown span id");
+  stack_.push_back(id);
+}
+
 void QueryTrace::clear() {
   assert(stack_.empty() && "clear() with open spans would orphan scopes");
   spans_.clear();

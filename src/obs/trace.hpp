@@ -98,6 +98,14 @@ class QueryTrace {
   /// of the begin time, `at`, and all activity observed inside the span.
   void close(SpanId id, net::SimTime at);
 
+  /// Push an existing (closed) span back onto the attribution stack: new
+  /// spans opened while it is active become its children and traffic lands
+  /// in its self counters again. Close with `close(id, ...)` as usual. The
+  /// DAG executor uses this to attach each operator firing under its query's
+  /// root (or pattern) span even though firings of different queries
+  /// interleave in event order.
+  void reopen(SpanId id);
+
   /// Drop all recorded spans (the binding is kept). Lets one trace be
   /// reused across queries without accumulating a forest.
   void clear();

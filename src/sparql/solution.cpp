@@ -98,9 +98,12 @@ std::string Binding::to_string() const {
 }
 
 std::size_t SolutionSet::byte_size() const noexcept {
-  std::size_t n = 4;  // set framing
-  for (const Binding& b : rows_) n += b.byte_size();
-  return n;
+  if (cached_bytes_ == kDirty) {
+    std::size_t n = kSetFraming;
+    for (const Binding& b : rows_) n += b.byte_size();
+    cached_bytes_ = n;
+  }
+  return cached_bytes_;
 }
 
 void SolutionSet::normalize() { std::sort(rows_.begin(), rows_.end()); }

@@ -76,29 +76,48 @@ class Binding {
 class SolutionSet {
  public:
   SolutionSet() = default;
-  explicit SolutionSet(std::vector<Binding> rows) : rows_(std::move(rows)) {}
+  explicit SolutionSet(std::vector<Binding> rows)
+      : rows_(std::move(rows)), cached_bytes_(kDirty) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
   [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
 
-  void add(Binding b) { rows_.push_back(std::move(b)); }
+  void add(Binding b) {
+    if (cached_bytes_ != kDirty) cached_bytes_ += b.byte_size();
+    rows_.push_back(std::move(b));
+  }
 
   [[nodiscard]] const std::vector<Binding>& rows() const noexcept {
     return rows_;
   }
-  [[nodiscard]] std::vector<Binding>& rows() noexcept { return rows_; }
+  /// Mutable row access invalidates the cached byte size; do not hold the
+  /// reference across a byte_size() call and mutate afterwards.
+  [[nodiscard]] std::vector<Binding>& rows() noexcept {
+    cached_bytes_ = kDirty;
+    return rows_;
+  }
 
   /// Total serialized size; what the cost model charges to ship this set.
+  /// Cached: the distributed processor asks for it at every ship and chain
+  /// hop, and recomputing is O(rows x slots).
   [[nodiscard]] std::size_t byte_size() const noexcept;
 
   /// Sort rows canonically (used before comparing result sets in tests and
-  /// before returning final answers so output is deterministic).
+  /// before returning final answers so output is deterministic). Reordering
+  /// does not change the serialized size, so the cache survives.
   void normalize();
 
   [[nodiscard]] std::string to_string() const;
 
  private:
+  static constexpr std::size_t kDirty = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kSetFraming = 4;
+
   std::vector<Binding> rows_;
+  /// Serialized size of rows_ plus framing, or kDirty when a mutation may
+  /// have outdated it. A fresh set is empty, so the cache starts valid and
+  /// add() can maintain it incrementally.
+  mutable std::size_t cached_bytes_ = kSetFraming;
 };
 
 /// O1 x O2 (hash join on the shared variables).

@@ -1,0 +1,183 @@
+// A/B equivalence of the two execution engines: for every query class the
+// DAG executor (physical plan + event scheduler) must reproduce the legacy
+// recursive engine *exactly* — same result rows, same TrafficStats down to
+// the per-category counters, same response time, same report counters and
+// plan notes. Each engine runs on its own freshly built (identical-seed)
+// testbed because execution mutates shared index state (lazy repairs), so
+// the comparison covers that mutation order too. Dead-provider variants pin
+// the control-edge sequencing: the DAG engine must interleave repairs and
+// lookups in the legacy left-to-right order or traffic diverges.
+#include <gtest/gtest.h>
+
+#include "check/audit.hpp"
+#include "dqp_test_util.hpp"
+
+namespace ahsw::dqp {
+namespace {
+
+using optimizer::JoinSitePolicy;
+using optimizer::PrimitiveStrategy;
+using testing::kPrologue;
+
+workload::TestbedConfig config() {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 5;
+  cfg.storage_nodes = 6;
+  cfg.foaf.persons = 70;
+  cfg.foaf.seed = 31;
+  cfg.partition.overlap = 0.25;
+  cfg.partition.seed = 32;
+  cfg.overlay.seed = 33;
+  return cfg;
+}
+
+void expect_traffic_eq(const net::TrafficStats& a, const net::TrafficStats& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.bytes, b.bytes) << what;
+  EXPECT_EQ(a.timeouts, b.timeouts) << what;
+  for (int c = 0; c < net::kCategoryCount; ++c) {
+    EXPECT_EQ(a.messages_by[c], b.messages_by[c]) << what << " category " << c;
+    EXPECT_EQ(a.bytes_by[c], b.bytes_by[c]) << what << " category " << c;
+    EXPECT_EQ(a.timeouts_by[c], b.timeouts_by[c]) << what << " category " << c;
+  }
+}
+
+struct EngineOutcome {
+  sparql::QueryResult result;
+  ExecutionReport rep;
+};
+
+/// Run `query` on a fresh identical testbed with the given engine, tracing
+/// the execution and auditing I5 conservation on it.
+EngineOutcome run_engine(ExecutionEngine engine, ExecutionPolicy policy,
+                         const std::string& query, bool kill_provider) {
+  workload::Testbed bed(config());
+  policy.engine = engine;
+  DistributedQueryProcessor proc(bed.overlay(), policy);
+  if (kill_provider) {
+    bed.overlay().storage_node_fail(bed.storage_addrs()[2]);
+  }
+  obs::QueryTrace trace;
+  proc.set_trace(&trace);
+
+  EngineOutcome out;
+  out.result = proc.execute(query, bed.storage_addrs().front(), &out.rep);
+
+  check::AuditReport audit;
+  check::AuditOptions opts;
+  opts.churned = kill_provider;
+  check::audit_conservation(trace, out.rep.traffic, audit, opts);
+  EXPECT_TRUE(audit.pristine()) << audit.to_string();
+  proc.set_trace(nullptr);
+  return out;
+}
+
+void expect_engines_agree(ExecutionPolicy policy, const std::string& query,
+                          bool kill_provider = false) {
+  EngineOutcome legacy =
+      run_engine(ExecutionEngine::kLegacy, policy, query, kill_provider);
+  EngineOutcome dag =
+      run_engine(ExecutionEngine::kDag, policy, query, kill_provider);
+
+  EXPECT_EQ(dag.result.form, legacy.result.form) << query;
+  EXPECT_EQ(dag.result.solutions.rows(), legacy.result.solutions.rows())
+      << query;
+  EXPECT_EQ(dag.result.graph, legacy.result.graph) << query;
+  EXPECT_EQ(dag.result.ask_answer, legacy.result.ask_answer) << query;
+
+  EXPECT_EQ(dag.rep.response_time, legacy.rep.response_time) << query;
+  expect_traffic_eq(dag.rep.traffic, legacy.rep.traffic, query);
+  EXPECT_EQ(dag.rep.index_lookups, legacy.rep.index_lookups) << query;
+  EXPECT_EQ(dag.rep.ring_hops, legacy.rep.ring_hops) << query;
+  EXPECT_EQ(dag.rep.providers_contacted, legacy.rep.providers_contacted)
+      << query;
+  EXPECT_EQ(dag.rep.dead_providers_skipped, legacy.rep.dead_providers_skipped)
+      << query;
+  EXPECT_EQ(dag.rep.complete, legacy.rep.complete) << query;
+  EXPECT_EQ(dag.rep.plan_notes, legacy.rep.plan_notes) << query;
+}
+
+// One query per class the plan compiler distinguishes.
+const char* kPrimitive = "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }";
+const char* kConjunction =
+    "SELECT ?x ?n ?o WHERE { ?x foaf:name ?n . ?x foaf:knows ?o . "
+    "?o foaf:nick ?k . }";
+const char* kOptional =
+    "SELECT ?x ?y ?n WHERE { ?x foaf:knows ?y . "
+    "OPTIONAL { ?y foaf:nick ?n . } }";
+const char* kUnion =
+    "SELECT ?x WHERE { { ?x foaf:nick ?n . } UNION { ?x foaf:mbox ?m . } }";
+const char* kFilter =
+    "SELECT ?x ?n WHERE { ?x foaf:name ?n . FILTER regex(?n, \"a\") }";
+const char* kAsk = "ASK { ?x foaf:knows ?y . }";
+const char* kDescribe = "DESCRIBE <http://example.org/people/p0>";
+const char* kModifiers =
+    "SELECT DISTINCT ?n WHERE { ?x foaf:name ?n . } ORDER BY ?n "
+    "LIMIT 5 OFFSET 2";
+
+class DagEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DagEquivalence, DefaultPolicyHealthy) {
+  expect_engines_agree(ExecutionPolicy{},
+                       std::string(kPrologue) + GetParam());
+}
+
+TEST_P(DagEquivalence, DefaultPolicyDeadProvider) {
+  expect_engines_agree(ExecutionPolicy{}, std::string(kPrologue) + GetParam(),
+                       /*kill_provider=*/true);
+}
+
+TEST_P(DagEquivalence, BasicStrategyThirdSite) {
+  ExecutionPolicy policy;
+  policy.primitive = PrimitiveStrategy::kBasic;
+  policy.join_site = JoinSitePolicy::kThirdSite;
+  expect_engines_agree(policy, std::string(kPrologue) + GetParam());
+}
+
+TEST_P(DagEquivalence, ChainNoOverlapNoPushdown) {
+  ExecutionPolicy policy;
+  policy.primitive = PrimitiveStrategy::kChain;
+  policy.overlap_aware_sites = false;
+  policy.frequency_join_order = false;
+  policy.push_filters = false;
+  expect_engines_agree(policy, std::string(kPrologue) + GetParam());
+}
+
+TEST_P(DagEquivalence, AdaptiveDeadProvider) {
+  ExecutionPolicy policy;
+  policy.adaptive = true;
+  expect_engines_agree(policy, std::string(kPrologue) + GetParam(),
+                       /*kill_provider=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(QueryClasses, DagEquivalence,
+                         ::testing::Values(kPrimitive, kConjunction, kOptional,
+                                           kUnion, kFilter, kAsk, kDescribe,
+                                           kModifiers));
+
+// Batch of one must agree with single-query execution byte for byte (the
+// execute() fast path is itself a batch of one; this pins the public API).
+TEST(DagBatch, SingleQueryBatchMatchesExecute) {
+  const std::string query = std::string(kPrologue) + kConjunction;
+
+  workload::Testbed bed_a(config());
+  DistributedQueryProcessor proc_a(bed_a.overlay());
+  ExecutionReport rep;
+  sparql::QueryResult direct =
+      proc_a.execute(query, bed_a.storage_addrs().front(), &rep);
+
+  workload::Testbed bed_b(config());
+  DistributedQueryProcessor proc_b(bed_b.overlay());
+  BatchResult batch = proc_b.execute_batch(
+      {query}, {bed_b.storage_addrs().front()});
+
+  ASSERT_EQ(batch.results.size(), 1u);
+  EXPECT_EQ(batch.results[0].solutions.rows(), direct.solutions.rows());
+  EXPECT_EQ(batch.reports[0].response_time, rep.response_time);
+  EXPECT_EQ(batch.makespan, rep.response_time);
+  expect_traffic_eq(batch.reports[0].traffic, rep.traffic, "batch of one");
+}
+
+}  // namespace
+}  // namespace ahsw::dqp

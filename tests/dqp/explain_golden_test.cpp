@@ -1,0 +1,126 @@
+// Golden EXPLAIN renderings: one physical plan per query class, compared
+// line-for-line. These pin the compiled DAG shape (operator kinds, slot
+// decomposition, overlap-aware end edges, filter pushdown into patterns)
+// and the rendering contract the shell's `explain` command exposes — any
+// compiler change that alters a plan must update the golden deliberately.
+#include <gtest/gtest.h>
+
+#include "dqp/physical_plan.hpp"
+#include "optimizer/rewriter.hpp"
+#include "sparql/ast.hpp"
+
+namespace ahsw::dqp {
+namespace {
+
+constexpr std::string_view kPrologue =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "PREFIX ns: <http://example.org/ns#>\n";
+
+std::vector<std::string> plan_lines(const std::string& body,
+                                    ExecutionPolicy policy = {}) {
+  sparql::Query q = sparql::parse_query(std::string(kPrologue) + body);
+  sparql::AlgebraPtr a = sparql::translate_pattern(q.where);
+  if (policy.push_filters) a = optimizer::push_filters(a);
+  return compile_physical_plan(*a, policy, q.form).to_lines();
+}
+
+TEST(ExplainGolden, Primitive) {
+  EXPECT_EQ(
+      plan_lines("SELECT ?x ?o WHERE { ?x foaf:knows ?o . }"),
+      (std::vector<std::string>{
+          "#3 PostProcess [modifiers + projection @ initiator]",
+          "  #2 Ship [result -> initiator]",
+          "    #1 ProviderScan ?x <http://xmlns.com/foaf/0.1/knows> ?o "
+          "[strategy=frequency-chain]",
+          "      #0 IndexLookup ?x <http://xmlns.com/foaf/0.1/knows> ?o",
+      }));
+}
+
+TEST(ExplainGolden, Conjunction) {
+  // Three patterns become three join slots over shared lookups: which
+  // pattern a slot runs is a runtime (frequency-order) decision, so slots
+  // render positions, not patterns.
+  EXPECT_EQ(
+      plan_lines("SELECT ?x ?n ?o WHERE { ?x foaf:name ?n . "
+                 "?x foaf:knows ?o . ?o foaf:nick ?k . }"),
+      (std::vector<std::string>{
+          "#7 PostProcess [modifiers + projection @ initiator]",
+          "  #6 Ship [result -> initiator]",
+          "    #5 ProviderScan [slot 2/3, order=frequency, "
+          "strategy=frequency-chain]",
+          "      #4 ProviderScan [slot 1/3, order=frequency, "
+          "strategy=frequency-chain]",
+          "        #3 ProviderScan [slot 0/3, order=frequency, "
+          "strategy=frequency-chain]",
+          "          #0 IndexLookup ?x <http://xmlns.com/foaf/0.1/name> ?n",
+          "          #1 IndexLookup ?x <http://xmlns.com/foaf/0.1/knows> ?o",
+          "          #2 IndexLookup ?o <http://xmlns.com/foaf/0.1/nick> ?k",
+      }));
+}
+
+TEST(ExplainGolden, Optional) {
+  EXPECT_EQ(
+      plan_lines("SELECT ?x ?y ?n WHERE { ?x foaf:knows ?y . "
+                 "OPTIONAL { ?y foaf:nick ?n . } }"),
+      (std::vector<std::string>{
+          "#6 PostProcess [modifiers + projection @ initiator]",
+          "  #5 Ship [result -> initiator]",
+          "    #4 LeftJoin [site=move-small, cond=true]",
+          "      #1 ProviderScan ?x <http://xmlns.com/foaf/0.1/knows> ?y "
+          "[strategy=frequency-chain]",
+          "        #0 IndexLookup ?x <http://xmlns.com/foaf/0.1/knows> ?y",
+          "      #3 ProviderScan ?y <http://xmlns.com/foaf/0.1/nick> ?n "
+          "[strategy=frequency-chain]",
+          "        #2 IndexLookup ?y <http://xmlns.com/foaf/0.1/nick> ?n",
+      }));
+}
+
+TEST(ExplainGolden, Union) {
+  // The right branch carries an overlap-aware end edge: its chain prefers
+  // to finish at the left branch's runtime site (op #1).
+  EXPECT_EQ(
+      plan_lines("SELECT ?x WHERE { { ?x foaf:nick ?n . } UNION "
+                 "{ ?x foaf:mbox ?m . } }"),
+      (std::vector<std::string>{
+          "#6 PostProcess [modifiers + projection @ initiator]",
+          "  #5 Ship [result -> initiator]",
+          "    #4 Union [colocate=move-small, overlap-aware ends]",
+          "      #1 ProviderScan ?x <http://xmlns.com/foaf/0.1/nick> ?n "
+          "[strategy=frequency-chain]",
+          "        #0 IndexLookup ?x <http://xmlns.com/foaf/0.1/nick> ?n",
+          "      #3 ProviderScan ?x <http://xmlns.com/foaf/0.1/mbox> ?m "
+          "[strategy=frequency-chain, end@site(#1)]",
+          "        #2 IndexLookup ?x <http://xmlns.com/foaf/0.1/mbox> ?m",
+      }));
+}
+
+TEST(ExplainGolden, FilterPushdown) {
+  // With pushdown the filter vanishes as an operator: it travels inside
+  // the shipped pattern and runs at every provider.
+  EXPECT_EQ(
+      plan_lines("SELECT ?x ?n WHERE { ?x foaf:name ?n . "
+                 "FILTER regex(?n, \"a\") }"),
+      (std::vector<std::string>{
+          "#3 PostProcess [modifiers + projection @ initiator]",
+          "  #2 Ship [result -> initiator]",
+          "    #1 ProviderScan Filter(regex(?n, \"a\"), "
+          "?x <http://xmlns.com/foaf/0.1/name> ?n) "
+          "[strategy=frequency-chain]",
+          "      #0 IndexLookup Filter(regex(?n, \"a\"), "
+          "?x <http://xmlns.com/foaf/0.1/name> ?n)",
+      }));
+}
+
+TEST(ExplainGolden, FilterWithoutPushdownKeepsOperator) {
+  ExecutionPolicy policy;
+  policy.push_filters = false;
+  std::vector<std::string> lines =
+      plan_lines("SELECT ?x ?n WHERE { ?x foaf:name ?n . "
+                 "FILTER regex(?n, \"a\") }",
+                 policy);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[2], "    #2 Filter regex(?n, \"a\")");
+}
+
+}  // namespace
+}  // namespace ahsw::dqp

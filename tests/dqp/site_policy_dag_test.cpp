@@ -1,0 +1,123 @@
+// Join-site selection through the DAG engine's batch path: the third-site
+// policy's capacity choice must surface in the right query's plan notes even
+// when other queries run interleaved in the same batch, and overlap-aware
+// union ends must make the colocation step vanish (no join-site note, no
+// extra shipping) exactly when the preferred end is a live provider of the
+// other branch (Sect. IV-F).
+#include <gtest/gtest.h>
+
+#include "dqp_test_util.hpp"
+#include "workload/vocab.hpp"
+
+namespace ahsw::dqp {
+namespace {
+
+using optimizer::JoinSitePolicy;
+using testing::kPrologue;
+
+const std::string kOptionalQuery = std::string(kPrologue) + R"(
+  SELECT ?x ?y ?n WHERE {
+    ?x foaf:knows ?y .
+    OPTIONAL { ?y foaf:nick ?n . }
+  })";
+
+const std::string kPrimitiveQuery =
+    std::string(kPrologue) + "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }";
+
+const std::string kUnionQuery = std::string(kPrologue) + R"(
+  SELECT ?x WHERE {
+    { ?x foaf:nick ?n . }
+    UNION
+    { ?x foaf:mbox ?m . }
+  })";
+
+bool has_note(const ExecutionReport& rep, const std::string& needle) {
+  for (const std::string& note : rep.plan_notes) {
+    if (note.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(SitePolicyDag, ThirdSiteNoteStaysWithItsQueryInABatch) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 5;
+  cfg.storage_nodes = 6;
+  cfg.foaf.persons = 90;
+  cfg.foaf.nick_fraction = 0.4;
+  cfg.foaf.seed = 31;
+  cfg.partition.overlap = 0.25;
+  cfg.partition.seed = 32;
+  workload::Testbed bed(cfg);
+  net::NodeAddress beefy = bed.storage_addrs()[4];
+  bed.overlay().storage_state(beefy).capacity = 100.0;
+
+  ExecutionPolicy policy;
+  policy.join_site = JoinSitePolicy::kThirdSite;
+  DistributedQueryProcessor proc(bed.overlay(), policy);
+
+  // The optional query joins (and must pick the beefy node); the primitive
+  // riding along in the same batch has no join and must stay note-clean.
+  BatchResult r = proc.execute_batch(
+      {kOptionalQuery, kPrimitiveQuery},
+      {bed.storage_addrs().front(), bed.storage_addrs()[1]});
+
+  ASSERT_EQ(r.reports.size(), 2u);
+  EXPECT_TRUE(has_note(r.reports[0],
+                       "third-site -> node " + std::to_string(beefy)))
+      << "optional query should colocate at the high-capacity node";
+  EXPECT_FALSE(has_note(r.reports[1], "join-site:"))
+      << "primitive query must not inherit the neighbour's join notes";
+}
+
+TEST(SitePolicyDag, OverlapAwareUnionEndsSkipColocation) {
+  // Sect. IV-F topology, tuned so the two policies genuinely diverge:
+  // nick lives on {d1(1), d3(2)} so the left chain ends at d3; mbox lives
+  // on {d2(2), d3(1)} so the naive right chain ends at d2 and a colocation
+  // ship is needed, while the overlap-aware chain rotates d3 to the end
+  // and the union happens in place.
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 4;
+  cfg.storage_nodes = 3;
+  cfg.foaf.persons = 0;
+  workload::Testbed bed(cfg);
+  auto& ov = bed.overlay();
+  rdf::Term nick = rdf::Term::iri(std::string(workload::foaf::kNick));
+  rdf::Term mbox = rdf::Term::iri(std::string(workload::foaf::kMbox));
+  auto person = [](int i) {
+    return rdf::Term::iri("http://example.org/people/p" + std::to_string(i));
+  };
+  net::NodeAddress d1 = bed.storage_addrs()[0];
+  net::NodeAddress d2 = bed.storage_addrs()[1];
+  net::NodeAddress d3 = bed.storage_addrs()[2];
+  ov.share_triples(d1, {{person(1), nick, rdf::Term::literal("a")}}, 0);
+  ov.share_triples(d3, {{person(2), nick, rdf::Term::literal("b")},
+                        {person(3), nick, rdf::Term::literal("c")}}, 0);
+  ov.share_triples(d2, {{person(4), mbox, rdf::Term::iri("mailto:x@y")},
+                        {person(5), mbox, rdf::Term::iri("mailto:z@y")}}, 0);
+  ov.share_triples(d3, {{person(6), mbox, rdf::Term::iri("mailto:w@y")}}, 0);
+  bed.network().reset_stats();
+
+  auto run = [&](bool overlap_aware) {
+    ExecutionPolicy policy;
+    policy.overlap_aware_sites = overlap_aware;
+    DistributedQueryProcessor proc(bed.overlay(), policy);
+    ExecutionReport rep;
+    sparql::QueryResult res = proc.execute(kUnionQuery, d1, &rep);
+    return std::pair{std::move(res), std::move(rep)};
+  };
+  auto [naive_res, naive] = run(false);
+  auto [aware_res, aware] = run(true);
+
+  // Naive ends at different sites and pays a colocation ship; aware ends
+  // both chains at d3 and the union costs nothing extra.
+  EXPECT_TRUE(has_note(naive, "join-site:"));
+  EXPECT_FALSE(has_note(aware, "join-site:"));
+  EXPECT_LT(aware.traffic.bytes, naive.traffic.bytes);
+
+  // Same answers either way.
+  EXPECT_EQ(testing::canon(aware_res.solutions).rows(),
+            testing::canon(naive_res.solutions).rows());
+}
+
+}  // namespace
+}  // namespace ahsw::dqp

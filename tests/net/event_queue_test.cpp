@@ -1,0 +1,68 @@
+// Deterministic ready-queue: events pop in strict (time, query, task)
+// order regardless of push order, which is the total order the DAG
+// executor's replay guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "net/event_queue.hpp"
+
+namespace ahsw::net {
+namespace {
+
+TEST(EventQueue, PopsByTimeThenQueryThenTask) {
+  EventQueue q;
+  q.push({2.0, 0, 0});
+  q.push({1.0, 1, 7});
+  q.push({1.0, 0, 9});
+  q.push({1.0, 0, 2});
+  q.push({0.5, 3, 3});
+
+  std::vector<ReadyEvent> popped;
+  while (!q.empty()) popped.push_back(q.pop());
+
+  ASSERT_EQ(popped.size(), 5u);
+  EXPECT_EQ(popped[0].at, 0.5);
+  EXPECT_EQ(popped[1].query, 0u);
+  EXPECT_EQ(popped[1].task, 2u);  // same time: lower query, then lower task
+  EXPECT_EQ(popped[2].task, 9u);
+  EXPECT_EQ(popped[3].query, 1u);
+  EXPECT_EQ(popped[4].at, 2.0);
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push({3.0, 0, 0});
+  q.push({1.0, 0, 1});
+  EXPECT_EQ(q.top().task, 1u);
+  ReadyEvent first = q.pop();
+  EXPECT_EQ(first.at, 1.0);
+  q.push({2.0, 0, 2});  // arrives after a pop, still sorts before 3.0
+  EXPECT_EQ(q.pop().task, 2u);
+  EXPECT_EQ(q.pop().task, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomPermutationsAllPopSorted) {
+  std::vector<ReadyEvent> events;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    for (std::uint32_t t = 0; t < 3; ++t) {
+      events.push_back({static_cast<SimTime>(i % 3), i % 2, i * 3 + t});
+    }
+  }
+  std::mt19937 rng(17);
+  for (int round = 0; round < 20; ++round) {
+    std::shuffle(events.begin(), events.end(), rng);
+    EventQueue q;
+    for (const ReadyEvent& e : events) q.push(e);
+    std::vector<ReadyEvent> popped;
+    while (!q.empty()) popped.push_back(q.pop());
+    ASSERT_EQ(popped.size(), events.size());
+    EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end())) << round;
+  }
+}
+
+}  // namespace
+}  // namespace ahsw::net

@@ -215,5 +215,42 @@ TEST(SolutionSet, VariablesOfCollectsAllNames) {
   EXPECT_EQ(variables_of(s), (std::vector<std::string>{"x", "y"}));
 }
 
+// The cached byte size must be indistinguishable from recomputation: every
+// mutation path (incremental add, the row-vector constructor, in-place row
+// mutation through the non-const accessor, normalize) lands on the same
+// value a freshly built copy reports.
+std::size_t recomputed(const SolutionSet& s) {
+  return SolutionSet(s.rows()).byte_size();
+}
+
+TEST(SolutionSet, ByteSizeCacheSurvivesIncrementalAdds) {
+  SolutionSet s;
+  std::size_t empty_size = s.byte_size();
+  for (int i = 0; i < 10; ++i) {
+    s.add(bind({{"x", std::to_string(i)}, {"y", "v"}}));
+    EXPECT_EQ(s.byte_size(), recomputed(s)) << "after add " << i;
+  }
+  EXPECT_GT(s.byte_size(), empty_size);
+}
+
+TEST(SolutionSet, ByteSizeCacheInvalidatedByRowMutation) {
+  SolutionSet s({bind({{"x", "a"}})});
+  std::size_t before = s.byte_size();
+  s.rows()[0].set("x", rdf::Term::literal("a much longer literal value"));
+  EXPECT_GT(s.byte_size(), before);
+  EXPECT_EQ(s.byte_size(), recomputed(s));
+
+  s.rows().clear();
+  EXPECT_EQ(s.byte_size(), SolutionSet{}.byte_size());
+}
+
+TEST(SolutionSet, ByteSizeCacheSurvivesNormalize) {
+  SolutionSet s({bind({{"x", "3"}}), bind({{"x", "1"}}), bind({{"x", "2"}})});
+  std::size_t before = s.byte_size();
+  s.normalize();
+  EXPECT_EQ(s.byte_size(), before);
+  EXPECT_EQ(s.byte_size(), recomputed(s));
+}
+
 }  // namespace
 }  // namespace ahsw::sparql

@@ -13,8 +13,13 @@
 //   put <addr> <ntriples line>   share one triple
 //   drop <addr> <ntriples line>  unshare one triple
 //   policy basic|chain|freq|adaptive [traffic_w latency_w]
+//   policy engine dag|legacy     pick the execution engine (default dag)
 //   query <addr> <sparql...>     run a query (may span lines; end with ';')
-//   explain                      span tree of the last query, with costs
+//   batch <addr> <addr> ...      run N queries concurrently (one per ';'-
+//                                terminated query on the following lines)
+//   plan <sparql...>             compile + print the physical operator DAG
+//   explain                      span tree of the last query or batch (batch
+//                                roots carry q<id> labels), with costs
 //   fail-storage <addr>          crash a device
 //   fail-index                   crash one index node, then repair
 //   audit                        run the invariant auditor (I1-I5)
@@ -25,8 +30,10 @@
 #include <sstream>
 
 #include "check/audit.hpp"
+#include "dqp/physical_plan.hpp"
 #include "dqp/processor.hpp"
 #include "obs/explain.hpp"
+#include "optimizer/rewriter.hpp"
 #include "obs/trace.hpp"
 #include "sparql/format.hpp"
 #include "overlay/overlay.hpp"
@@ -98,6 +105,29 @@ struct Shell {
     }
   }
 
+  void run_batch(const std::vector<net::NodeAddress>& addrs,
+                 const std::vector<std::string>& queries) {
+    try {
+      trace.clear();
+      net::TrafficStats before = network->stats();
+      dqp::BatchResult r = processor->execute_batch(queries, addrs);
+      last_query_delta = network->stats().delta_since(before);
+      have_query = true;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const dqp::ExecutionReport& rep = r.reports[i];
+        std::cout << "q" << i << " @ device " << addrs[i] << ":\n"
+                  << sparql::to_table(r.results[i]);
+        std::cout << "-- " << rep.traffic.messages << " msgs, "
+                  << rep.traffic.bytes << " B, " << rep.response_time
+                  << " ms simulated\n";
+      }
+      std::cout << "-- batch of " << queries.size() << ": makespan "
+                << r.makespan << " ms simulated\n";
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+
   void audit() {
     check::AuditOptions opt;
     opt.churned = churned;
@@ -127,7 +157,8 @@ int run(std::istream& in, bool interactive) {
         // comment / blank
       } else if (cmd == "help") {
         std::cout << "commands: system device load put drop policy query "
-                     "explain fail-storage fail-index audit stats quit\n";
+                     "batch plan explain fail-storage fail-index audit stats "
+                     "quit\n";
       } else if (cmd == "system") {
         std::size_t ix = 4, st = 4;
         ss >> ix >> st;
@@ -172,7 +203,17 @@ int run(std::istream& in, bool interactive) {
       } else if (cmd == "policy") {
         std::string kind;
         ss >> kind;
-        if (kind == "basic") {
+        if (kind == "engine") {
+          std::string engine;
+          ss >> engine;
+          if (engine == "dag") {
+            shell.policy.engine = dqp::ExecutionEngine::kDag;
+          } else if (engine == "legacy") {
+            shell.policy.engine = dqp::ExecutionEngine::kLegacy;
+          } else {
+            std::cout << "error: unknown engine (dag|legacy)\n";
+          }
+        } else if (kind == "basic") {
           shell.policy.adaptive = false;
           shell.policy.primitive = optimizer::PrimitiveStrategy::kBasic;
         } else if (kind == "chain") {
@@ -210,6 +251,48 @@ int run(std::istream& in, bool interactive) {
         auto semi = rest.rfind(';');
         if (semi != std::string::npos) rest = rest.substr(0, semi);
         if (shell.ready()) shell.run_query(addr, rest);
+      } else if (cmd == "batch") {
+        std::vector<net::NodeAddress> addrs;
+        net::NodeAddress a = 0;
+        while (ss >> a) addrs.push_back(a);
+        if (addrs.empty()) {
+          std::cout << "error: batch needs at least one initiator address\n";
+        } else if (shell.ready()) {
+          // Collect one ';'-terminated query per initiator from the
+          // following lines.
+          std::vector<std::string> queries;
+          std::string text;
+          while (queries.size() < addrs.size() && std::getline(in, line)) {
+            text += line + "\n";
+            std::size_t semi = 0;
+            while (queries.size() < addrs.size() &&
+                   (semi = text.find(';')) != std::string::npos) {
+              queries.push_back(text.substr(0, semi));
+              text.erase(0, semi + 1);
+            }
+          }
+          if (queries.size() == addrs.size()) {
+            shell.run_batch(addrs, queries);
+          } else {
+            std::cout << "error: expected " << addrs.size()
+                      << " ';'-terminated queries\n";
+          }
+        }
+      } else if (cmd == "plan") {
+        std::string rest;
+        std::getline(ss, rest);
+        while (rest.find(';') == std::string::npos && std::getline(in, line)) {
+          rest += "\n" + line;
+        }
+        auto semi = rest.rfind(';');
+        if (semi != std::string::npos) rest = rest.substr(0, semi);
+        sparql::Query q = sparql::parse_query(rest);
+        sparql::AlgebraPtr a = sparql::translate_pattern(q.where);
+        if (shell.policy.push_filters) a = optimizer::push_filters(a);
+        for (const std::string& l :
+             dqp::compile_physical_plan(*a, shell.policy, q.form).to_lines()) {
+          std::cout << l << "\n";
+        }
       } else if (cmd == "explain") {
         if (shell.ready()) {
           if (!shell.have_query) {
