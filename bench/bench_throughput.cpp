@@ -91,9 +91,7 @@ void audit_batch(const obs::QueryTrace& trace, const net::TrafficStats& delta,
   check::audit_conservation(trace, delta, rep);
   net::TrafficStats sum;
   for (const dqp::ExecutionReport& q : r.reports) {
-    sum.messages += q.traffic.messages;
-    sum.bytes += q.traffic.bytes;
-    sum.timeouts += q.traffic.timeouts;
+    sum.accumulate(q.traffic);
   }
   bool attributed = sum.messages == delta.messages &&
                     sum.bytes == delta.bytes && sum.timeouts == delta.timeouts;

@@ -108,14 +108,7 @@ inline void record_mean_json(benchmark::State& state, std::string record_name,
   r.queries = reps.empty() ? 1 : reps.size();
   double resp = 0;
   for (const dqp::ExecutionReport& rep : reps) {
-    r.traffic.messages += rep.traffic.messages;
-    r.traffic.bytes += rep.traffic.bytes;
-    r.traffic.timeouts += rep.traffic.timeouts;
-    for (int c = 0; c < net::kCategoryCount; ++c) {
-      r.traffic.messages_by[c] += rep.traffic.messages_by[c];
-      r.traffic.bytes_by[c] += rep.traffic.bytes_by[c];
-      r.traffic.timeouts_by[c] += rep.traffic.timeouts_by[c];
-    }
+    r.traffic.accumulate(rep.traffic);
     resp += rep.response_time;
   }
   r.response_ms = resp / static_cast<double>(r.queries);

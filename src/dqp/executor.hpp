@@ -180,6 +180,17 @@ class DagExecutor {
   net::SimTime claim(net::NodeAddress node, std::uint32_t qid,
                      net::SimTime at);
 
+  // Span plumbing for the interleaved DAG: firings of different queries
+  // interleave arbitrarily, so a task's enclosing span is re-entered around
+  // each fire instead of being held open by one RAII scope. These three
+  // helpers are the only sanctioned manual QueryTrace calls outside
+  // SpanScope (rule O1); each is a no-op without a bound trace, and fire()
+  // balances every open/reopen with a close.
+  obs::SpanId open_span(obs::SpanKind kind, std::string label,
+                        net::SimTime at, net::NodeAddress site);
+  void close_span(obs::SpanId span, net::SimTime end);
+  void reopen_span(obs::SpanId span);
+
   [[nodiscard]] net::Network& net() { return overlay_->network(); }
 
   overlay::HybridOverlay* overlay_;

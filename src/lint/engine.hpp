@@ -1,0 +1,55 @@
+// The ahsw-lint engine: run the rule catalogue (rules.hpp) over files or a
+// whole source tree and aggregate the result into a report with
+// human-readable and JSON renderings.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace ahsw::lint {
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  // post-suppression, sorted per file
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+  std::map<std::string, std::size_t> by_rule;  // kept diagnostics per rule
+
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+
+  /// One diagnostic per line, then a summary line. Stable: golden tests and
+  /// the CI log both pin this format.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Machine-readable rendering for the CI artifact.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Lint a single in-memory source. `path` is the repo-relative label used
+/// for whitelists, layering, and diagnostics.
+[[nodiscard]] LintReport lint_source(std::string path, std::string_view text,
+                                     const LintConfig& cfg);
+
+/// Lint files on disk. Paths are repo-relative; `root` locates them.
+/// Throws std::runtime_error when a file cannot be read.
+[[nodiscard]] LintReport lint_files(const std::string& root,
+                                    const std::vector<std::string>& rel_paths,
+                                    const LintConfig& cfg);
+
+/// Lint every .cpp/.hpp under the given top-level directories of `root`
+/// (default: the directories the gate covers), in sorted path order.
+[[nodiscard]] LintReport lint_tree(
+    const std::string& root, const LintConfig& cfg,
+    const std::vector<std::string>& dirs = {"src", "tools", "bench"});
+
+/// Build the default config: parse the layer spec at `layers_path`
+/// (default `<root>/tools/ahsw_layers.spec`). Throws std::runtime_error on
+/// a missing or malformed spec — the gate must not silently run without
+/// layering.
+[[nodiscard]] LintConfig load_config(const std::string& root,
+                                     const std::string& layers_path = "");
+
+}  // namespace ahsw::lint

@@ -1,0 +1,714 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ahsw::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+[[nodiscard]] bool contains_ci(std::string_view hay, std::string_view needle) {
+  return lower(hay).find(lower(needle)) != std::string::npos;
+}
+
+[[nodiscard]] bool is_header(std::string_view path) {
+  return path.size() >= 4 && path.substr(path.size() - 4) == ".hpp";
+}
+
+/// True when `path` starts with any of the given prefixes — the rule
+/// whitelists (the accounting layer may mutate its own counters, the span
+/// ledger may drive itself, the Rng wrapper may touch entropy).
+[[nodiscard]] bool whitelisted(std::string_view path,
+                               std::initializer_list<std::string_view> list) {
+  for (std::string_view p : list) {
+    if (common::starts_with(path, p)) return true;
+  }
+  return false;
+}
+
+/// Forward scan from the token at `open` (which must be the opening
+/// bracket) to its matching closer; returns the index of the closer, or
+/// tokens.size() when unbalanced.
+[[nodiscard]] std::size_t match_forward(const Tokens& toks, std::size_t open,
+                                        std::string_view o,
+                                        std::string_view c) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].is(o)) ++depth;
+    if (toks[i].is(c) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Walk backwards from `i` (inclusive) over a member-access chain
+/// (identifiers, `.`, `->`, `::`, and balanced `()` / `[]` groups) and
+/// collect the identifiers, e.g. `overlay_->network().stats` yields
+/// {stats, network, overlay_}. Returns the index of the first token of the
+/// chain.
+[[nodiscard]] std::size_t chain_back(const Tokens& toks, std::size_t i,
+                                     std::vector<std::string>* idents) {
+  std::size_t first = i + 1;
+  while (true) {
+    if (first == 0) break;
+    const Token& t = toks[first - 1];
+    if (t.kind == Token::Kind::kIdentifier) {
+      if (idents != nullptr) idents->push_back(t.text);
+      --first;
+    } else if (t.is(".") || t.is("->") || t.is("::")) {
+      --first;
+    } else if (t.is(")") || t.is("]")) {
+      std::string_view open = t.is(")") ? "(" : "[";
+      std::string_view close = t.is(")") ? ")" : "]";
+      int depth = 0;
+      std::size_t j = first - 1;
+      while (true) {
+        if (toks[j].is(close)) ++depth;
+        if (toks[j].is(open) && --depth == 0) break;
+        if (j == 0) break;
+        --j;
+      }
+      if (depth != 0) break;
+      first = j;
+    } else {
+      break;
+    }
+  }
+  return first;
+}
+
+// -- comment attachment -----------------------------------------------------
+
+/// The code line a comment is attached to: its own last line when that line
+/// also carries code (trailing comment), else the first code line below it
+/// with only comment lines in between (a blank line breaks the attachment).
+[[nodiscard]] int attach_line(const SourceFile& file, const Comment& c) {
+  if (file.line_has_code(c.end)) return c.end;
+  std::vector<char> commented(static_cast<std::size_t>(file.last_line) + 2, 0);
+  for (const Comment& other : file.comments) {
+    for (int l = other.begin; l <= other.end && l <= file.last_line; ++l) {
+      commented[static_cast<std::size_t>(l)] = 1;
+    }
+  }
+  for (int l = c.end + 1; l <= file.last_line; ++l) {
+    if (file.line_has_code(l)) return l;
+    if (commented[static_cast<std::size_t>(l)] == 0) break;  // blank line
+  }
+  return -1;
+}
+
+/// True when `line` carries, or is directly preceded by, a comment whose
+/// text contains `marker` (used by D3's iteration-order contracts).
+[[nodiscard]] bool has_marker(const SourceFile& file, int line,
+                              std::string_view marker) {
+  for (const Comment& c : file.comments) {
+    if (c.text.find(marker) == std::string::npos) continue;
+    if (c.begin <= line && line <= c.end) return true;
+    if (attach_line(file, c) == line) return true;
+  }
+  return false;
+}
+
+// -- D rules: determinism ---------------------------------------------------
+
+struct BannedIdent {
+  std::string_view ident;
+  std::string_view why;
+};
+
+// Identifiers that may never appear in sim code, wherever they come from.
+constexpr BannedIdent kBannedAlways[] = {
+    {"system_clock", "wall-clock read; thread net::SimTime instead"},
+    {"steady_clock", "wall-clock read; thread net::SimTime instead"},
+    {"high_resolution_clock", "wall-clock read; thread net::SimTime instead"},
+    {"random_device", "nondeterministic entropy; seed a common::Rng"},
+    {"mt19937", "unsanctioned RNG; use common::Rng"},
+    {"mt19937_64", "unsanctioned RNG; use common::Rng"},
+    {"default_random_engine", "unsanctioned RNG; use common::Rng"},
+    {"rand", "global unseeded RNG; use common::Rng"},
+    {"srand", "global unseeded RNG; use common::Rng"},
+    {"this_thread", "real-time waiting has no place in simulated time"},
+};
+
+// Identifiers banned only as direct calls (`time(...)`), since the bare
+// names are too common as members and locals.
+constexpr BannedIdent kBannedCalls[] = {
+    {"time", "wall-clock read; thread net::SimTime instead"},
+    {"clock", "wall-clock read; thread net::SimTime instead"},
+    {"gettimeofday", "wall-clock read; thread net::SimTime instead"},
+    {"localtime", "wall-clock read; thread net::SimTime instead"},
+    {"gmtime", "wall-clock read; thread net::SimTime instead"},
+    {"strftime", "wall-clock formatting; sim code reports SimTime"},
+};
+
+// Headers whose inclusion is itself the violation.
+constexpr std::string_view kBannedIncludes[] = {
+    "chrono", "ctime", "time.h", "random", "thread", "sys/time.h",
+    "pthread.h",
+};
+
+void check_d1(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (whitelisted(f.path, {"src/common/rng"})) return;
+  for (const IncludeDirective& inc : f.includes) {
+    for (std::string_view banned : kBannedIncludes) {
+      if (inc.angled && inc.path == banned) {
+        out->push_back(Diagnostic{
+            "D1", f.path, inc.line,
+            "#include <" + inc.path +
+                "> pulls wall-clock/OS-randomness/threading into sim code; "
+                "determinism requires common::Rng and net::SimTime"});
+      }
+    }
+  }
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdentifier) continue;
+    const bool member = i > 0 && (t[i - 1].is(".") || t[i - 1].is("->"));
+    if (member) continue;  // .rand / ->time are someone else's members
+    const bool qualified = i > 0 && t[i - 1].is("::");
+    const bool std_qualified =
+        qualified && i > 1 && t[i - 2].ident("std");
+    const bool chrono_qualified =
+        qualified && i > 1 && t[i - 2].ident("chrono");
+    for (const BannedIdent& b : kBannedAlways) {
+      if (t[i].text == b.ident &&
+          (!qualified || std_qualified || chrono_qualified)) {
+        out->push_back(Diagnostic{"D1", f.path, t[i].line,
+                                  "'" + t[i].text + "': " +
+                                      std::string(b.why)});
+      }
+    }
+    const bool call = i + 1 < t.size() && t[i + 1].is("(");
+    if (call && (!qualified || std_qualified)) {
+      for (const BannedIdent& b : kBannedCalls) {
+        if (t[i].text == b.ident) {
+          out->push_back(Diagnostic{"D1", f.path, t[i].line,
+                                    "'" + t[i].text + "()': " +
+                                        std::string(b.why)});
+        }
+      }
+    }
+    if ((t[i].text == "thread" || t[i].text == "jthread") && std_qualified) {
+      out->push_back(Diagnostic{
+          "D1", f.path, t[i].line,
+          "'std::" + t[i].text +
+              "': real concurrency breaks deterministic replay; model "
+              "parallelism through the event scheduler"});
+    }
+  }
+}
+
+struct UnorderedDecl {
+  std::string name;
+  int line = 0;
+};
+
+/// Variable / member names declared with an unordered container type in
+/// this file. Function declarations returning one are skipped.
+[[nodiscard]] std::vector<UnorderedDecl> unordered_decls(const SourceFile& f) {
+  static constexpr std::string_view kTypes[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::vector<UnorderedDecl> decls;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    bool is_type = false;
+    for (std::string_view ty : kTypes) {
+      if (t[i].ident(ty)) is_type = true;
+    }
+    if (!is_type) continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].is("<")) {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].is("<")) ++depth;
+        if (t[j].is(">")) --depth;
+        if (t[j].is(">>")) depth -= 2;
+        if (depth <= 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < t.size() &&
+           (t[j].is("&") || t[j].is("*") || t[j].ident("const"))) {
+      ++j;
+    }
+    if (j + 1 < t.size() && t[j].kind == Token::Kind::kIdentifier) {
+      const Token& after = t[j + 1];
+      if (after.is(";") || after.is("=") || after.is("{") || after.is(",") ||
+          after.is(")")) {
+        decls.push_back(UnorderedDecl{t[j].text, t[j].line});
+      }
+    }
+  }
+  return decls;
+}
+
+void check_d2_d3(const SourceFile& f, std::vector<Diagnostic>* out) {
+  std::vector<UnorderedDecl> decls = unordered_decls(f);
+  if (decls.empty()) return;
+  std::set<std::string> names;
+  for (const UnorderedDecl& d : decls) names.insert(d.name);
+
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for whose range expression mentions an unordered container.
+    if (t[i].ident("for") && i + 1 < t.size() && t[i + 1].is("(")) {
+      std::size_t close = match_forward(t, i + 1, "(", ")");
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].is("(") || t[j].is("[") || t[j].is("{")) ++depth;
+        if (t[j].is(")") || t[j].is("]") || t[j].is("}")) --depth;
+        if (depth == 0 && t[j].is(":")) {
+          colon = j;
+          break;
+        }
+      }
+      for (std::size_t j = colon + 1; colon != 0 && j < close; ++j) {
+        if (t[j].kind == Token::Kind::kIdentifier &&
+            names.count(t[j].text) > 0) {
+          out->push_back(Diagnostic{
+              "D2", f.path, t[j].line,
+              "iterating unordered container '" + t[j].text +
+                  "' leaks hash order into downstream output; iterate an "
+                  "ordered projection instead"});
+          break;
+        }
+      }
+    }
+    // Explicit iterator walks: name.begin(), name->cbegin(), ...
+    if (t[i].kind == Token::Kind::kIdentifier && names.count(t[i].text) > 0 &&
+        i + 2 < t.size() && (t[i + 1].is(".") || t[i + 1].is("->"))) {
+      const std::string& m = t[i + 2].text;
+      if (m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") {
+        out->push_back(Diagnostic{
+            "D2", f.path, t[i].line,
+            "iterator walk over unordered container '" + t[i].text +
+                "' leaks hash order; iterate an ordered projection instead"});
+      }
+    }
+  }
+
+  if (!is_header(f.path)) return;
+  for (const UnorderedDecl& d : decls) {
+    if (!has_marker(f, d.line, "iteration-order:")) {
+      out->push_back(Diagnostic{
+          "D3", f.path, d.line,
+          "unordered container member '" + d.name +
+              "' in a header needs an `// iteration-order: <contract>` "
+              "comment stating why hash order cannot leak"});
+    }
+  }
+}
+
+// -- A rules: accounting ----------------------------------------------------
+
+void check_a1(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (whitelisted(f.path, {"src/net/network"})) return;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!(t[i].ident("send") || t[i].ident("timeout"))) continue;
+    if (!(t[i - 1].is(".") || t[i - 1].is("->"))) continue;
+    if (!t[i + 1].is("(")) continue;
+    std::size_t close = match_forward(t, i + 1, "(", ")");
+    bool categorized = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (t[j].kind != Token::Kind::kIdentifier) continue;
+      if (t[j].text == "Category" ||
+          lower(t[j].text).find("category") != std::string::npos) {
+        categorized = true;
+        break;
+      }
+    }
+    if (!categorized) {
+      out->push_back(Diagnostic{
+          "A1", f.path, t[i].line,
+          "Network::" + t[i].text +
+              " call site without an explicit net::Category; every charged "
+              "interaction must name its traffic category"});
+    }
+  }
+}
+
+constexpr std::string_view kCounterFields[] = {
+    "messages", "bytes", "timeouts", "messages_by", "bytes_by", "timeouts_by"};
+
+void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (whitelisted(f.path,
+                  {"src/net/network", "src/obs/trace.cpp"})) {
+    return;
+  }
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].is(".") || t[i].is("->"))) continue;
+    const Token& field = t[i + 1];
+    bool is_counter = false;
+    for (std::string_view c : kCounterFields) {
+      if (field.ident(c)) is_counter = true;
+    }
+    if (!is_counter) continue;
+    std::size_t j = i + 2;
+    if (j < t.size() && t[j].is("[")) {
+      j = match_forward(t, j, "[", "]") + 1;
+    }
+    std::vector<std::string> chain;
+    std::size_t first = chain_back(t, i - 1, &chain);
+    bool mutating =
+        j < t.size() && (t[j].is("=") || t[j].is("+=") || t[j].is("-=") ||
+                         t[j].is("*=") || t[j].is("/=") || t[j].is("++") ||
+                         t[j].is("--"));
+    if (!mutating && first > 0 &&
+        (t[first - 1].is("++") || t[first - 1].is("--"))) {
+      mutating = true;
+    }
+    if (!mutating) continue;
+    bool accounting_target = field.text.size() > 3 &&
+                             field.text.substr(field.text.size() - 3) == "_by";
+    for (const std::string& link : chain) {
+      if (contains_ci(link, "stats") || contains_ci(link, "traffic")) {
+        accounting_target = true;
+      }
+    }
+    if (accounting_target) {
+      out->push_back(Diagnostic{
+          "A2", f.path, field.line,
+          "traffic counter '" + field.text +
+              "' mutated outside the accounting layer; byte totals change "
+              "only through Network charging or TrafficStats::accumulate"});
+    }
+  }
+}
+
+// -- O rules: observability -------------------------------------------------
+
+void check_o1(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (whitelisted(f.path, {"src/obs/trace"})) return;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!(t[i].ident("open") || t[i].ident("close") || t[i].ident("reopen"))) {
+      continue;
+    }
+    if (!(t[i - 1].is(".") || t[i - 1].is("->"))) continue;
+    if (!t[i + 1].is("(")) continue;
+    std::vector<std::string> chain;
+    static_cast<void>(chain_back(t, i - 1, &chain));
+    bool on_trace = false;
+    for (const std::string& link : chain) {
+      if (contains_ci(link, "trace")) on_trace = true;
+    }
+    if (on_trace) {
+      out->push_back(Diagnostic{
+          "O1", f.path, t[i].line,
+          "manual QueryTrace::" + t[i].text +
+              " outside SpanScope; RAII scopes keep span trees balanced "
+              "(unbalanced spans corrupt I5 attribution)"});
+    }
+  }
+}
+
+/// Scan one switch statement (token `i` is the `switch` keyword). Nested
+/// switches are handled recursively and excluded from the enclosing
+/// switch's own case/default accounting. Returns the index just past the
+/// switch body.
+std::size_t scan_switch(const SourceFile& f, const LintConfig& cfg,
+                        std::size_t i, std::vector<Diagnostic>* out) {
+  const Tokens& t = f.tokens;
+  if (i + 1 >= t.size() || !t[i + 1].is("(")) return i + 1;
+  std::size_t cond_close = match_forward(t, i + 1, "(", ")");
+  if (cond_close + 1 >= t.size() || !t[cond_close + 1].is("{")) {
+    return cond_close + 1;
+  }
+  std::set<std::string> case_enums;
+  int default_line = 0;
+  int depth = 0;
+  std::size_t j = cond_close + 1;
+  while (j < t.size()) {
+    if (t[j].is("{")) {
+      ++depth;
+      ++j;
+      continue;
+    }
+    if (t[j].is("}")) {
+      if (--depth == 0) {
+        ++j;
+        break;
+      }
+      ++j;
+      continue;
+    }
+    if (t[j].ident("switch") && j + 1 < t.size() && t[j + 1].is("(")) {
+      j = scan_switch(f, cfg, j, out);
+      continue;
+    }
+    if (depth == 1 && t[j].ident("case")) {
+      // Tokens of the label up to the ':'; the enum is the identifier
+      // before the last '::'.
+      std::size_t colon = j + 1;
+      while (colon < t.size() && !t[colon].is(":")) ++colon;
+      for (std::size_t k = j + 1; k + 1 < colon; ++k) {
+        if (t[k].kind == Token::Kind::kIdentifier && t[k + 1].is("::")) {
+          case_enums.insert(t[k].text);  // last one wins: Foo::Bar::kX -> Bar
+        }
+      }
+      // Keep only the final qualifier as the enum name.
+      j = colon + 1;
+      continue;
+    }
+    if (depth == 1 && t[j].ident("default") && j + 1 < t.size() &&
+        t[j + 1].is(":")) {
+      default_line = t[j].line;
+      j += 2;
+      continue;
+    }
+    ++j;
+  }
+  if (default_line != 0) {
+    for (const std::string& e : case_enums) {
+      if (cfg.guarded_enums.count(e) > 0) {
+        out->push_back(Diagnostic{
+            "O2", f.path, default_line,
+            "switch over guarded enum '" + e +
+                "' has a default: label; enumerate every value so a new "
+                "enumerator fails the -Wswitch build instead of silently "
+                "falling through"});
+        break;
+      }
+    }
+  }
+  return j;
+}
+
+void check_o2(const SourceFile& f, const LintConfig& cfg,
+              std::vector<Diagnostic>* out) {
+  const Tokens& t = f.tokens;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    if (t[i].ident("switch") && i + 1 < t.size() && t[i + 1].is("(")) {
+      i = scan_switch(f, cfg, i, out);
+    } else {
+      ++i;
+    }
+  }
+}
+
+// -- L rules: layering ------------------------------------------------------
+
+void check_layering(const SourceFile& f, const LintConfig& cfg,
+                    std::vector<Diagnostic>* out) {
+  std::string module = module_of(f.path);
+  if (module.empty()) return;
+  if (!cfg.layers.known(module)) {
+    if (common::starts_with(f.path, "src/")) {
+      out->push_back(Diagnostic{
+          "L2", f.path, 1,
+          "module '" + module +
+              "' is not declared in the layer spec; add it (and its allowed "
+              "dependencies) to tools/ahsw_layers.spec"});
+    }
+    return;
+  }
+  for (const IncludeDirective& inc : f.includes) {
+    if (inc.angled) continue;
+    std::size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    std::string dep = inc.path.substr(0, slash);
+    if (dep == module) continue;
+    if (!cfg.layers.allows(module, dep)) {
+      out->push_back(Diagnostic{
+          "L1", f.path, inc.line,
+          "module '" + module + "' may not include '" + dep +
+              "' (declared layer DAG: tools/ahsw_layers.spec)"});
+    }
+  }
+}
+
+// -- suppressions -----------------------------------------------------------
+
+struct Suppression {
+  std::set<std::string> rules;
+  std::set<int> lines;  // lines this suppression covers
+  int line = 0;         // where the marker sits (for S1)
+  bool justified = false;
+  bool malformed = false;
+};
+
+constexpr std::string_view kMarker = "ahsw-lint:";
+
+[[nodiscard]] std::vector<Suppression> collect_suppressions(
+    const SourceFile& f) {
+  std::vector<Suppression> out;
+  for (const Comment& c : f.comments) {
+    std::size_t at = c.text.find(kMarker);
+    if (at == std::string::npos) continue;
+    Suppression s;
+    s.line = c.begin;
+    for (int l = c.begin; l <= c.end; ++l) s.lines.insert(l);
+    int target = attach_line(f, c);
+    if (target > 0) s.lines.insert(target);
+    std::string_view rest =
+        common::trim(std::string_view(c.text).substr(at + kMarker.size()));
+    if (!common::starts_with(rest, "allow(")) {
+      s.malformed = true;
+      out.push_back(std::move(s));
+      continue;
+    }
+    rest.remove_prefix(6);
+    std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      s.malformed = true;
+      out.push_back(std::move(s));
+      continue;
+    }
+    std::string rules(rest.substr(0, close));
+    std::replace(rules.begin(), rules.end(), ',', ' ');
+    for (std::string_view r : common::split(rules, ' ')) {
+      r = common::trim(r);
+      if (!r.empty()) s.rules.insert(std::string(r));
+    }
+    if (s.rules.empty()) s.malformed = true;
+    // Justification: anything after ')' beyond comment decoration.
+    std::string_view why = rest.substr(close + 1);
+    for (char ch : why) {
+      if (std::isalnum(static_cast<unsigned char>(ch)) != 0) {
+        s.justified = true;
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+bool LayerSpec::allows(const std::string& module,
+                       const std::string& dep) const {
+  auto it = allowed.find(module);
+  if (it == allowed.end()) return false;
+  return it->second.count("*") > 0 || it->second.count(dep) > 0;
+}
+
+LayerSpec LayerSpec::parse(std::string_view text,
+                           std::vector<std::string>* errors) {
+  LayerSpec spec;
+  int lineno = 0;
+  for (std::string_view raw : common::split(text, '\n')) {
+    ++lineno;
+    std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    std::string_view line = common::trim(raw);
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      if (errors != nullptr) {
+        errors->push_back("layer spec line " + std::to_string(lineno) +
+                          ": expected `module: deps...`");
+      }
+      continue;
+    }
+    std::string module(common::trim(line.substr(0, colon)));
+    std::set<std::string>& deps = spec.allowed[module];
+    for (std::string_view d : common::split(line.substr(colon + 1), ' ')) {
+      d = common::trim(d);
+      if (!d.empty()) deps.insert(std::string(d));
+    }
+  }
+  return spec;
+}
+
+std::string module_of(std::string_view path) {
+  for (std::string_view root : {"tools", "bench", "tests", "examples"}) {
+    if (common::starts_with(path, std::string(root) + "/")) {
+      return std::string(root);
+    }
+  }
+  if (common::starts_with(path, "src/")) {
+    std::string_view rest = path.substr(4);
+    std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) {
+      return std::string(rest.substr(0, slash));
+    }
+  }
+  return "";
+}
+
+std::vector<Diagnostic> run_rules(const SourceFile& file,
+                                  const LintConfig& cfg) {
+  std::vector<Diagnostic> out;
+  check_d1(file, &out);
+  check_d2_d3(file, &out);
+  check_a1(file, &out);
+  check_a2(file, &out);
+  check_o1(file, &out);
+  check_o2(file, cfg, &out);
+  check_layering(file, cfg, &out);
+  return out;
+}
+
+std::vector<Diagnostic> apply_suppressions(const SourceFile& file,
+                                           std::vector<Diagnostic> raw,
+                                           std::size_t* suppressed_count) {
+  std::vector<Suppression> sups = collect_suppressions(file);
+  std::vector<Diagnostic> kept;
+  std::size_t suppressed = 0;
+  std::set<int> flagged_sups;  // S1 once per bad suppression
+  for (Diagnostic& d : raw) {
+    bool drop = false;
+    for (const Suppression& s : sups) {
+      if (s.malformed || s.rules.count(d.rule) == 0 ||
+          s.lines.count(d.line) == 0) {
+        continue;
+      }
+      if (s.justified) {
+        drop = true;
+      } else {
+        flagged_sups.insert(s.line);
+      }
+      break;
+    }
+    if (drop) {
+      ++suppressed;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  for (const Suppression& s : sups) {
+    if (s.malformed) {
+      kept.push_back(Diagnostic{
+          "S1", file.path, s.line,
+          "malformed ahsw-lint marker; expected `ahsw-lint: "
+          "allow(RULE[,RULE...]) <justification>`"});
+    } else if (!s.justified && flagged_sups.count(s.line) > 0) {
+      kept.push_back(Diagnostic{
+          "S1", file.path, s.line,
+          "suppression without a justification; say *why* the rule does "
+          "not apply here"});
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  if (suppressed_count != nullptr) *suppressed_count = suppressed;
+  return kept;
+}
+
+}  // namespace ahsw::lint

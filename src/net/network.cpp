@@ -33,6 +33,17 @@ TrafficStats TrafficStats::delta_since(const TrafficStats& base) const {
   return d;
 }
 
+void TrafficStats::accumulate(const TrafficStats& delta) noexcept {
+  messages += delta.messages;
+  bytes += delta.bytes;
+  timeouts += delta.timeouts;
+  for (int i = 0; i < kCategoryCount; ++i) {
+    messages_by[i] += delta.messages_by[i];
+    bytes_by[i] += delta.bytes_by[i];
+    timeouts_by[i] += delta.timeouts_by[i];
+  }
+}
+
 SimTime Network::send(NodeAddress from, NodeAddress to, std::size_t bytes,
                       SimTime now, Category category) {
   if (from == to) return now;  // node-local: no network involved

@@ -64,6 +64,12 @@ struct TrafficStats {
   std::uint64_t timeouts_by[kCategoryCount] = {};
 
   [[nodiscard]] TrafficStats delta_since(const TrafficStats& base) const;
+
+  /// Add another stats block (typically a per-query delta) into this one,
+  /// aggregate and per-category counters alike. The one sanctioned way to
+  /// roll per-query traffic into a report total (rule A2): hand-rolled
+  /// `total.bytes += ...` sums silently drift when a counter is added here.
+  void accumulate(const TrafficStats& delta) noexcept;
 };
 
 /// One charged message, as seen by a tracer.
@@ -142,6 +148,7 @@ class Network {
  private:
   CostModel model_;
   TrafficStats stats_;
+  // iteration-order: never iterated — membership queries (is_failed) only.
   std::unordered_set<NodeAddress> failed_;
   NodeAddress next_address_ = 1;
   Tracer tracer_;

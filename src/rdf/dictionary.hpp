@@ -29,7 +29,17 @@ class TermDictionary {
 
   [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
 
+  /// The sanctioned traversal: every interned term in id (= insertion)
+  /// order, so `terms()[id] == term(id)`. Callers must never walk `ids_` —
+  /// its hash order would differ across platforms and leak into any output
+  /// built from it (rule D2).
+  [[nodiscard]] const std::vector<Term>& terms() const noexcept {
+    return terms_;
+  }
+
  private:
+  // iteration-order: never iterated — point lookups only; traversal goes
+  // through terms(), which is deterministic insertion order.
   std::unordered_map<Term, TermId, TermHash> ids_;
   std::vector<Term> terms_;
 };

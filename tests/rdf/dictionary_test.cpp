@@ -47,5 +47,25 @@ TEST(TermDictionary, DistinguishesKindsAndAnnotations) {
   EXPECT_EQ(d.size(), 4u);
 }
 
+TEST(TermDictionary, TraversalIsDeterministicInsertionOrder) {
+  // Regression for the D2/D3 iteration hazard: the exposed traversal must
+  // be the insertion-order vector, never the unordered id map, so any
+  // output built from a dictionary walk is identical across runs and
+  // platforms.
+  TermDictionary d;
+  std::vector<Term> inserted = {Term::iri("b"), Term::iri("a"),
+                                Term::literal("b"),
+                                Term::lang_literal("z", "en")};
+  for (const Term& t : inserted) d.intern(t);
+  d.intern(inserted[1]);  // re-intern must not perturb the order
+
+  ASSERT_EQ(d.terms().size(), inserted.size());
+  for (std::size_t i = 0; i < inserted.size(); ++i) {
+    EXPECT_EQ(d.terms()[i], inserted[i]) << "position " << i;
+    // terms()[id] and term(id) agree: ids index the traversal directly.
+    EXPECT_EQ(d.terms()[i], d.term(static_cast<TermId>(i)));
+  }
+}
+
 }  // namespace
 }  // namespace ahsw::rdf

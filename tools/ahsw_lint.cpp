@@ -1,0 +1,70 @@
+// ahsw-lint driver.
+//
+// Usage:
+//   ahsw_lint [--root DIR] [--layers FILE] [--json FILE] [paths...]
+//
+// With no paths, lints every .cpp/.hpp under src/, tools/ and bench/ of
+// the root (the CI gate configuration). Paths, when given, are
+// root-relative files to lint instead. Exit codes: 0 clean, 1 diagnostics
+// found, 2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--layers FILE] [--json FILE] [paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string layers;
+  std::string json_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  try {
+    ahsw::lint::LintConfig cfg = ahsw::lint::load_config(root, layers);
+    ahsw::lint::LintReport report =
+        paths.empty() ? ahsw::lint::lint_tree(root, cfg)
+                      : ahsw::lint::lint_files(root, paths, cfg);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "ahsw-lint: cannot write " << json_path << "\n";
+        return 2;
+      }
+      out << report.to_json();
+    }
+    std::cout << report.to_string();
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

@@ -23,6 +23,7 @@
 //   fail-storage <addr>          crash a device
 //   fail-index                   crash one index node, then repair
 //   audit                        run the invariant auditor (I1-I5)
+//   lint                         run ahsw-lint over the source tree
 //   stats                        system summary
 //   quit
 #include <fstream>
@@ -30,6 +31,7 @@
 #include <sstream>
 
 #include "check/audit.hpp"
+#include "lint/engine.hpp"
 #include "dqp/physical_plan.hpp"
 #include "dqp/processor.hpp"
 #include "obs/explain.hpp"
@@ -157,8 +159,8 @@ int run(std::istream& in, bool interactive) {
         // comment / blank
       } else if (cmd == "help") {
         std::cout << "commands: system device load put drop policy query "
-                     "batch plan explain fail-storage fail-index audit stats "
-                     "quit\n";
+                     "batch plan explain fail-storage fail-index audit lint "
+                     "stats quit\n";
       } else if (cmd == "system") {
         std::size_t ix = 4, st = 4;
         ss >> ix >> st;
@@ -320,6 +322,16 @@ int run(std::istream& in, bool interactive) {
         }
       } else if (cmd == "audit") {
         if (shell.ready()) shell.audit();
+      } else if (cmd == "lint") {
+        // The static half of the correctness suite: audit checks the
+        // running system, lint checks the source tree it was built from.
+#ifdef AHSW_SOURCE_ROOT
+        const std::string root = AHSW_SOURCE_ROOT;
+#else
+        const std::string root = ".";
+#endif
+        lint::LintConfig cfg = lint::load_config(root);
+        std::cout << lint::lint_tree(root, cfg).to_string();
       } else if (cmd == "stats") {
         if (shell.ready()) {
           std::size_t entries = 0;

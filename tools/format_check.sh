@@ -14,6 +14,10 @@ if ! command -v clang-format >/dev/null 2>&1; then
   exit 0
 fi
 
-mapfile -t sources < <(find src tests bench tools -name '*.cpp' -o -name '*.hpp' | sort)
+# Covers every C++ source, src/lint included. The lint fixture corpus
+# (tests/lint/fixtures/*.cppsnip) is intentionally-bad code and uses a
+# non-C++ extension precisely so this gate ignores it.
+mapfile -t sources < <(find src tests bench tools \
+  \( -name '*.cpp' -o -name '*.hpp' \) | sort)
 echo "== clang-format --dry-run (${#sources[@]} files) =="
 clang-format --dry-run -Werror "${sources[@]}"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Static-analysis gate: clang-tidy (profile in .clang-tidy) and cppcheck over
-# the library sources, driven by a compile_commands.json exported into
-# build-analysis/. The dynamic counterpart of this gate is the invariant
-# auditor (src/check/, AHSW_AUDIT=1); see docs/static_analysis.md.
+# the library sources, then ahsw-lint (the self-hosted domain linter, built
+# from src/lint/) over src/, tools/ and bench/. The dynamic counterpart of
+# this gate is the invariant auditor (src/check/, AHSW_AUDIT=1); see
+# docs/static_analysis.md for both halves.
 #
-# Exit codes: non-zero on any finding. When a tool is not installed the step
-# is skipped with a notice — unless AHSW_STATIC_STRICT=1 (set in CI), in
-# which case a missing tool is itself a failure.
+# Exit codes: non-zero on any finding. When an external tool is not
+# installed the step is skipped with a notice — unless AHSW_STATIC_STRICT=1
+# (set in CI), in which case a missing tool is itself a failure. ahsw-lint
+# is built from this repo, so it always runs and always gates.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,11 +29,11 @@ missing_tool() {
 # and Google Benchmark macros trip too many style checks to be useful.
 mapfile -t sources < <(find src tools -name '*.cpp' | sort)
 
+# Always configure: the external tools read compile_commands.json from the
+# analysis build, and ahsw-lint is built inside it.
 build_dir=build-analysis
-if command -v clang-tidy >/dev/null 2>&1 || command -v cppcheck >/dev/null 2>&1; then
-  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 1
-fi
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 1
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (${#sources[@]} files) =="
@@ -52,6 +54,19 @@ if command -v cppcheck >/dev/null 2>&1; then
   fi
 else
   missing_tool cppcheck
+fi
+
+echo "== ahsw-lint =="
+if cmake --build "${build_dir}" --target ahsw_lint_tool -j > /dev/null; then
+  # JSON diagnostics land next to the analysis build; CI uploads them as an
+  # artifact so findings are inspectable without re-running the job.
+  if ! "${build_dir}/tools/ahsw_lint" --root . \
+      --json "${build_dir}/ahsw_lint.json"; then
+    status=1
+  fi
+else
+  echo "error: failed to build ahsw_lint_tool" >&2
+  status=1
 fi
 
 exit "${status}"
