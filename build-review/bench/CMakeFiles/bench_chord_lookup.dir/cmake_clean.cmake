@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chord_lookup.dir/bench_chord_lookup.cpp.o"
+  "CMakeFiles/bench_chord_lookup.dir/bench_chord_lookup.cpp.o.d"
+  "CMakeFiles/bench_chord_lookup.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_chord_lookup.dir/bench_main.cpp.o.d"
+  "bench_chord_lookup"
+  "bench_chord_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chord_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

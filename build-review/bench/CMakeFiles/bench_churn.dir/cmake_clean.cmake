@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_churn.dir/bench_churn.cpp.o"
+  "CMakeFiles/bench_churn.dir/bench_churn.cpp.o.d"
+  "CMakeFiles/bench_churn.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_churn.dir/bench_main.cpp.o.d"
+  "bench_churn"
+  "bench_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

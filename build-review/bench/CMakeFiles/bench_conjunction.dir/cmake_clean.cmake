@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conjunction.dir/bench_conjunction.cpp.o"
+  "CMakeFiles/bench_conjunction.dir/bench_conjunction.cpp.o.d"
+  "CMakeFiles/bench_conjunction.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_conjunction.dir/bench_main.cpp.o.d"
+  "bench_conjunction"
+  "bench_conjunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conjunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o"
+  "CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o.d"
+  "CMakeFiles/bench_index_ablation.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_index_ablation.dir/bench_main.cpp.o.d"
+  "bench_index_ablation"
+  "bench_index_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

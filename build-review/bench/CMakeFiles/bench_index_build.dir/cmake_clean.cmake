@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_build.dir/bench_index_build.cpp.o"
+  "CMakeFiles/bench_index_build.dir/bench_index_build.cpp.o.d"
+  "CMakeFiles/bench_index_build.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_index_build.dir/bench_main.cpp.o.d"
+  "bench_index_build"
+  "bench_index_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

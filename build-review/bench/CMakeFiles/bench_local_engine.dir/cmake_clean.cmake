@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_engine.dir/bench_local_engine.cpp.o"
+  "CMakeFiles/bench_local_engine.dir/bench_local_engine.cpp.o.d"
+  "CMakeFiles/bench_local_engine.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_local_engine.dir/bench_main.cpp.o.d"
+  "bench_local_engine"
+  "bench_local_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optional.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_optional.dir/bench_main.cpp.o.d"
+  "CMakeFiles/bench_optional.dir/bench_optional.cpp.o"
+  "CMakeFiles/bench_optional.dir/bench_optional.cpp.o.d"
+  "bench_optional"
+  "bench_optional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

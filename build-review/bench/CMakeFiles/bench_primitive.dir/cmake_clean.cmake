@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_primitive.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_primitive.dir/bench_main.cpp.o.d"
+  "CMakeFiles/bench_primitive.dir/bench_primitive.cpp.o"
+  "CMakeFiles/bench_primitive.dir/bench_primitive.cpp.o.d"
+  "bench_primitive"
+  "bench_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

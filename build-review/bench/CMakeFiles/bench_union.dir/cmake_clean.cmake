@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_union.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_union.dir/bench_main.cpp.o.d"
+  "CMakeFiles/bench_union.dir/bench_union.cpp.o"
+  "CMakeFiles/bench_union.dir/bench_union.cpp.o.d"
+  "bench_union"
+  "bench_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

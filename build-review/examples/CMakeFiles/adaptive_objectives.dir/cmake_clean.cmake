@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_objectives.dir/adaptive_objectives.cpp.o"
+  "CMakeFiles/adaptive_objectives.dir/adaptive_objectives.cpp.o.d"
+  "adaptive_objectives"
+  "adaptive_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_sharing.dir/sensor_sharing.cpp.o"
+  "CMakeFiles/sensor_sharing.dir/sensor_sharing.cpp.o.d"
+  "sensor_sharing"
+  "sensor_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lint")
+subdirs("rdf")
+subdirs("sparql")
+subdirs("optimizer")
+subdirs("net")
+subdirs("obs")
+subdirs("chord")
+subdirs("overlay")
+subdirs("rdfpeers")
+subdirs("dqp")
+subdirs("workload")
+subdirs("check")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_check.dir/audit.cpp.o"
+  "CMakeFiles/ahsw_check.dir/audit.cpp.o.d"
+  "libahsw_check.a"
+  "libahsw_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_chord.dir/ring.cpp.o"
+  "CMakeFiles/ahsw_chord.dir/ring.cpp.o.d"
+  "libahsw_chord.a"
+  "libahsw_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

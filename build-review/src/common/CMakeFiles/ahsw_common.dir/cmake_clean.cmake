@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_common.dir/hash.cpp.o"
+  "CMakeFiles/ahsw_common.dir/hash.cpp.o.d"
+  "CMakeFiles/ahsw_common.dir/rng.cpp.o"
+  "CMakeFiles/ahsw_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ahsw_common.dir/strings.cpp.o"
+  "CMakeFiles/ahsw_common.dir/strings.cpp.o.d"
+  "libahsw_common.a"
+  "libahsw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_dqp.dir/executor.cpp.o"
+  "CMakeFiles/ahsw_dqp.dir/executor.cpp.o.d"
+  "CMakeFiles/ahsw_dqp.dir/physical_plan.cpp.o"
+  "CMakeFiles/ahsw_dqp.dir/physical_plan.cpp.o.d"
+  "CMakeFiles/ahsw_dqp.dir/processor.cpp.o"
+  "CMakeFiles/ahsw_dqp.dir/processor.cpp.o.d"
+  "libahsw_dqp.a"
+  "libahsw_dqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_dqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_lint.dir/engine.cpp.o"
+  "CMakeFiles/ahsw_lint.dir/engine.cpp.o.d"
+  "CMakeFiles/ahsw_lint.dir/rules.cpp.o"
+  "CMakeFiles/ahsw_lint.dir/rules.cpp.o.d"
+  "CMakeFiles/ahsw_lint.dir/source.cpp.o"
+  "CMakeFiles/ahsw_lint.dir/source.cpp.o.d"
+  "libahsw_lint.a"
+  "libahsw_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

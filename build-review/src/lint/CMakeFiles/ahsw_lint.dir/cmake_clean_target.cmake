@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahsw_lint.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_net.dir/event_queue.cpp.o"
+  "CMakeFiles/ahsw_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ahsw_net.dir/network.cpp.o"
+  "CMakeFiles/ahsw_net.dir/network.cpp.o.d"
+  "libahsw_net.a"
+  "libahsw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

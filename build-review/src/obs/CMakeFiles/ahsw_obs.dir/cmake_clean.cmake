@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_obs.dir/explain.cpp.o"
+  "CMakeFiles/ahsw_obs.dir/explain.cpp.o.d"
+  "CMakeFiles/ahsw_obs.dir/json.cpp.o"
+  "CMakeFiles/ahsw_obs.dir/json.cpp.o.d"
+  "CMakeFiles/ahsw_obs.dir/trace.cpp.o"
+  "CMakeFiles/ahsw_obs.dir/trace.cpp.o.d"
+  "libahsw_obs.a"
+  "libahsw_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_optimizer.dir/planner.cpp.o"
+  "CMakeFiles/ahsw_optimizer.dir/planner.cpp.o.d"
+  "CMakeFiles/ahsw_optimizer.dir/rewriter.cpp.o"
+  "CMakeFiles/ahsw_optimizer.dir/rewriter.cpp.o.d"
+  "libahsw_optimizer.a"
+  "libahsw_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_overlay.dir/keys.cpp.o"
+  "CMakeFiles/ahsw_overlay.dir/keys.cpp.o.d"
+  "CMakeFiles/ahsw_overlay.dir/location_table.cpp.o"
+  "CMakeFiles/ahsw_overlay.dir/location_table.cpp.o.d"
+  "CMakeFiles/ahsw_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/ahsw_overlay.dir/overlay.cpp.o.d"
+  "libahsw_overlay.a"
+  "libahsw_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

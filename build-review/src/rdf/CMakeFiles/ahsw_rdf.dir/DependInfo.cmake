@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/dictionary.cpp" "src/rdf/CMakeFiles/ahsw_rdf.dir/dictionary.cpp.o" "gcc" "src/rdf/CMakeFiles/ahsw_rdf.dir/dictionary.cpp.o.d"
+  "/root/repo/src/rdf/ntriples.cpp" "src/rdf/CMakeFiles/ahsw_rdf.dir/ntriples.cpp.o" "gcc" "src/rdf/CMakeFiles/ahsw_rdf.dir/ntriples.cpp.o.d"
+  "/root/repo/src/rdf/store.cpp" "src/rdf/CMakeFiles/ahsw_rdf.dir/store.cpp.o" "gcc" "src/rdf/CMakeFiles/ahsw_rdf.dir/store.cpp.o.d"
+  "/root/repo/src/rdf/term.cpp" "src/rdf/CMakeFiles/ahsw_rdf.dir/term.cpp.o" "gcc" "src/rdf/CMakeFiles/ahsw_rdf.dir/term.cpp.o.d"
+  "/root/repo/src/rdf/triple.cpp" "src/rdf/CMakeFiles/ahsw_rdf.dir/triple.cpp.o" "gcc" "src/rdf/CMakeFiles/ahsw_rdf.dir/triple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ahsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_rdf.dir/dictionary.cpp.o"
+  "CMakeFiles/ahsw_rdf.dir/dictionary.cpp.o.d"
+  "CMakeFiles/ahsw_rdf.dir/ntriples.cpp.o"
+  "CMakeFiles/ahsw_rdf.dir/ntriples.cpp.o.d"
+  "CMakeFiles/ahsw_rdf.dir/store.cpp.o"
+  "CMakeFiles/ahsw_rdf.dir/store.cpp.o.d"
+  "CMakeFiles/ahsw_rdf.dir/term.cpp.o"
+  "CMakeFiles/ahsw_rdf.dir/term.cpp.o.d"
+  "CMakeFiles/ahsw_rdf.dir/triple.cpp.o"
+  "CMakeFiles/ahsw_rdf.dir/triple.cpp.o.d"
+  "libahsw_rdf.a"
+  "libahsw_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_rdfpeers.dir/repository.cpp.o"
+  "CMakeFiles/ahsw_rdfpeers.dir/repository.cpp.o.d"
+  "libahsw_rdfpeers.a"
+  "libahsw_rdfpeers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_rdfpeers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ahsw_rdfpeers.
+# This may be replaced when dependencies are built.

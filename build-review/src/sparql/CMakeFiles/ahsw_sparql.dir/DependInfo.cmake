@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/algebra.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/algebra.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/algebra.cpp.o.d"
+  "/root/repo/src/sparql/eval.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/eval.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/eval.cpp.o.d"
+  "/root/repo/src/sparql/expr.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/expr.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/expr.cpp.o.d"
+  "/root/repo/src/sparql/format.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/format.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/format.cpp.o.d"
+  "/root/repo/src/sparql/lexer.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/lexer.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/lexer.cpp.o.d"
+  "/root/repo/src/sparql/parser.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/parser.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/parser.cpp.o.d"
+  "/root/repo/src/sparql/solution.cpp" "src/sparql/CMakeFiles/ahsw_sparql.dir/solution.cpp.o" "gcc" "src/sparql/CMakeFiles/ahsw_sparql.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rdf/CMakeFiles/ahsw_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ahsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

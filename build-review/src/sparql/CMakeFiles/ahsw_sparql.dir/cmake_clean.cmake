@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_sparql.dir/algebra.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/algebra.cpp.o.d"
+  "CMakeFiles/ahsw_sparql.dir/eval.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/eval.cpp.o.d"
+  "CMakeFiles/ahsw_sparql.dir/expr.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/expr.cpp.o.d"
+  "CMakeFiles/ahsw_sparql.dir/format.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/format.cpp.o.d"
+  "CMakeFiles/ahsw_sparql.dir/lexer.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/lexer.cpp.o.d"
+  "CMakeFiles/ahsw_sparql.dir/parser.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/parser.cpp.o.d"
+  "CMakeFiles/ahsw_sparql.dir/solution.cpp.o"
+  "CMakeFiles/ahsw_sparql.dir/solution.cpp.o.d"
+  "libahsw_sparql.a"
+  "libahsw_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

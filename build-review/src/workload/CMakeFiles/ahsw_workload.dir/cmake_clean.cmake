@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_workload.dir/generators.cpp.o"
+  "CMakeFiles/ahsw_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/ahsw_workload.dir/queries.cpp.o"
+  "CMakeFiles/ahsw_workload.dir/queries.cpp.o.d"
+  "CMakeFiles/ahsw_workload.dir/testbed.cpp.o"
+  "CMakeFiles/ahsw_workload.dir/testbed.cpp.o.d"
+  "libahsw_workload.a"
+  "libahsw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

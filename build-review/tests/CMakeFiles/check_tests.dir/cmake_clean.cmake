@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_tests.dir/check/audit_clean_test.cpp.o"
+  "CMakeFiles/check_tests.dir/check/audit_clean_test.cpp.o.d"
+  "CMakeFiles/check_tests.dir/check/audit_corruption_test.cpp.o"
+  "CMakeFiles/check_tests.dir/check/audit_corruption_test.cpp.o.d"
+  "check_tests"
+  "check_tests.pdb"
+  "check_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_tests.dir/chord/churn_stress_test.cpp.o"
+  "CMakeFiles/chord_tests.dir/chord/churn_stress_test.cpp.o.d"
+  "CMakeFiles/chord_tests.dir/chord/interval_test.cpp.o"
+  "CMakeFiles/chord_tests.dir/chord/interval_test.cpp.o.d"
+  "CMakeFiles/chord_tests.dir/chord/ring_test.cpp.o"
+  "CMakeFiles/chord_tests.dir/chord/ring_test.cpp.o.d"
+  "chord_tests"
+  "chord_tests.pdb"
+  "chord_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

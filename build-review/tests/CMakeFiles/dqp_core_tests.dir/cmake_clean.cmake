@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqp_core_tests.dir/dqp/conjunction_test.cpp.o"
+  "CMakeFiles/dqp_core_tests.dir/dqp/conjunction_test.cpp.o.d"
+  "CMakeFiles/dqp_core_tests.dir/dqp/optional_union_filter_test.cpp.o"
+  "CMakeFiles/dqp_core_tests.dir/dqp/optional_union_filter_test.cpp.o.d"
+  "CMakeFiles/dqp_core_tests.dir/dqp/workflow_test.cpp.o"
+  "CMakeFiles/dqp_core_tests.dir/dqp/workflow_test.cpp.o.d"
+  "dqp_core_tests"
+  "dqp_core_tests.pdb"
+  "dqp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

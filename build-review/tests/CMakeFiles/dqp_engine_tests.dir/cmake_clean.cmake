@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqp_engine_tests.dir/dqp/batch_test.cpp.o"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/batch_test.cpp.o.d"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/dag_equivalence_test.cpp.o"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/dag_equivalence_test.cpp.o.d"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/explain_golden_test.cpp.o"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/explain_golden_test.cpp.o.d"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/site_policy_dag_test.cpp.o"
+  "CMakeFiles/dqp_engine_tests.dir/dqp/site_policy_dag_test.cpp.o.d"
+  "dqp_engine_tests"
+  "dqp_engine_tests.pdb"
+  "dqp_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqp_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

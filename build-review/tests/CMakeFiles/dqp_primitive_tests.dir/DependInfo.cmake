@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dqp/primitive_test.cpp" "tests/CMakeFiles/dqp_primitive_tests.dir/dqp/primitive_test.cpp.o" "gcc" "tests/CMakeFiles/dqp_primitive_tests.dir/dqp/primitive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/check/CMakeFiles/ahsw_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dqp/CMakeFiles/ahsw_dqp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/ahsw_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdfpeers/CMakeFiles/ahsw_rdfpeers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/optimizer/CMakeFiles/ahsw_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/overlay/CMakeFiles/ahsw_overlay.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chord/CMakeFiles/ahsw_chord.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ahsw_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ahsw_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sparql/CMakeFiles/ahsw_sparql.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/ahsw_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lint/CMakeFiles/ahsw_lint.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ahsw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqp_primitive_tests.dir/dqp/primitive_test.cpp.o"
+  "CMakeFiles/dqp_primitive_tests.dir/dqp/primitive_test.cpp.o.d"
+  "dqp_primitive_tests"
+  "dqp_primitive_tests.pdb"
+  "dqp_primitive_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqp_primitive_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dqp_primitive_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/adaptive_test.cpp.o"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/adaptive_test.cpp.o.d"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/churn_test.cpp.o"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/churn_test.cpp.o.d"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/equivalence_test.cpp.o"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/equivalence_test.cpp.o.d"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/random_nested_test.cpp.o"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/random_nested_test.cpp.o.d"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/system_stress_test.cpp.o"
+  "CMakeFiles/dqp_robustness_tests.dir/dqp/system_stress_test.cpp.o.d"
+  "dqp_robustness_tests"
+  "dqp_robustness_tests.pdb"
+  "dqp_robustness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqp_robustness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

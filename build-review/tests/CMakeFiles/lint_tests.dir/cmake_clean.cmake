@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_tests.dir/lint/lint_engine_test.cpp.o"
+  "CMakeFiles/lint_tests.dir/lint/lint_engine_test.cpp.o.d"
+  "CMakeFiles/lint_tests.dir/lint/lint_rules_test.cpp.o"
+  "CMakeFiles/lint_tests.dir/lint/lint_rules_test.cpp.o.d"
+  "CMakeFiles/lint_tests.dir/lint/tokenizer_test.cpp.o"
+  "CMakeFiles/lint_tests.dir/lint/tokenizer_test.cpp.o.d"
+  "lint_tests"
+  "lint_tests.pdb"
+  "lint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_tests.dir/optimizer/planner_test.cpp.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/planner_test.cpp.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/rewriter_test.cpp.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/rewriter_test.cpp.o.d"
+  "optimizer_tests"
+  "optimizer_tests.pdb"
+  "optimizer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_tests.dir/overlay/keys_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/keys_test.cpp.o.d"
+  "CMakeFiles/overlay_tests.dir/overlay/location_table_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/location_table_test.cpp.o.d"
+  "CMakeFiles/overlay_tests.dir/overlay/overlay_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/overlay_test.cpp.o.d"
+  "CMakeFiles/overlay_tests.dir/overlay/pair_keys_ablation_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/pair_keys_ablation_test.cpp.o.d"
+  "CMakeFiles/overlay_tests.dir/overlay/paper_topology_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/paper_topology_test.cpp.o.d"
+  "overlay_tests"
+  "overlay_tests.pdb"
+  "overlay_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_tests.dir/rdf/dictionary_test.cpp.o"
+  "CMakeFiles/rdf_tests.dir/rdf/dictionary_test.cpp.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/ntriples_test.cpp.o"
+  "CMakeFiles/rdf_tests.dir/rdf/ntriples_test.cpp.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/store_test.cpp.o"
+  "CMakeFiles/rdf_tests.dir/rdf/store_test.cpp.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/term_test.cpp.o"
+  "CMakeFiles/rdf_tests.dir/rdf/term_test.cpp.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/triple_test.cpp.o"
+  "CMakeFiles/rdf_tests.dir/rdf/triple_test.cpp.o.d"
+  "rdf_tests"
+  "rdf_tests.pdb"
+  "rdf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfpeers_tests.dir/rdfpeers/repository_test.cpp.o"
+  "CMakeFiles/rdfpeers_tests.dir/rdfpeers/repository_test.cpp.o.d"
+  "rdfpeers_tests"
+  "rdfpeers_tests.pdb"
+  "rdfpeers_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfpeers_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_tests.dir/sparql/algebra_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/algebra_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/eval_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/eval_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/expr_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/expr_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/format_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/format_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/lexer_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/lexer_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/modifier_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/modifier_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/parser_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/parser_test.cpp.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/solution_test.cpp.o"
+  "CMakeFiles/sparql_tests.dir/sparql/solution_test.cpp.o.d"
+  "sparql_tests"
+  "sparql_tests.pdb"
+  "sparql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/rdf_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/sparql_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/net_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/chord_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/overlay_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/optimizer_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/dqp_primitive_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/dqp_core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/dqp_engine_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/dqp_robustness_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/check_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/rdfpeers_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/lint_tests[1]_include.cmake")

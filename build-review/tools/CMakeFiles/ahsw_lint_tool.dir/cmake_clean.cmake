@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_lint_tool.dir/ahsw_lint.cpp.o"
+  "CMakeFiles/ahsw_lint_tool.dir/ahsw_lint.cpp.o.d"
+  "ahsw_lint"
+  "ahsw_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_lint_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahsw_shell.dir/ahsw_shell.cpp.o"
+  "CMakeFiles/ahsw_shell.dir/ahsw_shell.cpp.o.d"
+  "ahsw_shell"
+  "ahsw_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahsw_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
