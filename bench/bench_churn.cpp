@@ -8,6 +8,7 @@
 // unless replication >= 2 masks them; republication restores service at a
 // bounded index-traffic cost.
 #include "bench_util.hpp"
+#include "fault/harness.hpp"
 #include "workload/queries.hpp"
 
 namespace {
@@ -181,6 +182,85 @@ BENCHMARK(BM_Churn_IndexFailures)
     ->Args({2, 2})
     ->Args({4, 2})
     ->Args({4, 3})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// E8b — availability vs churn rate (Sect. III-D): a concurrent query batch
+// runs while a seeded fault schedule crashes, recovers and rejoins storage
+// nodes mid-flight. Sweeps the churn rate with the retry/backoff +
+// re-lookup policy off and on; emits the availability metrics (success
+// rate, retries per query, repair-convergence time) into the BENCH JSON.
+void BM_Churn_Availability(benchmark::State& state) {
+  const auto fails_per_second = static_cast<double>(state.range(0));
+  const bool retry_on = state.range(1) != 0;
+  for (auto _ : state) {
+    workload::Testbed bed(base_config(2));
+    benchutil::maybe_audit(bed, "availability/setup");
+
+    dqp::ExecutionPolicy policy;
+    if (retry_on) {
+      policy.retry.max_retries = 2;
+      policy.retry.relookup = true;
+    }
+    dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+
+    // Primitive probes with distinct bound subjects issued from devices all
+    // around the system, so the batch touches many providers and rows.
+    std::vector<dqp::BatchQuery> batch;
+    for (int i = 0; i < 24; ++i) {
+      dqp::BatchQuery q;
+      q.query = sparql::parse_query(
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+          "SELECT ?p ?o WHERE { <http://example.org/people/p" +
+          std::to_string(i * 5) + "> ?p ?o . }");
+      q.initiator = bed.storage_addrs()[static_cast<std::size_t>(i) %
+                                        bed.storage_addrs().size()];
+      batch.push_back(std::move(q));
+    }
+
+    fault::ChurnProfile profile;
+    profile.horizon_ms = 600;
+    profile.fails_per_second = fails_per_second;
+    profile.recover_fraction = 0.75;
+    profile.recover_delay_ms = 150;
+    profile.repair_every_ms = 200;
+    fault::FaultSchedule schedule =
+        fault::FaultSchedule::generate(profile, bed.storage_addrs(), 17);
+
+    fault::FaultRunResult res =
+        fault::run_with_faults(proc, bed.overlay(), batch, schedule);
+
+    state.counters["success_rate"] = res.availability.success_rate();
+    state.counters["affected"] =
+        static_cast<double>(res.availability.affected);
+    state.counters["retries_per_q"] = res.availability.retries_per_query();
+    state.counters["convergence_ms"] = res.availability.convergence_ms();
+    state.counters["faults_applied"] =
+        static_cast<double>(res.injection_log.applied);
+    benchutil::record_mean_extra_json(
+        state,
+        "availability/rate=" + std::to_string(state.range(0)) +
+            "/retry=" + std::to_string(retry_on ? 1 : 0),
+        res.batch.reports, res.availability.to_extra());
+
+    // Post-run convergence must leave no failed node referenced anywhere —
+    // the I6 bar the resurrection bug used to fail.
+    fault::converge(bed.overlay(), res.batch.makespan);
+    check::AuditOptions converged;
+    converged.converged = true;
+    converged.churned = true;  // lenient on drift, strict on I6
+    benchutil::maybe_audit(bed.overlay(), "availability/converged", converged);
+  }
+}
+
+BENCHMARK(BM_Churn_Availability)
+    ->Args({0, 0})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

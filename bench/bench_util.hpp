@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "check/audit.hpp"
@@ -33,16 +34,21 @@ inline void set_audit(bool on) { audit_flag() = on; }
 /// Corruption aborts the process: a benchmark series must never publish
 /// numbers measured against a corrupted system.
 inline void maybe_audit(const overlay::HybridOverlay& overlay,
-                        const std::string& where, bool churned = false) {
+                        const std::string& where,
+                        const check::AuditOptions& opt) {
   if (!audit_flag()) return;
-  check::AuditOptions opt;
-  opt.churned = churned;
   check::AuditReport rep = check::audit(overlay, opt);
   if (!rep.clean()) {
     std::cerr << "[audit] corruption at " << where << ":\n"
               << rep.to_string() << "\n";
     std::exit(1);
   }
+}
+inline void maybe_audit(const overlay::HybridOverlay& overlay,
+                        const std::string& where, bool churned = false) {
+  check::AuditOptions opt;
+  opt.churned = churned;
+  maybe_audit(overlay, where, opt);
 }
 inline void maybe_audit(workload::Testbed& bed, const std::string& where,
                         bool churned = false) {
@@ -113,6 +119,28 @@ inline void record_mean_json(benchmark::State& state, std::string record_name,
   }
   r.response_ms = resp / static_cast<double>(r.queries);
   if (trace != nullptr) r.phases = obs::phase_rollup(*trace);
+  obs::BenchSink::instance().record(std::move(r));
+}
+
+/// record_mean_json plus arbitrary extra metrics carried into the record's
+/// "extra" JSON object (e.g. fault::AvailabilityReport::to_extra()).
+inline void record_mean_extra_json(
+    benchmark::State& state, std::string record_name,
+    const std::vector<dqp::ExecutionReport>& reps,
+    std::map<std::string, double> extra,
+    const obs::QueryTrace* trace = nullptr) {
+  report_mean_counters(state, reps);
+  obs::BenchRecord r;
+  r.bench = std::move(record_name);
+  r.queries = reps.empty() ? 1 : reps.size();
+  double resp = 0;
+  for (const dqp::ExecutionReport& rep : reps) {
+    r.traffic.accumulate(rep.traffic);
+    resp += rep.response_time;
+  }
+  r.response_ms = resp / static_cast<double>(r.queries);
+  if (trace != nullptr) r.phases = obs::phase_rollup(*trace);
+  r.extra = std::move(extra);
   obs::BenchSink::instance().record(std::move(r));
 }
 

@@ -83,6 +83,8 @@ std::string_view invariant_name(Invariant i) noexcept {
       return "I4-replication";
     case Invariant::kConservation:
       return "I5-conservation";
+    case Invariant::kLiveness:
+      return "I6-liveness";
   }
   return "unknown";
 }
@@ -416,6 +418,34 @@ void audit_overlay(const overlay::HybridOverlay& ov, AuditReport& rep,
                        " (lost publish)"));
         }
       }
+    }
+  }
+
+  // -- I6: liveness (post-convergence) ----------------------------------
+  // After fault::converge (repair + oracle purge) every failure has been
+  // detected and purged from every copy, so a surviving reference to a
+  // failed storage node — primary *or* replica — can only mean a purge
+  // missed a copy. A stale replica row is exactly the state the
+  // dead-provider resurrection bug fed back into primaries on repair.
+  if (opt.converged) {
+    for (const auto& [ixid, ix] : ov.index_nodes()) {
+      if (!ring.contains(ixid) || net.is_failed(ix.address)) continue;
+      const auto scan_rows = [&, ixid = ixid](const auto& table,
+                                              std::string_view kind) {
+        for (const auto& [key, provs] : table.rows()) {
+          for (const overlay::Provider& p : provs) {
+            if (!net.is_failed(p.address)) continue;
+            add(rep, opt,
+                make(Invariant::kLiveness, Severity::kCorrupt, ixid, key,
+                     p.address,
+                     std::string(kind) +
+                         " row still lists a failed provider after "
+                         "convergence"));
+          }
+        }
+      };
+      scan_rows(ix.table, "primary");
+      scan_rows(ix.replicas, "replica");
     }
   }
 

@@ -20,6 +20,10 @@
 //                            the replication_factor successor holders.
 //   I5 conservation        — span self-counters sum exactly to the
 //                            TrafficStats delta of the traced execution.
+//   I6 liveness            — after convergence (repair + purge, see
+//                            fault::converge), no failed storage node may
+//                            remain referenced by any primary or replica
+//                            row. Gated on AuditOptions::converged.
 //
 // Violations carry a severity: kCorrupt means the invariant is broken in a
 // way the protocol can never produce on its own (lost publish, wrong ring
@@ -49,8 +53,9 @@ enum class Invariant : std::uint8_t {
   kLocationCoherence = 2,  // I3
   kReplication = 3,        // I4
   kConservation = 4,       // I5
+  kLiveness = 5,           // I6
 };
-inline constexpr int kInvariantCount = 5;
+inline constexpr int kInvariantCount = 6;
 
 [[nodiscard]] std::string_view invariant_name(Invariant i) noexcept;
 
@@ -80,6 +85,13 @@ struct AuditOptions {
   /// pointers, replica divergence, successor-list drift) reports as kStale
   /// instead of kCorrupt.
   bool churned = false;
+  /// The system has been driven to convergence (fault::converge: repair,
+  /// finger fix-up, oracle purge of failed nodes): enables I6, which treats
+  /// any surviving reference to a failed storage node — primary or replica —
+  /// as kCorrupt. This is the invariant the dead-provider resurrection bug
+  /// violated: the primary row was purged but a stale replica row revived
+  /// the dead provider on the next repair.
+  bool converged = false;
   /// At most this many violations are materialized into the report's
   /// vector; counters keep counting past the cap.
   std::size_t max_violations = 256;

@@ -68,13 +68,20 @@ std::optional<SolutionSet> DagExecutor::run_at_provider(
     net::NodeAddress initiator, ExecutionReport& rep) {
   if (net().is_failed(provider)) {
     now = net().timeout(now, provider, net::Category::kQuery);
-    ++rep.dead_providers_skipped;
-    overlay_->report_dead_provider(initiator, p.pattern, provider, now);
     return std::nullopt;
   }
   ++rep.providers_contacted;
   sparql::LocalEngine engine(overlay_->store_of(provider));
   return engine.match_pattern(p);
+}
+
+void DagExecutor::give_up_on_provider(net::NodeAddress provider,
+                                      const sparql::BgpPattern& p,
+                                      net::SimTime now,
+                                      net::NodeAddress initiator,
+                                      ExecutionReport& rep) {
+  ++rep.dead_providers_skipped;
+  overlay_->report_dead_provider(initiator, p.pattern, provider, now);
 }
 
 std::pair<DagExecutor::Located, DagExecutor::Located> DagExecutor::colocate(
@@ -257,6 +264,7 @@ void DagExecutor::fire(QueryRun& run, TaskId id) {
     case TaskKind::kScan: hint = fire_scan(run, id); break;
     case TaskKind::kScatterLeg: hint = fire_scatter_leg(run, id); break;
     case TaskKind::kChainHop: hint = fire_chain_hop(run, id); break;
+    case TaskKind::kRelookup: hint = fire_relookup(run, id); break;
     case TaskKind::kShip: hint = fire_ship(run, id); break;
     case TaskKind::kJoin:
     case TaskKind::kLeftJoin:
@@ -395,6 +403,7 @@ net::SimTime DagExecutor::fire_scan(QueryRun& run, TaskId id) {
   }
 
   task.pattern = pat;
+  task.strategy = strategy;  // a later re-lookup re-orders with the same one
   const bool scatter_gather =
       strategy == PrimitiveStrategy::kBasic || loc.broadcast;
 
@@ -471,13 +480,22 @@ net::SimTime DagExecutor::fire_scatter_leg(QueryRun& run, TaskId id) {
   Task& scan = run.tasks[leg.scan];
   const net::NodeAddress prov = scan.chain[leg.position].address;
 
+  // A retry leg re-ships the sub-query after its backoff (leg.base carries
+  // the backoff-delayed start; first attempts have base == scan.t).
+  std::optional<obs::SpanScope> retry_span;
+  if (leg.attempt > 0) {
+    retry_span.emplace(trace_, obs::SpanKind::kRetry,
+                       "attempt " + std::to_string(leg.attempt + 1) +
+                           " node " + std::to_string(prov),
+                       leg.base, prov);
+  }
   net::SimTime t;
   {
     obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
-                             "to node " + std::to_string(prov), scan.t,
+                             "to node " + std::to_string(prov), leg.base,
                              scan.assembly);
     t = net().send(scan.assembly, prov, subquery_wire_bytes(scan.pattern),
-                   scan.t, net::Category::kQuery);
+                   leg.base, net::Category::kQuery);
     ship_span.finish(t);
   }
   t = claim(prov, run.qid, t);
@@ -491,14 +509,43 @@ net::SimTime DagExecutor::fire_scatter_leg(QueryRun& run, TaskId id) {
                      net::Category::kData);
       scan.merged = sparql::deduplicated(
           sparql::set_union(scan.merged, *local));
+    } else if (policy_.retry.enabled() &&
+               leg.attempt < policy_.retry.max_retries) {
+      // Dead contact with attempts left: hand the slot to a replacement leg
+      // starting after the deterministic backoff. The outstanding-leg count
+      // is NOT decremented — the replacement inherits this slot.
+      ++run.rep.retries;
+      exec_span.finish(t);
+      if (retry_span.has_value()) retry_span->finish(t);
+      Task redo;
+      redo.kind = TaskKind::kScatterLeg;
+      redo.scan = leg.scan;
+      redo.position = leg.position;
+      redo.attempt = leg.attempt + 1;
+      redo.base = t + policy_.retry.backoff_ms(leg.attempt + 1);
+      redo.parent_span = scan.pattern_span;
+      complete(run, id, t);
+      add_task(run, std::move(redo));
+      return t;
+    } else {
+      give_up_on_provider(prov, scan.pattern, t, run.initiator, run.rep);
+      ++scan.failed_contacts;
     }
     exec_span.finish(t);
   }
+  if (retry_span.has_value()) retry_span->finish(t);
   scan.done_at = std::max(scan.done_at, t);
   complete(run, id, t);
 
   assert(scan.remaining > 0);
   if (--scan.remaining > 0) return t;
+  if (policy_.retry.relookup && !scan.relooked &&
+      scan.failed_contacts == scan.chain.size()) {
+    // Every provider of the row was given up on: fall back to lazy repair +
+    // one fresh lookup instead of completing with nothing.
+    spawn_relookup(run, leg.scan, scan.done_at);
+    return t;
+  }
 
   // Last leg: gather at the assembly site, joining any carried set there.
   Located out;
@@ -524,31 +571,69 @@ net::SimTime DagExecutor::fire_chain_hop(QueryRun& run, TaskId id) {
   Task& scan = run.tasks[hop.scan];
   const net::NodeAddress prov = scan.chain[hop.position].address;
 
-  net::SimTime t = claim(prov, run.qid, scan.t);
-  obs::SpanScope hop_span(trace_, obs::SpanKind::kChainHop,
-                          "node " + std::to_string(prov), t, prov);
-  std::optional<SolutionSet> local =
-      run_at_provider(prov, scan.pattern, t, run.initiator, run.rep);
-  if (local.has_value()) {
-    SolutionSet contribution = scan.has_carry
-                                   ? sparql::join(scan.carry.set, *local)
-                                   : std::move(*local);
-    scan.acc =
-        sparql::deduplicated(sparql::set_union(scan.acc, contribution));
-    scan.site = prov;
-    scan.sender = prov;
-  }
-  const bool last = hop.position + 1 >= scan.chain.size();
-  if (!last) {
-    const net::NodeAddress next = scan.chain[hop.position + 1].address;
+  // A retry hop re-sends the travelling payload from the previous sender
+  // after its backoff (scan.t carries the backoff-delayed start).
+  std::optional<obs::SpanScope> retry_span;
+  net::SimTime start = scan.t;
+  if (hop.attempt > 0) {
+    retry_span.emplace(trace_, obs::SpanKind::kRetry,
+                       "attempt " + std::to_string(hop.attempt + 1) +
+                           " node " + std::to_string(prov),
+                       start, prov);
     const std::size_t payload = subquery_wire_bytes(scan.pattern) +
                                 scan.acc.byte_size() + scan.carry_bytes;
-    t = net().send(scan.sender, next, payload, t, net::Category::kData);
+    start = net().send(scan.sender, prov, payload, start,
+                       hop.position == 0 ? net::Category::kQuery
+                                         : net::Category::kData);
   }
-  hop_span.finish(t);
+  net::SimTime t = claim(prov, run.qid, start);
+  {
+    obs::SpanScope hop_span(trace_, obs::SpanKind::kChainHop,
+                            "node " + std::to_string(prov), t, prov);
+    std::optional<SolutionSet> local =
+        run_at_provider(prov, scan.pattern, t, run.initiator, run.rep);
+    if (local.has_value()) {
+      SolutionSet contribution = scan.has_carry
+                                     ? sparql::join(scan.carry.set, *local)
+                                     : std::move(*local);
+      scan.acc =
+          sparql::deduplicated(sparql::set_union(scan.acc, contribution));
+      scan.site = prov;
+      scan.sender = prov;
+    } else if (policy_.retry.enabled() &&
+               hop.attempt < policy_.retry.max_retries) {
+      ++run.rep.retries;
+      hop_span.finish(t);
+      if (retry_span.has_value()) retry_span->finish(t);
+      scan.t = t + policy_.retry.backoff_ms(hop.attempt + 1);
+      Task redo;
+      redo.kind = TaskKind::kChainHop;
+      redo.scan = hop.scan;
+      redo.position = hop.position;
+      redo.attempt = hop.attempt + 1;
+      redo.base = scan.t;
+      redo.parent_span = scan.pattern_span;
+      complete(run, id, t);
+      add_task(run, std::move(redo));
+      return t;
+    } else {
+      give_up_on_provider(prov, scan.pattern, t, run.initiator, run.rep);
+      ++scan.failed_contacts;
+    }
+    const bool last = hop.position + 1 >= scan.chain.size();
+    if (!last) {
+      const net::NodeAddress next = scan.chain[hop.position + 1].address;
+      const std::size_t payload = subquery_wire_bytes(scan.pattern) +
+                                  scan.acc.byte_size() + scan.carry_bytes;
+      t = net().send(scan.sender, next, payload, t, net::Category::kData);
+    }
+    hop_span.finish(t);
+  }
+  if (retry_span.has_value()) retry_span->finish(t);
   scan.t = t;
   complete(run, id, t);
 
+  const bool last = hop.position + 1 >= scan.chain.size();
   if (!last) {
     Task next_hop;
     next_hop.kind = TaskKind::kChainHop;
@@ -559,11 +644,122 @@ net::SimTime DagExecutor::fire_chain_hop(QueryRun& run, TaskId id) {
     add_task(run, std::move(next_hop));
     return 0;
   }
+  if (policy_.retry.relookup && !scan.relooked &&
+      scan.failed_contacts == scan.chain.size()) {
+    // The whole chain was given up on: lazy repair + one fresh lookup.
+    spawn_relookup(run, hop.scan, t);
+    return t;
+  }
   scan.out.set = std::move(scan.acc);
   scan.out.site = scan.site;
   scan.out.ready_at = t;
   complete(run, hop.scan, t);
   return t;
+}
+
+void DagExecutor::spawn_relookup(QueryRun& run, TaskId scan_id,
+                                 net::SimTime at) {
+  Task rl;
+  rl.kind = TaskKind::kRelookup;
+  rl.scan = scan_id;
+  rl.base = at;
+  rl.parent_span = run.tasks[scan_id].pattern_span;
+  add_task(run, std::move(rl));
+}
+
+net::SimTime DagExecutor::fire_relookup(QueryRun& run, TaskId id) {
+  Task& rl = run.tasks[id];
+  Task& scan = run.tasks[rl.scan];
+  scan.relooked = true;
+  ++run.rep.relookups;
+
+  // The give-ups already purged the dead providers from the index row (lazy
+  // repair); a fresh lookup returns whatever the repaired row holds now —
+  // including providers that recovered and re-published while this scan was
+  // timing out.
+  overlay::HybridOverlay::Located loc =
+      locate(scan.pattern.pattern, run.initiator, rl.base, run.rep);
+
+  if (!loc.ok || loc.providers.empty()) {
+    // Nothing came back: the scan completes empty (same formulas as the
+    // empty-providers path of fire_scan). A failed lookup reports
+    // completed_at = 0, so clamp to the re-lookup's own start time.
+    const net::SimTime done = std::max(rl.base, loc.completed_at);
+    scan.out.set = SolutionSet{};
+    scan.out.site = scan.has_carry ? scan.carry.site : run.initiator;
+    scan.out.ready_at =
+        std::max(done, scan.has_carry ? scan.carry.ready_at : done);
+    complete(run, id, done);
+    complete(run, rl.scan, scan.out.ready_at);
+    return scan.out.ready_at;
+  }
+
+  const bool scatter_gather =
+      scan.strategy == PrimitiveStrategy::kBasic || loc.broadcast;
+  scan.failed_contacts = 0;
+  scan.chain.clear();
+
+  if (scatter_gather) {
+    scan.assembly = loc.broadcast ? run.initiator
+                    : overlay_->ring().contains(loc.index_node)
+                        ? overlay_->ring().address_of(loc.index_node)
+                        : run.initiator;
+    scan.chain = loc.providers;
+    scan.remaining = scan.chain.size();
+    scan.t = loc.completed_at;
+    scan.done_at = loc.completed_at;
+    for (std::size_t k = 0; k < scan.chain.size(); ++k) {
+      Task leg;
+      leg.kind = TaskKind::kScatterLeg;
+      leg.scan = rl.scan;
+      leg.position = k;
+      leg.base = loc.completed_at;
+      leg.parent_span = scan.pattern_span;
+      add_task(run, std::move(leg));
+    }
+    complete(run, id, loc.completed_at);
+    return 0;
+  }
+
+  std::vector<overlay::Provider> chain =
+      optimizer::chain_order(loc.providers, scan.strategy);
+  net::NodeAddress owner_addr =
+      overlay_->ring().contains(loc.index_node)
+          ? overlay_->ring().address_of(loc.index_node)
+          : run.initiator;
+  net::SimTime t;
+  {
+    obs::SpanScope ship_span(
+        trace_, obs::SpanKind::kSubQueryShip,
+        "to node " + std::to_string(chain.front().address), loc.completed_at,
+        owner_addr);
+    t = net().send(owner_addr, chain.front().address,
+                   subquery_wire_bytes(scan.pattern), loc.completed_at,
+                   net::Category::kQuery);
+    if (scan.has_carry) {
+      t = std::max(t, net().send(scan.carry.site, chain.front().address,
+                                 scan.carry.set.byte_size(),
+                                 std::max(loc.completed_at,
+                                          scan.carry.ready_at),
+                                 net::Category::kData));
+      scan.carry_bytes = scan.carry.set.byte_size();
+    }
+    ship_span.finish(t);
+  }
+  scan.chain = std::move(chain);
+  scan.t = t;
+  scan.sender = owner_addr;
+  scan.site = owner_addr;
+
+  Task hop;
+  hop.kind = TaskKind::kChainHop;
+  hop.scan = rl.scan;
+  hop.position = 0;
+  hop.base = t;
+  hop.parent_span = scan.pattern_span;
+  add_task(run, std::move(hop));
+  complete(run, id, t);
+  return 0;
 }
 
 net::SimTime DagExecutor::fire_ship(QueryRun& run, TaskId id) {
@@ -796,8 +992,22 @@ BatchResult DagExecutor::run(const std::vector<BatchQuery>& batch) {
     setup_query(run);
   }
 
+  // Injected (fault-schedule) events share the queue under the reserved
+  // query id, so they interleave with query tasks in one deterministic
+  // (time, query, task) order — and still apply when stamped after the last
+  // query task, so late recoveries are not silently dropped.
+  for (std::size_t i = 0; i < opts_.injections.size(); ++i) {
+    queue_.push(net::ReadyEvent{opts_.injections[i].at, net::kInjectionQueryId,
+                                static_cast<std::uint32_t>(i)});
+  }
+
   while (!queue_.empty()) {
     const net::ReadyEvent ev = queue_.pop();
+    if (ev.query == net::kInjectionQueryId) {
+      const InjectedEvent& inj = opts_.injections[ev.task];
+      if (inj.apply) inj.apply(ev.at);
+      continue;
+    }
     fire(runs_[ev.query], ev.task);
   }
 

@@ -71,6 +71,7 @@ class DagExecutor {
     kScan,         // one pattern under its strategy (static or DESCRIBE part)
     kScatterLeg,   // dynamic: one provider of a scatter/gather pattern
     kChainHop,     // dynamic: one provider visit of a chain
+    kRelookup,     // dynamic: lazy-repair re-lookup after provider exhaustion
     kShip,
     kJoin,
     kLeftJoin,
@@ -105,8 +106,9 @@ class DagExecutor {
 
     // Dynamic payloads / runtime scan state.
     sparql::BgpPattern pattern;
-    TaskId scan = kNoTask;      // kScatterLeg / kChainHop: owning scan
+    TaskId scan = kNoTask;      // kScatterLeg / kChainHop / kRelookup: owner
     std::size_t position = 0;   // provider index within the scan
+    int attempt = 0;            // leg/hop: contacts of this slot so far
     bool quiet_ship = false;    // kShip without a span (DESCRIBE parts)
     net::Category ship_category = net::Category::kResult;
     net::NodeAddress ship_target = net::kNoAddress;
@@ -125,6 +127,10 @@ class DagExecutor {
     net::SimTime t = 0;                      // chain clock / scatter start
     net::NodeAddress sender = net::kNoAddress;
     net::NodeAddress site = net::kNoAddress;
+    std::size_t failed_contacts = 0;  // scan: providers given up on
+    bool relooked = false;            // scan: lazy re-lookup already spent
+    optimizer::PrimitiveStrategy strategy =
+        optimizer::PrimitiveStrategy::kBasic;  // scan: chosen at fire time
 
     std::vector<TaskId> parts;       // kDescribeGather: part ships in order
     std::vector<rdf::Term> targets;  // kDescribeGather: described terms
@@ -155,6 +161,7 @@ class DagExecutor {
   net::SimTime fire_scan(QueryRun& run, TaskId id);
   net::SimTime fire_scatter_leg(QueryRun& run, TaskId id);
   net::SimTime fire_chain_hop(QueryRun& run, TaskId id);
+  net::SimTime fire_relookup(QueryRun& run, TaskId id);
   net::SimTime fire_ship(QueryRun& run, TaskId id);
   net::SimTime fire_binary(QueryRun& run, TaskId id);
   net::SimTime fire_filter(QueryRun& run, TaskId id);
@@ -168,9 +175,22 @@ class DagExecutor {
                                          net::SimTime now,
                                          ExecutionReport& rep);
   Located ship(Located from, net::NodeAddress target, net::Category category);
+  /// Contact a provider: charges a timeout and returns nullopt when it is
+  /// dead, without giving up on it — the caller decides between a retry
+  /// (RetryPolicy) and `give_up_on_provider`.
   std::optional<sparql::SolutionSet> run_at_provider(
       net::NodeAddress provider, const sparql::BgpPattern& p,
       net::SimTime& now, net::NodeAddress initiator, ExecutionReport& rep);
+  /// Final failure handling for a dead provider: count the skip and trigger
+  /// the paper's lazy index repair. With retries off, every contact failure
+  /// is final, reproducing the pre-retry behavior exactly.
+  void give_up_on_provider(net::NodeAddress provider,
+                           const sparql::BgpPattern& p, net::SimTime now,
+                           net::NodeAddress initiator, ExecutionReport& rep);
+  /// Spawn the scan's one lazy-repair re-lookup task at `at`. It pops after
+  /// any injected recovery stamped before `at`, so a re-lookup can see
+  /// providers that came back while the scan was timing out.
+  void spawn_relookup(QueryRun& run, TaskId scan_id, net::SimTime at);
   std::pair<Located, Located> colocate(Located a, Located b,
                                        net::NodeAddress initiator,
                                        ExecutionReport& rep);

@@ -37,6 +37,33 @@ enum class ExecutionEngine : std::uint8_t {
   kLegacy,  // recursive eval() walk (to be removed next PR)
 };
 
+/// Recovery knobs for sub-query dispatch under churn (DAG engine only).
+/// With the defaults every knob is off, so existing executions — including
+/// the legacy/DAG A/B equivalence pins — are byte-identical to before.
+///
+/// A dead provider costs one failure-detection timeout per contact. With
+/// retries enabled, the dispatcher re-contacts the *next* ranked provider
+/// of the level-2 frequency row (ascending frequency, the chain order)
+/// after a deterministic backoff; when the whole provider set is exhausted
+/// and `relookup` is set, it falls back to the paper's lazy repair: one
+/// fresh index lookup, then one more pass over whatever the repaired row
+/// returns. Every attempt is charged through the normal traffic categories
+/// and wrapped in a kRetry span.
+struct RetryPolicy {
+  int max_retries = 0;            // extra contacts per pattern beyond the first pass
+  double backoff_base_ms = 8.0;   // wait before the first retry
+  double backoff_growth = 2.0;    // multiplier per further attempt
+  bool relookup = false;          // lazy repair + one re-lookup on exhaustion
+
+  [[nodiscard]] bool enabled() const noexcept { return max_retries > 0; }
+  /// Deterministic backoff before retry number `attempt` (1-based).
+  [[nodiscard]] double backoff_ms(int attempt) const noexcept {
+    double wait = backoff_base_ms;
+    for (int i = 1; i < attempt; ++i) wait *= backoff_growth;
+    return wait;
+  }
+};
+
 /// Plan-selection knobs (the paper's optimization alternatives).
 struct ExecutionPolicy {
   optimizer::PrimitiveStrategy primitive =
@@ -53,6 +80,9 @@ struct ExecutionPolicy {
   /// location-table frequencies.
   bool adaptive = false;
   optimizer::ObjectiveWeights objectives;
+
+  /// Sub-query retry/failover under churn (DAG engine only; defaults off).
+  RetryPolicy retry;
 
   ExecutionEngine engine = ExecutionEngine::kDag;
 };

@@ -18,6 +18,7 @@
 // is exactly the experimental study the paper defers to future work.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -52,11 +53,28 @@ struct BatchQuery {
   net::NodeAddress initiator = net::kNoAddress;
 };
 
+/// One externally injected event (fault, recovery, repair) merged into the
+/// batch scheduler's event queue. The executor pops it in (time, query,
+/// task) order under the reserved net::kInjectionQueryId, so injected
+/// events interleave deterministically with query tasks: at equal sim time
+/// they apply after the tasks stamped at that time. The callback receives
+/// the event's sim time and may mutate the overlay/network (the fault
+/// harness in src/fault builds these from a FaultSchedule). The query layer
+/// itself stays fault-agnostic.
+struct InjectedEvent {
+  net::SimTime at = 0;
+  std::string label;  // for diagnostics; not interpreted
+  std::function<void(net::SimTime)> apply;
+};
+
 struct BatchOptions {
   ServiceModel service;
   /// Prefix every root span label with "q<id> " so interleaved traces stay
   /// attributable (shell `trace` output keys on it).
   bool label_query_ids = true;
+  /// Events to merge into the batch's event queue, in any order (the queue
+  /// sorts). Applied even when stamped after the last query task finishes.
+  std::vector<InjectedEvent> injections;
 };
 
 /// What one query execution cost. Captures the paper's two optimization
@@ -68,7 +86,9 @@ struct ExecutionReport {
   int index_lookups = 0;            // two-level index consultations
   int ring_hops = 0;                // Chord routing hops across lookups
   int providers_contacted = 0;      // storage nodes that ran sub-queries
-  int dead_providers_skipped = 0;   // stale location entries hit (III-D)
+  int dead_providers_skipped = 0;   // providers given up on after retries
+  int retries = 0;                  // re-contacts after a dead-provider timeout
+  int relookups = 0;                // lazy-repair re-lookups after exhaustion
   bool complete = true;             // false if index rows were unreachable
   std::vector<std::string> plan_notes;  // human-readable plan decisions
 };

@@ -1,0 +1,119 @@
+#include "fault/harness.hpp"
+
+#include <algorithm>
+
+namespace ahsw::fault {
+
+std::map<std::string, double> AvailabilityReport::to_extra() const {
+  std::map<std::string, double> extra;
+  extra["queries"] = static_cast<double>(queries);
+  extra["success_rate"] = success_rate();
+  extra["affected_queries"] = static_cast<double>(affected);
+  extra["incomplete_queries"] = static_cast<double>(incomplete);
+  extra["retries_per_query"] = retries_per_query();
+  extra["relookups"] = static_cast<double>(relookup_count);
+  extra["fault_timeouts"] = static_cast<double>(timeout_count);
+  extra["convergence_ms"] = convergence_ms();
+  return extra;
+}
+
+void FaultInjector::apply(const FaultEvent& e, net::SimTime at) {
+  overlay::HybridOverlay& ov = *overlay_;
+  switch (e.kind) {
+    case FaultKind::kStorageFail:
+      if (!ov.is_storage_node(e.storage) ||
+          ov.network().is_failed(e.storage)) {
+        ++log_.skipped;
+        return;
+      }
+      ov.storage_node_fail(e.storage);
+      break;
+    case FaultKind::kIndexFail:
+      if (ov.index_nodes().count(e.index) == 0 ||
+          !ov.ring().contains(e.index) ||
+          ov.network().is_failed(ov.ring().address_of(e.index))) {
+        ++log_.skipped;
+        return;
+      }
+      ov.index_node_fail(e.index);
+      break;
+    case FaultKind::kRecover:
+      if (!ov.is_storage_node(e.storage) ||
+          !ov.network().is_failed(e.storage)) {
+        ++log_.skipped;
+        return;
+      }
+      ov.network().recover(e.storage);
+      break;
+    case FaultKind::kRepair:
+      ov.repair(at);
+      break;
+    case FaultKind::kRejoin:
+      if (!ov.is_storage_node(e.storage)) {
+        ++log_.skipped;
+        return;
+      }
+      if (ov.network().is_failed(e.storage)) ov.network().recover(e.storage);
+      ov.storage_node_rejoin(e.storage, at);
+      break;
+  }
+  ++log_.applied;
+}
+
+std::vector<dqp::InjectedEvent> FaultInjector::injections() {
+  std::vector<dqp::InjectedEvent> out;
+  out.reserve(schedule_.events().size());
+  for (const FaultEvent& e : schedule_.events()) {
+    dqp::InjectedEvent inj;
+    inj.at = e.at;
+    inj.label = std::string(fault_kind_name(e.kind));
+    inj.apply = [this, e](net::SimTime at) { apply(e, at); };
+    out.push_back(std::move(inj));
+  }
+  return out;
+}
+
+AvailabilityReport availability_from_reports(
+    const std::vector<dqp::ExecutionReport>& reports,
+    const FaultSchedule& schedule) {
+  AvailabilityReport avail;
+  avail.first_fault_ms = schedule.first_fault_at();
+  for (const dqp::ExecutionReport& rep : reports) {
+    ++avail.queries;
+    const bool was_affected = rep.dead_providers_skipped > 0;
+    if (was_affected) {
+      ++avail.affected;
+      avail.last_affected_done_ms =
+          std::max(avail.last_affected_done_ms, rep.response_time);
+    }
+    if (!rep.complete) ++avail.incomplete;
+    if (!was_affected && rep.complete) ++avail.successful;
+    avail.retry_count += static_cast<std::uint64_t>(rep.retries);
+    avail.relookup_count += static_cast<std::uint64_t>(rep.relookups);
+    avail.timeout_count += rep.traffic.timeouts;
+  }
+  return avail;
+}
+
+FaultRunResult run_with_faults(dqp::DistributedQueryProcessor& processor,
+                               overlay::HybridOverlay& overlay,
+                               const std::vector<dqp::BatchQuery>& batch,
+                               const FaultSchedule& schedule,
+                               const dqp::BatchOptions& opts) {
+  FaultInjector injector(overlay, schedule);
+  dqp::BatchOptions faulted = opts;
+  faulted.injections = injector.injections();
+  FaultRunResult out;
+  out.batch = processor.execute_batch(batch, faulted);
+  out.availability = availability_from_reports(out.batch.reports, schedule);
+  out.injection_log = injector.log();
+  return out;
+}
+
+void converge(overlay::HybridOverlay& overlay, net::SimTime now) {
+  overlay.repair(now);
+  overlay.ring().fix_all_fingers_oracle();
+  overlay.purge_failed_everywhere();
+}
+
+}  // namespace ahsw::fault

@@ -1,0 +1,124 @@
+// The fault-injection harness: applies a FaultSchedule to a live system
+// while a query batch runs, and distills availability metrics from the
+// batch's execution reports.
+//
+// Determinism: the schedule is converted into dqp::InjectedEvents that the
+// DAG executor merges into its (time, query, task)-ordered event queue
+// under the reserved net::kInjectionQueryId. Fault visibility is therefore
+// at *task boundaries*: a task whose fire internally advances sim time past
+// an injected timestamp does not see that fault mid-fire; the next task
+// popped at or after the timestamp does. That granularity is what makes the
+// same (system, batch, schedule, seed) replay byte-identically.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dqp/processor.hpp"
+#include "fault/schedule.hpp"
+#include "overlay/overlay.hpp"
+
+namespace ahsw::fault {
+
+/// What the injector actually did. An event can be skipped when its target
+/// does not exist or is already in the requested state (e.g. failing an
+/// already-failed node) — skips are deterministic too.
+struct InjectionLog {
+  int applied = 0;
+  int skipped = 0;
+};
+
+/// Availability metrics over one batch under faults. A query counts as
+/// *affected* when it gave up on at least one provider (its result set may
+/// silently miss that provider's rows); *successful* means unaffected and
+/// complete. Retries that reach a recovered provider before exhausting the
+/// policy keep a query unaffected — that is precisely what the retry knobs
+/// buy.
+struct AvailabilityReport {
+  std::uint64_t queries = 0;
+  std::uint64_t successful = 0;
+  std::uint64_t affected = 0;        // dead_providers_skipped > 0
+  std::uint64_t incomplete = 0;      // index rows unreachable
+  std::uint64_t retry_count = 0;
+  std::uint64_t relookup_count = 0;
+  std::uint64_t timeout_count = 0;   // failure-detection timeouts charged
+  net::SimTime first_fault_ms = 0;   // schedule's first fail event
+  net::SimTime last_affected_done_ms = 0;  // latest affected completion
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return queries == 0 ? 1.0
+                        : static_cast<double>(successful) /
+                              static_cast<double>(queries);
+  }
+  [[nodiscard]] double retries_per_query() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(retry_count) /
+                              static_cast<double>(queries);
+  }
+  /// Upper bound on the repair-convergence window: how long after the first
+  /// failure queries were still paying for stale index state. 0 when no
+  /// query was affected.
+  [[nodiscard]] net::SimTime convergence_ms() const noexcept {
+    return last_affected_done_ms > first_fault_ms
+               ? last_affected_done_ms - first_fault_ms
+               : 0;
+  }
+  /// The metrics as BenchRecord::extra entries.
+  [[nodiscard]] std::map<std::string, double> to_extra() const;
+};
+
+/// Applies FaultEvents to an overlay. Stateless between events except for
+/// the log; the conversion to InjectedEvents binds `this`, so the injector
+/// must outlive the batch run (run_with_faults handles that).
+class FaultInjector {
+ public:
+  FaultInjector(overlay::HybridOverlay& overlay, FaultSchedule schedule)
+      : overlay_(&overlay), schedule_(std::move(schedule)) {}
+
+  /// One InjectedEvent per schedule entry, in schedule order.
+  [[nodiscard]] std::vector<dqp::InjectedEvent> injections();
+
+  /// Apply one event now (used by the shell's immediate mode and tests).
+  void apply(const FaultEvent& e, net::SimTime at);
+
+  [[nodiscard]] const InjectionLog& log() const noexcept { return log_; }
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+ private:
+  overlay::HybridOverlay* overlay_;
+  FaultSchedule schedule_;
+  InjectionLog log_;
+};
+
+/// Everything one faulted batch run produces.
+struct FaultRunResult {
+  dqp::BatchResult batch;
+  AvailabilityReport availability;
+  InjectionLog injection_log;
+};
+
+/// Execute `batch` with `schedule` injected into its event queue, then
+/// compute the availability report. `opts` is forwarded to execute_batch
+/// (its own `injections` are replaced by the schedule's).
+[[nodiscard]] FaultRunResult run_with_faults(
+    dqp::DistributedQueryProcessor& processor,
+    overlay::HybridOverlay& overlay, const std::vector<dqp::BatchQuery>& batch,
+    const FaultSchedule& schedule, const dqp::BatchOptions& opts = {});
+
+/// Distill the availability report from finished reports (exposed for
+/// callers that run execute_batch themselves, e.g. the shell).
+[[nodiscard]] AvailabilityReport availability_from_reports(
+    const std::vector<dqp::ExecutionReport>& reports,
+    const FaultSchedule& schedule);
+
+/// Post-run convergence: overlay repair (replica promotion + ring fix-up),
+/// oracle finger repair, and the oracle purge of every still-failed storage
+/// address from every primary and replica row. After this, the system must
+/// satisfy invariant I6 (no failed node in any row) — audit with
+/// AuditOptions::converged = true.
+void converge(overlay::HybridOverlay& overlay, net::SimTime now);
+
+}  // namespace ahsw::fault

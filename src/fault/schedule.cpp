@@ -1,0 +1,117 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace ahsw::fault {
+
+std::string_view fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kStorageFail: return "storage-fail";
+    case FaultKind::kIndexFail: return "index-fail";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kRepair: return "repair";
+    case FaultKind::kRejoin: return "rejoin";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(FaultEvent e) {
+  // Insert after every event with at <= e.at: the vector stays sorted by
+  // time and stable in insertion order for ties.
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), e,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(pos, e);
+}
+
+FaultSchedule& FaultSchedule::storage_fail(net::SimTime at,
+                                           net::NodeAddress addr) {
+  add(FaultEvent{at, FaultKind::kStorageFail, addr, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::index_fail(net::SimTime at, chord::Key id) {
+  add(FaultEvent{at, FaultKind::kIndexFail, net::kNoAddress, id});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::recover(net::SimTime at, net::NodeAddress addr) {
+  add(FaultEvent{at, FaultKind::kRecover, addr, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::repair(net::SimTime at) {
+  add(FaultEvent{at, FaultKind::kRepair, net::kNoAddress, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::rejoin(net::SimTime at, net::NodeAddress addr) {
+  add(FaultEvent{at, FaultKind::kRejoin, addr, 0});
+  return *this;
+}
+
+FaultSchedule FaultSchedule::generate(
+    const ChurnProfile& profile, const std::vector<net::NodeAddress>& victims,
+    std::uint64_t seed) {
+  FaultSchedule s;
+  if (victims.empty() || profile.horizon_ms <= 0) return s;
+  common::Rng rng(seed);
+  const double expected =
+      profile.fails_per_second * profile.horizon_ms / 1000.0;
+  const auto failures = static_cast<std::size_t>(expected);
+  for (std::size_t i = 0; i < failures; ++i) {
+    const net::SimTime at = profile.horizon_ms * rng.uniform();
+    const net::NodeAddress victim =
+        victims[static_cast<std::size_t>(rng.below(victims.size()))];
+    s.storage_fail(at, victim);
+    if (rng.chance(profile.recover_fraction)) {
+      const net::SimTime back = at + profile.recover_delay_ms;
+      s.recover(back, victim);
+      s.rejoin(back, victim);
+    }
+  }
+  if (profile.repair_every_ms > 0) {
+    for (net::SimTime at = profile.repair_every_ms; at < profile.horizon_ms;
+         at += profile.repair_every_ms) {
+      s.repair(at);
+    }
+  }
+  return s;
+}
+
+net::SimTime FaultSchedule::first_fault_at() const noexcept {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kStorageFail || e.kind == FaultKind::kIndexFail) {
+      return e.at;
+    }
+  }
+  return 0;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os.setf(std::ios::fixed);
+  for (const FaultEvent& e : events_) {
+    os << e.at << " " << fault_kind_name(e.kind);
+    switch (e.kind) {
+      case FaultKind::kStorageFail:
+      case FaultKind::kRecover:
+      case FaultKind::kRejoin:
+        os << " node " << e.storage;
+        break;
+      case FaultKind::kIndexFail:
+        os << " index " << e.index;
+        break;
+      case FaultKind::kRepair:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ahsw::fault

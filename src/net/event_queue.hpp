@@ -18,6 +18,12 @@
 
 namespace ahsw::net {
 
+/// Query id reserved for injected (non-query) events — fault-schedule
+/// entries merged into the same queue. The maximum id, so at equal sim time
+/// an injected event sorts after every real query's tasks: a fault stamped
+/// at time T affects work strictly after T, never work scheduled at T.
+inline constexpr std::uint32_t kInjectionQueryId = 0xffffffffu;
+
 /// One schedulable unit of work: task `task` of query `query` may start at
 /// simulated time `at`.
 struct ReadyEvent {

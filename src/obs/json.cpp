@@ -201,7 +201,18 @@ void BenchSink::write(std::ostream& os) const {
          << ", \"bytes\": " << p.bytes << ", \"timeouts\": " << p.timeouts
          << "}";
     }
-    os << "]}";
+    os << "]";
+    if (!r.extra.empty()) {
+      os << ", \"extra\": {";
+      bool first_extra = true;
+      for (const auto& [key, value] : r.extra) {
+        if (!first_extra) os << ", ";
+        first_extra = false;
+        os << json_string(key) << ": " << json_number(value);
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "\n  ]\n}\n";
 }

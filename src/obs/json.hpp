@@ -43,6 +43,10 @@ struct BenchRecord {
   double response_ms = 0;
   std::uint64_t queries = 1;  // >1 when traffic/response are batch means
   std::vector<PhaseCost> phases;
+  /// Experiment-specific named metrics (e.g. the fault harness's
+  /// availability numbers: success_rate, retries_per_query,
+  /// convergence_ms). Emitted as an "extra" object when non-empty.
+  std::map<std::string, double> extra;
 };
 
 /// Process-wide collector for BENCH_*.json. Records are keyed by their

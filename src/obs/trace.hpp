@@ -44,8 +44,9 @@ enum class SpanKind : std::uint8_t {
   kPostProcess,    // final ship to the initiator + solution modifiers
   kTimeout,        // failure-detection wait on a dead peer (leaf)
   kRepair,         // lazy location-table repair (Sect. III-D)
+  kRetry,          // one bounded re-dispatch after a dead-provider timeout
 };
-inline constexpr int kSpanKindCount = 13;
+inline constexpr int kSpanKindCount = 14;
 
 [[nodiscard]] std::string_view span_kind_name(SpanKind k) noexcept;
 

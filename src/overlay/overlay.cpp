@@ -153,7 +153,7 @@ void HybridOverlay::replicate_row(IndexNodeState& owner, chord::Key key,
 }
 
 net::SimTime HybridOverlay::publish_key(net::NodeAddress from, chord::Key key,
-                                        std::uint32_t freq, bool retract,
+                                        std::uint32_t freq, PublishOp op,
                                         net::SimTime now) {
   chord::Key entry = entry_ring_node(from);
   net::NodeAddress entry_addr = ring_.address_of(entry);
@@ -168,10 +168,16 @@ net::SimTime HybridOverlay::publish_key(net::NodeAddress from, chord::Key key,
                  net::Category::kIndex);
   auto it = index_.find(lr.owner);
   if (it == index_.end()) return t;
-  if (retract) {
-    it->second.table.retract(key, from, freq);
-  } else {
-    it->second.table.publish(key, from, freq);
+  switch (op) {
+    case PublishOp::kAdd:
+      it->second.table.publish(key, from, freq);
+      break;
+    case PublishOp::kRetract:
+      it->second.table.retract(key, from, freq);
+      break;
+    case PublishOp::kSnapshot:
+      it->second.table.upsert(key, from, freq);
+      break;
   }
   replicate_row(it->second, key, from, t);
   return t;
@@ -191,7 +197,7 @@ net::SimTime HybridOverlay::share_triples(
   // Publishes for distinct keys proceed in parallel; completion is the max.
   net::SimTime latest = now;
   for (const auto& [key, freq] : delta) {
-    latest = std::max(latest, publish_key(addr, key, freq, false, now));
+    latest = std::max(latest, publish_key(addr, key, freq, PublishOp::kAdd, now));
     s.published[key] += freq;
   }
   return latest;
@@ -210,7 +216,8 @@ net::SimTime HybridOverlay::unshare_triples(
   }
   net::SimTime latest = now;
   for (const auto& [key, freq] : delta) {
-    latest = std::max(latest, publish_key(addr, key, freq, true, now));
+    latest =
+        std::max(latest, publish_key(addr, key, freq, PublishOp::kRetract, now));
     auto it = s.published.find(key);
     if (it != s.published.end()) {
       it->second = it->second > freq ? it->second - freq : 0;
@@ -298,6 +305,23 @@ net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
   net::SimTime t = net_->send(reporter, it->second.address, kPublishBytes,
                               now, net::Category::kIndex);
   it->second.table.purge(key, dead);
+  if (config_.propagate_purge_to_replicas && config_.replication_factor > 1 &&
+      ring_.contains(owner)) {
+    // Forward the purge along the same successor walk replicate_row uses:
+    // a replica row left unpurged resurrects the dead provider as soon as
+    // the primary fails and repair() promotes it.
+    const chord::NodeState& rs = ring_.state(owner);
+    int copies = 0;
+    for (chord::Key succ : rs.successors) {
+      if (copies >= config_.replication_factor - 1) break;
+      auto hi = index_.find(succ);
+      if (hi == index_.end() || succ == owner) continue;
+      net_->send(it->second.address, hi->second.address, kPublishBytes, t,
+                 net::Category::kIndex);
+      hi->second.replicas.purge(key, dead);
+      ++copies;
+    }
+  }
   span.finish(t);
   return t;
 }
@@ -324,9 +348,25 @@ net::SimTime HybridOverlay::storage_node_leave(net::NodeAddress addr,
   net::SimTime latest = now;
   std::map<chord::Key, std::uint32_t> published = s.published;
   for (const auto& [key, freq] : published) {
-    latest = std::max(latest, publish_key(addr, key, freq, true, now));
+    latest =
+        std::max(latest, publish_key(addr, key, freq, PublishOp::kRetract, now));
   }
   storage_.erase(addr);
+  return latest;
+}
+
+net::SimTime HybridOverlay::storage_node_rejoin(net::NodeAddress addr,
+                                                net::SimTime now) {
+  StorageNodeState& s = storage_.at(addr);
+  assert(!net_->is_failed(addr) && "recover the node before rejoining");
+  // Snapshot semantics, not additive: the primary row may still carry the
+  // pre-crash entry (lazy repair only purges rows a query actually hit), and
+  // where it was purged the tombstone must be revived, not max-merged around.
+  net::SimTime latest = now;
+  for (const auto& [key, freq] : s.published) {
+    latest = std::max(latest,
+                      publish_key(addr, key, freq, PublishOp::kSnapshot, now));
+  }
   return latest;
 }
 
@@ -379,12 +419,27 @@ void HybridOverlay::repair(net::SimTime now) {
   }
 }
 
+void HybridOverlay::purge_failed_everywhere() {
+  std::vector<net::NodeAddress> dead;
+  for (const auto& [addr, s] : storage_) {
+    if (net_->is_failed(addr)) dead.push_back(addr);
+  }
+  if (dead.empty()) return;
+  for (auto& [id, ix] : index_) {
+    for (net::NodeAddress addr : dead) {
+      ix.table.purge_everywhere(addr);
+      ix.replicas.purge_everywhere(addr);
+    }
+  }
+}
+
 net::SimTime HybridOverlay::republish_all(net::SimTime now) {
   net::SimTime latest = now;
   for (auto& [addr, s] : storage_) {
     if (net_->is_failed(addr)) continue;
     for (const auto& [key, freq] : s.published) {
-      latest = std::max(latest, publish_key(addr, key, freq, false, now));
+      latest = std::max(latest,
+                        publish_key(addr, key, freq, PublishOp::kSnapshot, now));
     }
   }
   return latest;

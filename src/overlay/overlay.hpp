@@ -36,6 +36,12 @@ struct OverlayConfig {
   /// attribute and over-approximate the provider set (ablation of the
   /// design choice in Sect. III-B).
   bool pair_keys = true;
+  /// Forward the lazy purge of a dead provider to the owner's replica
+  /// successors. With only the primary row purged, a later crash of the
+  /// primary promotes a replica row that still lists the dead provider
+  /// (resurrection through replicas). False reproduces the pre-fix
+  /// behavior, kept for the regression test.
+  bool propagate_purge_to_replicas = true;
 };
 
 /// An index node: a ring member hosting a location-table shard.
@@ -85,9 +91,22 @@ class HybridOverlay {
   void storage_node_fail(net::NodeAddress addr);
   /// Graceful storage departure: retract every published entry.
   net::SimTime storage_node_leave(net::NodeAddress addr, net::SimTime now);
+  /// A crashed-and-recovered storage node re-announces itself: every
+  /// remembered published entry is re-pushed as a snapshot, which also
+  /// clears any tombstone the lazy repair buried it under. The caller must
+  /// have recovered the node in the network first. Returns the completion
+  /// time of the slowest republish.
+  net::SimTime storage_node_rejoin(net::NodeAddress addr, net::SimTime now);
 
   /// Ring repair + promotion of replica rows to their new owners.
   void repair(net::SimTime now);
+  /// Oracle-driven anti-entropy: drop every currently-failed storage address
+  /// from every primary and replica row (tombstoning it, as the lazy purge
+  /// would). Lazy repair only cleans rows queries actually hit; the fault
+  /// harness runs this as its convergence step so post-convergence audits
+  /// (invariant I6) have a precise precondition. Charges no traffic — it
+  /// models the eventual outcome of repair, not a protocol.
+  void purge_failed_everywhere();
   /// Have every live storage node republish its index entries (the lazy
   /// fallback when replication is off and index state was lost).
   net::SimTime republish_all(net::SimTime now);
@@ -190,9 +209,17 @@ class HybridOverlay {
   [[nodiscard]] std::optional<chord::Key> pattern_row_key(
       const rdf::TriplePattern& p) const;
 
-  /// Deliver one publish/retract to the owning index node (+ replicas).
+  /// How publish_key applies a delivered (key, provider, freq) entry.
+  enum class PublishOp : std::uint8_t {
+    kAdd,       // additive publish (new triples shared)
+    kRetract,   // subtract freq, remove at zero (unshare / leave)
+    kSnapshot,  // set freq exactly; idempotent, revives tombstones (rejoin)
+  };
+
+  /// Deliver one publish/retract/snapshot to the owning index node
+  /// (+ replicas).
   net::SimTime publish_key(net::NodeAddress from, chord::Key key,
-                           std::uint32_t freq, bool retract, net::SimTime now);
+                           std::uint32_t freq, PublishOp op, net::SimTime now);
   /// Push a snapshot of the owner's current (key, provider) entry to the
   /// owner's replica successors (idempotent; 0 removes the replica entry).
   void replicate_row(IndexNodeState& owner, chord::Key key,

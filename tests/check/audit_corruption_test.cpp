@@ -9,6 +9,7 @@
 
 #include "check/audit.hpp"
 #include "dqp/processor.hpp"
+#include "fault/harness.hpp"
 #include "workload/testbed.hpp"
 
 namespace ahsw::check {
@@ -225,6 +226,61 @@ TEST(SeededCorruption, I5DesyncedSpanCounters) {
   audit_conservation(trace, delta, rep);
   EXPECT_GT(rep.count(Invariant::kConservation, Severity::kCorrupt), 0u);
   EXPECT_EQ(classes(rep), std::set<Invariant>{Invariant::kConservation})
+      << rep.to_string();
+}
+
+TEST(SeededCorruption, I6FailedProviderRevivedInPrimaryRow) {
+  workload::Testbed bed(config(1));
+  Target t = pick_target(bed);
+  bed.overlay().storage_node_fail(t.provider);
+  fault::converge(bed.overlay(), 0);
+
+  AuditOptions opt;
+  opt.converged = true;
+  opt.churned = true;
+  EXPECT_TRUE(audit(bed.overlay(), opt).clean())
+      << "converge must establish I6 before the corruption is planted";
+
+  // Resurrect the corpse in the owner's primary row — the post-convergence
+  // state the replica-propagation bug produced.
+  bed.overlay().index_state(t.owner).table.publish(t.key, t.provider, t.freq);
+  AuditReport rep = audit(bed.overlay(), opt);
+  EXPECT_GT(rep.count(Invariant::kLiveness, Severity::kCorrupt), 0u)
+      << rep.to_string();
+  bool located = false;
+  for (const Violation& v : rep.violations) {
+    if (v.invariant == Invariant::kLiveness && v.key == t.key &&
+        v.provider == t.provider) {
+      located = true;
+    }
+  }
+  EXPECT_TRUE(located) << rep.to_string();
+
+  // Without the converged bar the same entry is lazy-repair staleness (I3),
+  // not an I6 violation.
+  AuditOptions lax;
+  lax.churned = true;
+  AuditReport lenient = audit(bed.overlay(), lax);
+  EXPECT_TRUE(lenient.clean()) << lenient.to_string();
+  EXPECT_EQ(lenient.count(Invariant::kLiveness), 0u);
+}
+
+TEST(SeededCorruption, I6FailedProviderSurvivingInReplicaRow) {
+  workload::Testbed bed(config(2));
+  Target t = pick_target(bed);
+  bed.overlay().storage_node_fail(t.provider);
+  fault::converge(bed.overlay(), 0);
+
+  AuditOptions opt;
+  opt.converged = true;
+  opt.churned = true;
+  ASSERT_TRUE(audit(bed.overlay(), opt).clean());
+
+  // A replica copy the purge missed: exactly the resurrection seed.
+  bed.overlay().index_state(t.owner).replicas.upsert(t.key, t.provider,
+                                                     t.freq);
+  AuditReport rep = audit(bed.overlay(), opt);
+  EXPECT_GT(rep.count(Invariant::kLiveness, Severity::kCorrupt), 0u)
       << rep.to_string();
 }
 

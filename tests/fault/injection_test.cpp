@@ -1,0 +1,150 @@
+// FaultInjector semantics and the deterministic interleaving of injected
+// events with execute_batch() traffic.
+#include <gtest/gtest.h>
+
+#include "check/audit.hpp"
+#include "fault/harness.hpp"
+#include "net/event_queue.hpp"
+#include "workload/testbed.hpp"
+
+namespace ahsw::fault {
+namespace {
+
+constexpr std::string_view kPrologue =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n";
+
+workload::TestbedConfig config(int replication = 1) {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 5;
+  cfg.storage_nodes = 6;
+  cfg.overlay.replication_factor = replication;
+  cfg.foaf.persons = 70;
+  cfg.foaf.seed = 51;
+  cfg.partition.seed = 52;
+  return cfg;
+}
+
+std::vector<dqp::BatchQuery> knows_batch(workload::Testbed& bed, int n) {
+  std::vector<dqp::BatchQuery> batch;
+  for (int i = 0; i < n; ++i) {
+    dqp::BatchQuery q;
+    q.query = sparql::parse_query(std::string(kPrologue) +
+                                  "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }");
+    q.initiator = bed.storage_addrs().front();
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+TEST(Injection, EventsSortAfterQueryTasksAtEqualTime) {
+  // The reserved injection query id is the maximum, so at one sim time every
+  // query task stamped there fires before the injected event applies.
+  net::ReadyEvent task{10.0, 3, 0};
+  net::ReadyEvent inject{10.0, net::kInjectionQueryId, 0};
+  net::ReadyEvent later_task{10.5, 0, 0};
+  EXPECT_LT(task, inject);
+  EXPECT_LT(inject, later_task);
+}
+
+TEST(Injection, ApplyIsIdempotentAndLogsSkips) {
+  workload::Testbed bed(config());
+  FaultInjector inj(bed.overlay(), FaultSchedule{});
+  net::NodeAddress victim = bed.storage_addrs()[2];
+
+  inj.apply(FaultEvent{0, FaultKind::kStorageFail, victim, 0}, 0);
+  EXPECT_TRUE(bed.network().is_failed(victim));
+  inj.apply(FaultEvent{1, FaultKind::kStorageFail, victim, 0}, 1);  // again
+  inj.apply(FaultEvent{2, FaultKind::kStorageFail, 9999, 0}, 2);  // unknown
+  inj.apply(FaultEvent{3, FaultKind::kRecover, victim, 0}, 3);
+  EXPECT_FALSE(bed.network().is_failed(victim));
+  inj.apply(FaultEvent{4, FaultKind::kRecover, victim, 0}, 4);  // not failed
+  inj.apply(FaultEvent{5, FaultKind::kIndexFail, net::kNoAddress, 0}, 5);
+
+  EXPECT_EQ(inj.log().applied, 2);
+  EXPECT_EQ(inj.log().skipped, 4);
+}
+
+TEST(Injection, MidBatchFailureAffectsQueriesDeterministically) {
+  workload::Testbed bed(config());
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  FaultSchedule schedule;
+  schedule.storage_fail(0, bed.storage_addrs()[2]);
+
+  FaultRunResult res =
+      run_with_faults(proc, bed.overlay(), knows_batch(bed, 2), schedule);
+  EXPECT_EQ(res.injection_log.applied, 1);
+  EXPECT_GE(res.availability.affected, 1u);
+  EXPECT_GT(res.availability.timeout_count, 0u);
+  EXPECT_LT(res.availability.success_rate(), 1.0);
+  EXPECT_GT(res.availability.convergence_ms(), 0);
+}
+
+TEST(Injection, EventsPastMakespanStillApply) {
+  workload::Testbed bed(config());
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  net::NodeAddress victim = bed.storage_addrs()[3];
+  FaultSchedule schedule;
+  schedule.storage_fail(1e6, victim);  // long after the batch completes
+
+  FaultRunResult res =
+      run_with_faults(proc, bed.overlay(), knows_batch(bed, 1), schedule);
+  EXPECT_EQ(res.injection_log.applied, 1);
+  EXPECT_TRUE(bed.network().is_failed(victim));
+  // No query ran at that sim time, so availability is untouched.
+  EXPECT_EQ(res.availability.affected, 0u);
+  EXPECT_EQ(res.availability.success_rate(), 1.0);
+}
+
+TEST(Injection, RejoinRepublishesPurgedRows) {
+  workload::Testbed bed(config());
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  net::NodeAddress victim = bed.storage_addrs()[2];
+  rdf::TriplePattern knows{rdf::Variable{"x"},
+                           rdf::Term::iri("http://xmlns.com/foaf/0.1/knows"),
+                           rdf::Variable{"o"}};
+
+  bed.overlay().storage_node_fail(victim);
+  dqp::ExecutionReport rep;
+  (void)proc.execute(std::string(kPrologue) +
+                         "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }",
+                     bed.storage_addrs().front(), &rep);
+  ASSERT_GT(rep.dead_providers_skipped, 0);  // lazy purge happened
+
+  auto purged = bed.overlay().locate(bed.storage_addrs().front(), knows, 0);
+  ASSERT_TRUE(purged.ok);
+  for (const overlay::Provider& p : purged.providers) {
+    EXPECT_NE(p.address, victim);
+  }
+
+  FaultInjector inj(bed.overlay(), FaultSchedule{});
+  inj.apply(FaultEvent{500, FaultKind::kRejoin, victim, 0}, 500);
+  auto rejoined = bed.overlay().locate(bed.storage_addrs().front(), knows, 0);
+  ASSERT_TRUE(rejoined.ok);
+  bool listed = false;
+  for (const overlay::Provider& p : rejoined.providers) {
+    if (p.address == victim) listed = true;
+  }
+  EXPECT_TRUE(listed) << "rejoin must revive the purged index rows";
+}
+
+TEST(Injection, ConvergeEstablishesLiveness) {
+  workload::Testbed bed(config(/*replication=*/2));
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  FaultSchedule schedule;
+  schedule.storage_fail(0, bed.storage_addrs()[2])
+      .storage_fail(0, bed.storage_addrs()[4]);
+
+  FaultRunResult res =
+      run_with_faults(proc, bed.overlay(), knows_batch(bed, 2), schedule);
+  converge(bed.overlay(), res.batch.makespan);
+
+  check::AuditOptions opt;
+  opt.converged = true;
+  opt.churned = true;
+  check::AuditReport rep = check::audit(bed.overlay(), opt);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(rep.count(check::Invariant::kLiveness), 0u) << rep.to_string();
+}
+
+}  // namespace
+}  // namespace ahsw::fault

@@ -1,0 +1,98 @@
+// FaultSchedule: builder ordering, the seeded churn generator's determinism
+// and bounds, and the schedule's derived quantities.
+#include <gtest/gtest.h>
+
+#include "fault/schedule.hpp"
+
+namespace ahsw::fault {
+namespace {
+
+TEST(FaultSchedule, BuilderKeepsTimeOrderWithStableTies) {
+  FaultSchedule s;
+  s.storage_fail(50, 7).repair(10).recover(50, 7).rejoin(80, 7).index_fail(10,
+                                                                           3);
+  ASSERT_EQ(s.size(), 5u);
+  // Sorted by time; the two t=10 events and the two t=50 events keep the
+  // order they were added in.
+  EXPECT_EQ(s.events()[0].kind, FaultKind::kRepair);
+  EXPECT_EQ(s.events()[1].kind, FaultKind::kIndexFail);
+  EXPECT_EQ(s.events()[2].kind, FaultKind::kStorageFail);
+  EXPECT_EQ(s.events()[3].kind, FaultKind::kRecover);
+  EXPECT_EQ(s.events()[4].kind, FaultKind::kRejoin);
+}
+
+TEST(FaultSchedule, FirstFaultAtSkipsNonFailures) {
+  FaultSchedule s;
+  EXPECT_EQ(s.first_fault_at(), 0);
+  s.repair(5).rejoin(8, 1);
+  EXPECT_EQ(s.first_fault_at(), 0);  // no failure at all
+  s.storage_fail(40, 2).index_fail(25, 3);
+  EXPECT_EQ(s.first_fault_at(), 25);
+}
+
+TEST(FaultSchedule, GeneratorIsDeterministicInSeed) {
+  ChurnProfile profile;
+  profile.horizon_ms = 500;
+  profile.fails_per_second = 10;
+  profile.repair_every_ms = 100;
+  std::vector<net::NodeAddress> victims = {1, 2, 3, 4, 5};
+
+  FaultSchedule a = FaultSchedule::generate(profile, victims, 42);
+  FaultSchedule b = FaultSchedule::generate(profile, victims, 42);
+  FaultSchedule c = FaultSchedule::generate(profile, victims, 43);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].storage, b.events()[i].storage);
+  }
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultSchedule, GeneratorRespectsProfileBounds) {
+  ChurnProfile profile;
+  profile.horizon_ms = 1000;
+  profile.fails_per_second = 8;
+  profile.recover_fraction = 1.0;  // every failure recovers + rejoins
+  profile.recover_delay_ms = 50;
+  std::vector<net::NodeAddress> victims = {10, 11, 12};
+
+  FaultSchedule s = FaultSchedule::generate(profile, victims, 7);
+  int fails = 0, recovers = 0, rejoins = 0;
+  for (const FaultEvent& e : s.events()) {
+    switch (e.kind) {
+      case FaultKind::kStorageFail:
+        ++fails;
+        EXPECT_GE(e.at, 0);
+        EXPECT_LT(e.at, profile.horizon_ms);
+        EXPECT_TRUE(e.storage >= 10 && e.storage <= 12);
+        break;
+      case FaultKind::kRecover:
+        ++recovers;
+        break;
+      case FaultKind::kRejoin:
+        ++rejoins;
+        break;
+      case FaultKind::kIndexFail:
+      case FaultKind::kRepair:
+        break;
+    }
+  }
+  EXPECT_EQ(fails, 8);  // fails_per_second * horizon_s
+  EXPECT_EQ(recovers, fails);
+  EXPECT_EQ(rejoins, fails);
+}
+
+TEST(FaultSchedule, ToStringNamesEveryKind) {
+  FaultSchedule s;
+  s.storage_fail(1, 2).index_fail(2, 3).recover(3, 2).repair(4).rejoin(5, 2);
+  std::string text = s.to_string();
+  for (const char* kind :
+       {"storage-fail", "index-fail", "recover", "repair", "rejoin"}) {
+    EXPECT_NE(text.find(kind), std::string::npos) << kind;
+  }
+}
+
+}  // namespace
+}  // namespace ahsw::fault

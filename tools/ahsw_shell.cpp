@@ -14,6 +14,8 @@
 //   drop <addr> <ntriples line>  unshare one triple
 //   policy basic|chain|freq|adaptive [traffic_w latency_w]
 //   policy engine dag|legacy     pick the execution engine (default dag)
+//   policy retry <max> [base growth relookup]   bounded retry/backoff +
+//                                lazy-repair re-lookup on dead providers
 //   query <addr> <sparql...>     run a query (may span lines; end with ';')
 //   batch <addr> <addr> ...      run N queries concurrently (one per ';'-
 //                                terminated query on the following lines)
@@ -22,7 +24,16 @@
 //                                roots carry q<id> labels), with costs
 //   fail-storage <addr>          crash a device
 //   fail-index                   crash one index node, then repair
-//   audit                        run the invariant auditor (I1-I5)
+//   inject <at> storage-fail <addr>   schedule a device crash at sim time
+//   inject <at> index-fail <id>       schedule an index-node crash
+//   inject <at> recover <addr>        schedule a device recovery
+//   inject <at> rejoin <addr>         schedule recovery + republish
+//   inject <at> repair                schedule an overlay repair round
+//   inject list | clear          show / drop the pending fault schedule
+//                                (the next `batch` consumes it and prints
+//                                availability metrics)
+//   audit [converged]            run the invariant auditor (I1-I5; with
+//                                `converged`: converge first, then I1-I6)
 //   lint                         run ahsw-lint over the source tree
 //   stats                        system summary
 //   quit
@@ -31,6 +42,7 @@
 #include <sstream>
 
 #include "check/audit.hpp"
+#include "fault/harness.hpp"
 #include "lint/engine.hpp"
 #include "dqp/physical_plan.hpp"
 #include "dqp/processor.hpp"
@@ -58,11 +70,14 @@ struct Shell {
   bool churned = false;
   /// Traffic delta of the last query, for the I5 conservation audit.
   net::TrafficStats last_query_delta;
+  /// Faults queued by `inject`; the next `batch` consumes (and clears) them.
+  fault::FaultSchedule pending_faults;
 
   void make_system(std::size_t index_nodes, std::size_t storage_nodes) {
     trace.unbind();  // the old network is about to be destroyed
     have_query = false;
     churned = false;
+    pending_faults.clear();
     network = std::make_unique<net::Network>();
     overlay::OverlayConfig cfg;
     cfg.replication_factor = 2;
@@ -112,7 +127,14 @@ struct Shell {
     try {
       trace.clear();
       net::TrafficStats before = network->stats();
-      dqp::BatchResult r = processor->execute_batch(queries, addrs);
+      // Any faults queued by `inject` ride along in this batch's event
+      // queue; the schedule is one-shot.
+      fault::FaultSchedule schedule = pending_faults;
+      pending_faults.clear();
+      fault::FaultInjector injector(*overlay, schedule);
+      dqp::BatchOptions opts;
+      opts.injections = injector.injections();
+      dqp::BatchResult r = processor->execute_batch(queries, addrs, opts);
       last_query_delta = network->stats().delta_since(before);
       have_query = true;
       for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -125,13 +147,30 @@ struct Shell {
       }
       std::cout << "-- batch of " << queries.size() << ": makespan "
                 << r.makespan << " ms simulated\n";
+      if (!schedule.empty()) {
+        churned = true;
+        fault::AvailabilityReport avail =
+            fault::availability_from_reports(r.reports, schedule);
+        std::cout << "-- faults: " << injector.log().applied << " applied, "
+                  << injector.log().skipped << " skipped; success rate "
+                  << avail.success_rate() << ", " << avail.retry_count
+                  << " retries, " << avail.relookup_count
+                  << " re-lookups, convergence " << avail.convergence_ms()
+                  << " ms\n";
+      }
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
     }
   }
 
-  void audit() {
+  void audit(bool converged = false) {
+    if (converged) {
+      // Drive the system to a settled state first; I6 then treats any
+      // surviving reference to a failed device as corruption.
+      fault::converge(*overlay, 0);
+    }
     check::AuditOptions opt;
+    opt.converged = converged;
     opt.churned = churned;
     check::AuditReport rep = check::audit(*overlay, opt);
     if (have_query) {
@@ -159,8 +198,8 @@ int run(std::istream& in, bool interactive) {
         // comment / blank
       } else if (cmd == "help") {
         std::cout << "commands: system device load put drop policy query "
-                     "batch plan explain fail-storage fail-index audit lint "
-                     "stats quit\n";
+                     "batch plan explain fail-storage fail-index inject audit "
+                     "lint stats quit\n";
       } else if (cmd == "system") {
         std::size_t ix = 4, st = 4;
         ss >> ix >> st;
@@ -214,6 +253,17 @@ int run(std::istream& in, bool interactive) {
             shell.policy.engine = dqp::ExecutionEngine::kLegacy;
           } else {
             std::cout << "error: unknown engine (dag|legacy)\n";
+          }
+        } else if (kind == "retry") {
+          int max = 0;
+          ss >> max;
+          shell.policy.retry.max_retries = max;
+          double base = 0, growth = 0;
+          int relookup = 0;
+          if (ss >> base >> growth >> relookup) {
+            shell.policy.retry.backoff_base_ms = base;
+            shell.policy.retry.backoff_growth = growth;
+            shell.policy.retry.relookup = relookup != 0;
           }
         } else if (kind == "basic") {
           shell.policy.adaptive = false;
@@ -320,8 +370,53 @@ int run(std::istream& in, bool interactive) {
           shell.churned = true;
           std::cout << "index node " << victim << " failed and repaired\n";
         }
+      } else if (cmd == "inject") {
+        std::string first;
+        ss >> first;
+        if (first == "list") {
+          std::cout << (shell.pending_faults.empty()
+                            ? std::string("no pending faults\n")
+                            : shell.pending_faults.to_string());
+        } else if (first == "clear") {
+          shell.pending_faults.clear();
+          std::cout << "ok\n";
+        } else {
+          // `inject <at> <kind> [target]` — queued, consumed by `batch`.
+          net::SimTime at = 0;
+          std::string kind;
+          std::istringstream at_ss(first);
+          if (!(at_ss >> at) || !(ss >> kind)) {
+            std::cout << "error: inject <at> storage-fail|index-fail|recover|"
+                         "rejoin|repair [target], or inject list|clear\n";
+          } else if (kind == "repair") {
+            shell.pending_faults.repair(at);
+            std::cout << "ok\n";
+          } else if (kind == "index-fail") {
+            chord::Key id = 0;
+            ss >> id;
+            shell.pending_faults.index_fail(at, id);
+            std::cout << "ok\n";
+          } else {
+            net::NodeAddress addr = 0;
+            ss >> addr;
+            if (kind == "storage-fail") {
+              shell.pending_faults.storage_fail(at, addr);
+              std::cout << "ok\n";
+            } else if (kind == "recover") {
+              shell.pending_faults.recover(at, addr);
+              std::cout << "ok\n";
+            } else if (kind == "rejoin") {
+              shell.pending_faults.rejoin(at, addr);
+              std::cout << "ok\n";
+            } else {
+              std::cout << "error: unknown fault kind '" << kind << "'\n";
+            }
+          }
+        }
       } else if (cmd == "audit") {
-        if (shell.ready()) shell.audit();
+        std::string mode;
+        ss >> mode;
+        if (shell.ready()) shell.audit(mode == "converged");
       } else if (cmd == "lint") {
         // The static half of the correctness suite: audit checks the
         // running system, lint checks the source tree it was built from.
