@@ -117,7 +117,8 @@ std::string AuditReport::to_string() const {
   out << "audit: " << corrupt << " corrupt, " << stale << " stale"
       << " (checked " << nodes_checked << " ring nodes, " << triples_checked
       << " triples, " << keys_checked << " key probes, " << rows_checked
-      << " row entries, " << replica_rows_checked << " replica entries)";
+      << " row entries, " << replica_rows_checked << " replica entries, "
+      << cached_rows_checked << " cached rows)";
   for (const Violation& v : violations) out << "\n  " << v.to_string();
   if (truncated) out << "\n  ... (violation list truncated)";
   return out.str();
@@ -447,6 +448,54 @@ void audit_overlay(const overlay::HybridOverlay& ov, AuditReport& rep,
       scan_rows(ix.table, "primary");
       scan_rows(ix.replicas, "replica");
     }
+    // purge_failed_everywhere drops every cached row listing a failed
+    // provider, so post-convergence the caches are as clean as the index.
+    for (const auto& [initiator, cache] : ov.caches()) {
+      for (const auto& [key, row] : cache.rows()) {
+        for (const overlay::Provider& p : row.providers) {
+          if (!net.is_failed(p.address)) continue;
+          add(rep, opt,
+              make(Invariant::kLiveness, Severity::kCorrupt, 0, key, p.address,
+                   "cached row at initiator " + std::to_string(initiator) +
+                       " still lists a failed provider after convergence"));
+        }
+      }
+    }
+  }
+
+  // -- I3/I4 over cached rows (docs/caching.md) -------------------------
+  // A cached row must match the authoritative row at the ring owner within
+  // its documented staleness bound: leased rows are push-invalidated on
+  // every owner mutation, so divergence is kCorrupt under I4 (a missed
+  // push); unleased rows inside their TTL may serve up to ttl_ms-stale data
+  // — divergence is the documented window, kStale under I3. An unleased row
+  // past its TTL at options.now can never be served again and is skipped.
+  for (const auto& [initiator, cache] : ov.caches()) {
+    for (const auto& [key, row] : cache.rows()) {
+      if (!row.leased && opt.now >= row.expires_at) continue;
+      ++rep.cached_rows_checked;
+      Key owner = successor_in(live, ring.truncate(key));
+      auto oit = ov.index_nodes().find(owner);
+      std::vector<overlay::Provider> authoritative;
+      if (oit != ov.index_nodes().end()) {
+        authoritative = oit->second.table.lookup(key);
+      }
+      if (row.providers == authoritative) continue;
+      if (row.leased) {
+        add(rep, opt,
+            make(Invariant::kReplication, Severity::kCorrupt, owner, key,
+                 net::kNoAddress,
+                 "leased cached row at initiator " + std::to_string(initiator) +
+                     " diverges from the owner (missed invalidation push)"));
+      } else {
+        add(rep, opt,
+            make(Invariant::kLocationCoherence, Severity::kStale, owner, key,
+                 net::kNoAddress,
+                 "cached row at initiator " + std::to_string(initiator) +
+                     " diverges from the owner within its TTL (documented "
+                     "staleness bound)"));
+      }
+    }
   }
 
   // -- I4: replication --------------------------------------------------
@@ -491,8 +540,9 @@ void audit_overlay(const overlay::HybridOverlay& ov, AuditReport& rep,
       }
     }
   }
-  // Orphaned replicas: rows whose ownership moved away. Harmless (reconcile
-  // max-merges them back on repair) but worth surfacing.
+  // Orphaned replicas: rows whose ownership moved away. Harmless (the
+  // versioned reconcile merges them back on repair, rejecting stale
+  // versions) but worth surfacing.
   for (const auto& [hid, hs] : ov.index_nodes()) {
     if (!ring.contains(hid) || net.is_failed(hs.address)) continue;
     for (const auto& [key, provs] : hs.replicas.rows()) {

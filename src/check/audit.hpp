@@ -95,6 +95,13 @@ struct AuditOptions {
   /// At most this many violations are materialized into the report's
   /// vector; counters keep counting past the cap.
   std::size_t max_violations = 256;
+  /// Audit time, used to age initiator-side cached location rows: an
+  /// unleased cached row within its TTL may serve data up to ttl_ms stale
+  /// (divergence reports as kStale under I3); one past its TTL can never be
+  /// served again (LocationCache::lookup drops it), so it is skipped. A
+  /// *leased* row is push-invalidated on every owner mutation, so any
+  /// divergence is kCorrupt under I4 regardless of age.
+  net::SimTime now = 0;
 };
 
 struct AuditReport {
@@ -113,6 +120,7 @@ struct AuditReport {
   std::size_t keys_checked = 0;          // (triple x key-kind) probes (I2)
   std::size_t rows_checked = 0;          // primary row entries audited (I3)
   std::size_t replica_rows_checked = 0;  // replica row entries audited (I4)
+  std::size_t cached_rows_checked = 0;   // initiator-cached rows audited (I3/I4)
 
   /// No corrupt violations (stale drift allowed).
   [[nodiscard]] bool clean() const noexcept { return corrupt == 0; }

@@ -81,6 +81,23 @@ void DagExecutor::give_up_on_provider(net::NodeAddress provider,
                                       net::NodeAddress initiator,
                                       ExecutionReport& rep) {
   ++rep.dead_providers_skipped;
+  if (policy_.cache.enabled) {
+    // Invalidate-on-timeout: the cached row listed a provider that just
+    // exhausted its retries, so the next lookup of this key must re-fetch
+    // instead of paying the dead-provider timeout again.
+    if (std::optional<chord::Key> key = overlay_->row_key(p.pattern)) {
+      overlay::LocationCache& cache = overlay_->cache_for(initiator);
+      const overlay::CacheStats before = cache.stats();
+      if (cache.invalidate(*key)) {
+        obs::SpanScope span(
+            trace_, obs::SpanKind::kCache,
+            "invalidate key " + std::to_string(overlay_->ring().truncate(*key)),
+            now, initiator);
+        span.finish(now);
+      }
+      rep.cache.accumulate(cache.stats().delta_since(before));
+    }
+  }
   overlay_->report_dead_provider(initiator, p.pattern, provider, now);
 }
 
@@ -284,6 +301,48 @@ void DagExecutor::fire(QueryRun& run, TaskId id) {
 
 net::SimTime DagExecutor::fire_lookup(QueryRun& run, TaskId id) {
   Task& t = run.tasks[id];
+  std::optional<chord::Key> key;
+  if (policy_.cache.enabled) key = overlay_->row_key(t.pattern.pattern);
+  if (key.has_value()) {
+    overlay::LocationCache& cache = overlay_->cache_for(run.initiator);
+    const overlay::CacheStats before = cache.stats();
+    const std::string klabel = std::to_string(overlay_->ring().truncate(*key));
+    if (const overlay::CachedRow* row = cache.lookup(*key, t.base)) {
+      // Hit: the row is served at the initiator — no ring lookup, no index
+      // traffic, completion at the task's own start time.
+      obs::SpanScope span(trace_, obs::SpanKind::kCache, "hit key " + klabel,
+                          t.base, run.initiator);
+      t.loc.providers = row->providers;
+      t.loc.index_node = row->index_node;
+      t.loc.ok = true;
+      t.loc.completed_at = t.base;
+      t.loc.cached = true;
+      t.loc.snapshot_age_ms = t.base - row->inserted_at;
+      span.finish(t.base);
+      run.rep.cache.accumulate(cache.stats().delta_since(before));
+      complete(run, id, t.base);
+      return 0;
+    }
+    {
+      obs::SpanScope span(trace_, obs::SpanKind::kCache, "miss key " + klabel,
+                          t.base, run.initiator);
+      span.finish(t.base);
+    }
+    t.loc = locate(t.pattern.pattern, run.initiator, t.base, run.rep);
+    if (t.loc.ok && !t.loc.broadcast) {
+      if (cache.insert(*key, t.loc.providers, t.loc.index_node,
+                       t.loc.completed_at)) {
+        // The key crossed the hot threshold: the cached row becomes a
+        // leased extra replica — the owner pushes invalidations to this
+        // initiator on every row mutation (subscription rides the lookup
+        // response, so it is free).
+        overlay_->subscribe_invalidations(*key, run.initiator);
+      }
+    }
+    run.rep.cache.accumulate(cache.stats().delta_since(before));
+    complete(run, id, t.loc.completed_at);
+    return 0;
+  }
   t.loc = locate(t.pattern.pattern, run.initiator, t.base, run.rep);
   complete(run, id, t.loc.completed_at);
   return 0;
@@ -348,6 +407,22 @@ net::SimTime DagExecutor::fire_scan(QueryRun& run, TaskId id) {
         note += " " + run.tasks[lookups[i]].pattern.pattern.to_string();
       }
       run.rep.plan_notes.push_back(std::move(note));
+      // Cached frequency snapshots may be stale; the staleness bound is the
+      // cache TTL (unleased rows) — note the worst age so the ordering
+      // decision is auditable (docs/caching.md).
+      net::SimTime worst_age = 0;
+      bool any_cached = false;
+      for (OpId l : lookups) {
+        if (run.tasks[l].loc.cached) {
+          any_cached = true;
+          worst_age = std::max(worst_age, run.tasks[l].loc.snapshot_age_ms);
+        }
+      }
+      if (any_cached) {
+        run.rep.plan_notes.push_back(
+            "frequency-snapshot: cached, age " + std::to_string(worst_age) +
+            " ms <= bound " + std::to_string(policy_.cache.ttl_ms) + " ms");
+      }
     }
     const GroupState& g = *g0.group;
     const std::size_t i = g.order[static_cast<std::size_t>(op->slot)];

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "optimizer/planner.hpp"
+#include "overlay/location_cache.hpp"
 #include "sparql/algebra.hpp"
 #include "sparql/ast.hpp"
 
@@ -83,6 +84,13 @@ struct ExecutionPolicy {
 
   /// Sub-query retry/failover under churn (DAG engine only; defaults off).
   RetryPolicy retry;
+
+  /// Initiator-side location-row caching (DAG engine only; disabled by
+  /// default, so existing executions stay byte-identical). A cache hit
+  /// serves the provider row locally — zero `index` traffic, zero ring
+  /// hops; a dead-provider give-up invalidates the row, composing with
+  /// `retry`. See docs/caching.md.
+  overlay::CacheConfig cache;
 
   ExecutionEngine engine = ExecutionEngine::kDag;
 };

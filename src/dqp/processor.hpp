@@ -89,6 +89,7 @@ struct ExecutionReport {
   int dead_providers_skipped = 0;   // providers given up on after retries
   int retries = 0;                  // re-contacts after a dead-provider timeout
   int relookups = 0;                // lazy-repair re-lookups after exhaustion
+  overlay::CacheStats cache;        // location-row cache activity (DAG only)
   bool complete = true;             // false if index rows were unreachable
   std::vector<std::string> plan_notes;  // human-readable plan decisions
 };

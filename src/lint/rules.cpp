@@ -346,9 +346,15 @@ void check_a1(const SourceFile& f, std::vector<Diagnostic>* out) {
 constexpr std::string_view kCounterFields[] = {
     "messages", "bytes", "timeouts", "messages_by", "bytes_by", "timeouts_by"};
 
+/// Location-row cache effectiveness counters (overlay::CacheStats). Their
+/// names are generic, so a mutation only counts as an accounting violation
+/// when the receiver chain names a cache or stats object.
+constexpr std::string_view kCacheCounterFields[] = {
+    "hits", "misses", "invalidations", "expirations", "insertions", "leases"};
+
 void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
-  if (whitelisted(f.path,
-                  {"src/net/network", "src/obs/trace.cpp"})) {
+  if (whitelisted(f.path, {"src/net/network", "src/obs/trace.cpp",
+                           "src/overlay/location_cache"})) {
     return;
   }
   const Tokens& t = f.tokens;
@@ -356,10 +362,14 @@ void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
     if (!(t[i].is(".") || t[i].is("->"))) continue;
     const Token& field = t[i + 1];
     bool is_counter = false;
+    bool is_cache_counter = false;
     for (std::string_view c : kCounterFields) {
       if (field.ident(c)) is_counter = true;
     }
-    if (!is_counter) continue;
+    for (std::string_view c : kCacheCounterFields) {
+      if (field.ident(c)) is_cache_counter = true;
+    }
+    if (!is_counter && !is_cache_counter) continue;
     std::size_t j = i + 2;
     if (j < t.size() && t[j].is("[")) {
       j = match_forward(t, j, "[", "]") + 1;
@@ -375,19 +385,28 @@ void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
       mutating = true;
     }
     if (!mutating) continue;
-    bool accounting_target = field.text.size() > 3 &&
+    bool accounting_target = is_counter && field.text.size() > 3 &&
                              field.text.substr(field.text.size() - 3) == "_by";
     for (const std::string& link : chain) {
-      if (contains_ci(link, "stats") || contains_ci(link, "traffic")) {
+      if (is_counter &&
+          (contains_ci(link, "stats") || contains_ci(link, "traffic"))) {
+        accounting_target = true;
+      }
+      if (is_cache_counter &&
+          (contains_ci(link, "cache") || contains_ci(link, "stats"))) {
         accounting_target = true;
       }
     }
     if (accounting_target) {
-      out->push_back(Diagnostic{
-          "A2", f.path, field.line,
-          "traffic counter '" + field.text +
-              "' mutated outside the accounting layer; byte totals change "
-              "only through Network charging or TrafficStats::accumulate"});
+      const char* what =
+          is_counter
+              ? "' mutated outside the accounting layer; byte totals change "
+                "only through Network charging or TrafficStats::accumulate"
+              : "' mutated outside the accounting layer; cache counters "
+                "change only inside LocationCache or through "
+                "CacheStats::accumulate";
+      out->push_back(Diagnostic{"A2", f.path, field.line,
+                                "traffic counter '" + field.text + what});
     }
   }
 }

@@ -13,7 +13,9 @@
 //       contract.
 //   A — accounting.   A1: every Network::send / Network::timeout call site
 //       names its traffic category explicitly; A2: traffic counters mutate
-//       only inside the accounting layer (TrafficStats / the span ledger).
+//       only inside the accounting layer (TrafficStats / the span ledger),
+//       and cache hit/miss/invalidate counters only inside LocationCache
+//       (CacheStats is read-only to consumers).
 //   O — observability. O1: manual QueryTrace::open/close/reopen calls are
 //       forbidden outside SpanScope (RAII keeps span trees balanced);
 //       O2: a switch over a guarded enum (Category, SpanKind, PhysOpKind)

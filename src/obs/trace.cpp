@@ -21,6 +21,7 @@ std::string_view span_kind_name(SpanKind k) noexcept {
     case SpanKind::kTimeout: return "timeout";
     case SpanKind::kRepair: return "repair";
     case SpanKind::kRetry: return "retry";
+    case SpanKind::kCache: return "cache";
   }
   // Same exhaustiveness contract as net::category_name: a new SpanKind must
   // be named here or exported phase breakdowns would miscount under "?".

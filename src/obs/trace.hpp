@@ -45,8 +45,9 @@ enum class SpanKind : std::uint8_t {
   kTimeout,        // failure-detection wait on a dead peer (leaf)
   kRepair,         // lazy location-table repair (Sect. III-D)
   kRetry,          // one bounded re-dispatch after a dead-provider timeout
+  kCache,          // location-row cache hit / miss / invalidation (leaf)
 };
-inline constexpr int kSpanKindCount = 14;
+inline constexpr int kSpanKindCount = 15;
 
 [[nodiscard]] std::string_view span_kind_name(SpanKind k) noexcept;
 

@@ -4,18 +4,28 @@
 
 namespace ahsw::overlay {
 
+void LocationTable::sort_row(std::vector<Provider>& row) {
+  std::sort(row.begin(), row.end(), [](const Provider& a, const Provider& b) {
+    if (a.frequency != b.frequency) return a.frequency < b.frequency;
+    return a.address < b.address;
+  });
+}
+
 void LocationTable::publish(chord::Key key, net::NodeAddress address,
                             std::uint32_t frequency) {
   if (frequency == 0) return;
-  revive(key, address);
+  std::uint32_t buried = revive(key, address);
   std::vector<Provider>& row = rows_[key];
   for (Provider& p : row) {
     if (p.address == address) {
       p.frequency += frequency;
+      ++p.version;
+      sort_row(row);
       return;
     }
   }
-  row.push_back(Provider{address, frequency});
+  row.push_back(Provider{address, frequency, buried + 1});
+  sort_row(row);
 }
 
 bool LocationTable::retract(chord::Key key, net::NodeAddress address,
@@ -26,10 +36,14 @@ bool LocationTable::retract(chord::Key key, net::NodeAddress address,
   for (std::size_t i = 0; i < row.size(); ++i) {
     if (row[i].address != address) continue;
     if (row[i].frequency <= frequency) {
+      // Bury the version the entry died at: a stale replica snapshot can
+      // only carry this version or older, so reconcile() rejects it.
+      bury(key, address, row[i].version);
       row.erase(row.begin() + static_cast<std::ptrdiff_t>(i));
-      bury(key, address);  // block stale replica pushes from resurrecting
     } else {
       row[i].frequency -= frequency;
+      ++row[i].version;
+      sort_row(row);
     }
     if (row.empty()) rows_.erase(it);
     return true;
@@ -43,50 +57,123 @@ void LocationTable::upsert(chord::Key key, net::NodeAddress address,
     purge(key, address);
     return;
   }
-  revive(key, address);
+  std::uint32_t buried = revive(key, address);
   std::vector<Provider>& row = rows_[key];
   for (Provider& p : row) {
     if (p.address == address) {
       p.frequency = frequency;
+      ++p.version;
+      sort_row(row);
       return;
     }
   }
-  row.push_back(Provider{address, frequency});
+  row.push_back(Provider{address, frequency, buried + 1});
+  sort_row(row);
+}
+
+void LocationTable::upsert_replica(chord::Key key, net::NodeAddress address,
+                                   std::uint32_t frequency,
+                                   std::uint32_t version) {
+  if (frequency == 0) {
+    bury(key, address, version);
+    auto it = rows_.find(key);
+    if (it == rows_.end()) return;
+    std::vector<Provider>& row = it->second;
+    auto pos = std::remove_if(row.begin(), row.end(), [&](const Provider& p) {
+      return p.address == address && p.version <= version;
+    });
+    row.erase(pos, row.end());
+    if (row.empty()) rows_.erase(it);
+    return;
+  }
+  if (std::optional<std::uint32_t> buried = tombstone_version(key, address);
+      buried.has_value()) {
+    if (*buried >= version) return;  // stale push from before the burial
+    (void)revive(key, address);
+  }
+  std::vector<Provider>& row = rows_[key];
+  for (Provider& p : row) {
+    if (p.address == address) {
+      if (version < p.version) return;  // out-of-order push
+      p.frequency = frequency;
+      p.version = version;
+      sort_row(row);
+      return;
+    }
+  }
+  row.push_back(Provider{address, frequency, version});
+  sort_row(row);
 }
 
 void LocationTable::reconcile(
     const std::map<chord::Key, std::vector<Provider>>& rows) {
   for (const auto& [key, incoming] : rows) {
-    std::vector<Provider>& row = rows_[key];
+    // Locate the row lazily: when every incoming provider is rejected
+    // (tombstoned or stale) no empty rows_[key] entry must churn into
+    // existence just to be erased again.
+    auto rit = rows_.find(key);
+    bool changed = false;
     for (const Provider& in : incoming) {
-      // A just-deleted provider must not come back from a stale replica.
-      if (tombstoned(key, in.address)) continue;
-      bool found = false;
-      for (Provider& p : row) {
-        if (p.address == in.address) {
-          p.frequency = std::max(p.frequency, in.frequency);
-          found = true;
-          break;
-        }
+      if (in.frequency == 0) continue;  // replicas never mirror empty entries
+      // A deleted provider only comes back when the snapshot is strictly
+      // newer than its burial (it demonstrably re-published since).
+      if (std::optional<std::uint32_t> buried =
+              tombstone_version(key, in.address);
+          buried.has_value()) {
+        if (*buried >= in.version) continue;
+        (void)revive(key, in.address);
       }
-      if (!found) row.push_back(in);
+      if (rit == rows_.end()) {
+        rit = rows_.emplace(key, std::vector<Provider>{}).first;
+      }
+      bool found = false;
+      for (Provider& p : rit->second) {
+        if (p.address != in.address) continue;
+        found = true;
+        if (in.version > p.version) {
+          // Newer snapshot wins outright — including a *lower* frequency
+          // (the partial-retract case the old max-merge resurrected).
+          p.frequency = in.frequency;
+          p.version = in.version;
+          changed = true;
+        } else if (in.version == p.version) {
+          // Same causal state from several replica holders: max keeps the
+          // merge idempotent without inflating the row.
+          if (in.frequency > p.frequency) {
+            p.frequency = in.frequency;
+            changed = true;
+          }
+        }
+        break;
+      }
+      if (!found) {
+        rit->second.push_back(in);
+        changed = true;
+      }
     }
-    if (row.empty()) rows_.erase(key);
+    if (changed) sort_row(rit->second);
+    if (rit != rows_.end() && rit->second.empty()) rows_.erase(rit);
   }
 }
 
 bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
-  // Tombstone even when the entry is already gone: the purge expresses
-  // delete intent, and a stale replica push may still be in flight.
-  bury(key, address);
   auto it = rows_.find(key);
-  if (it == rows_.end()) return false;
+  if (it == rows_.end()) {
+    // Tombstone even when the entry is already gone: the purge expresses
+    // delete intent, and a stale replica push may still be in flight.
+    bury(key, address, 0);
+    return false;
+  }
   std::vector<Provider>& row = it->second;
+  std::uint32_t died_at = 0;
   auto pos = std::remove_if(row.begin(), row.end(), [&](const Provider& p) {
-    return p.address == address;
+    if (p.address != address) return false;
+    died_at = std::max(died_at, p.version);
+    return true;
   });
   bool changed = pos != row.end();
   row.erase(pos, row.end());
+  bury(key, address, died_at);
   if (row.empty()) rows_.erase(it);
   return changed;
 }
@@ -94,13 +181,16 @@ bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
 void LocationTable::purge_everywhere(net::NodeAddress address) {
   for (auto it = rows_.begin(); it != rows_.end();) {
     std::vector<Provider>& row = it->second;
+    std::uint32_t died_at = 0;
     auto pos = std::remove_if(row.begin(), row.end(),
                               [&](const Provider& p) {
-                                return p.address == address;
+                                if (p.address != address) return false;
+                                died_at = std::max(died_at, p.version);
+                                return true;
                               });
     if (pos != row.end()) {
       row.erase(pos, row.end());
-      bury(it->first, address);
+      bury(it->first, address, died_at);
     }
     it = row.empty() ? rows_.erase(it) : std::next(it);
   }
@@ -109,12 +199,17 @@ void LocationTable::purge_everywhere(net::NodeAddress address) {
 std::vector<Provider> LocationTable::lookup(chord::Key key) const {
   auto it = rows_.find(key);
   if (it == rows_.end()) return {};
-  std::vector<Provider> out = it->second;
-  std::sort(out.begin(), out.end(), [](const Provider& a, const Provider& b) {
-    if (a.frequency != b.frequency) return a.frequency < b.frequency;
-    return a.address < b.address;
-  });
-  return out;
+  return it->second;  // rows are kept sorted on mutation
+}
+
+const Provider* LocationTable::find(chord::Key key,
+                                    net::NodeAddress address) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return nullptr;
+  for (const Provider& p : it->second) {
+    if (p.address == address) return &p;
+  }
+  return nullptr;
 }
 
 std::map<chord::Key, std::vector<Provider>> LocationTable::extract_range(
@@ -140,8 +235,27 @@ std::map<chord::Key, std::vector<Provider>> LocationTable::extract_range_mapped(
 void LocationTable::absorb(
     const std::map<chord::Key, std::vector<Provider>>& rows) {
   for (const auto& [key, providers] : rows) {
-    for (const Provider& p : providers) {
-      publish(key, p.address, p.frequency);
+    for (const Provider& in : providers) {
+      if (in.frequency == 0) continue;
+      // Preserve incoming versions: resetting a transferred entry to
+      // version 1 would let that owner's replica mirrors (still carrying
+      // the higher pre-transfer version) overwrite later mutations — the
+      // resurrection bug reintroduced through ownership transfer.
+      std::uint32_t buried = revive(key, in.address);
+      std::vector<Provider>& row = rows_[key];
+      bool found = false;
+      for (Provider& p : row) {
+        if (p.address != in.address) continue;
+        p.frequency += in.frequency;
+        p.version = std::max(p.version, in.version) + 1;
+        found = true;
+        break;
+      }
+      if (!found) {
+        row.push_back(
+            Provider{in.address, in.frequency, std::max(in.version, buried + 1)});
+      }
+      sort_row(row);
     }
   }
 }

@@ -11,7 +11,6 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "chord/ring.hpp"
@@ -20,9 +19,19 @@
 namespace ahsw::overlay {
 
 /// One storage node entry of a location-table row.
+///
+/// `version` is a per-(key, provider) monotonic counter maintained by the
+/// row *owner*: every owner-side mutation (publish, retract, upsert) bumps
+/// it, and a full removal buries it in the tombstone. Replicas mirror the
+/// owner's version verbatim, so recovery reconciliation can order snapshots
+/// causally instead of max-merging frequencies — a stale replica snapshot
+/// (older version) can never overwrite a newer, lower frequency. The
+/// version rides inside the entry's existing 12-byte wire envelope
+/// (packed with the frequency), so no byte-accounting formula changes.
 struct Provider {
   net::NodeAddress address = net::kNoAddress;
   std::uint32_t frequency = 0;  // matching triples at that node
+  std::uint32_t version = 0;    // owner-bumped per-entry mutation counter
 
   friend bool operator==(const Provider&, const Provider&) = default;
 };
@@ -30,30 +39,41 @@ struct Provider {
 class LocationTable {
  public:
   /// Add `frequency` matching triples for (key, address); merges with an
-  /// existing entry for the same provider.
+  /// existing entry for the same provider. Owner-side: bumps the entry
+  /// version past any buried tombstone version.
   void publish(chord::Key key, net::NodeAddress address,
                std::uint32_t frequency);
 
   /// Decrease the frequency for (key, address) by `frequency`; removes the
-  /// entry at zero. Returns true if something changed.
+  /// entry at zero (burying its version). Returns true if something changed.
   bool retract(chord::Key key, net::NodeAddress address,
                std::uint32_t frequency);
 
   /// Set the frequency for (key, address) to exactly `frequency`
-  /// (snapshot semantics: used by replica maintenance, where repeated
+  /// (snapshot semantics: used by storage-node rejoin, where repeated
   /// writes must be idempotent). frequency == 0 removes the entry.
+  /// Owner-side: bumps the version like every owner mutation.
   void upsert(chord::Key key, net::NodeAddress address,
               std::uint32_t frequency);
 
-  /// Merge a snapshot of rows taking the max frequency per provider
-  /// (idempotent recovery merge: several replica holders may push the same
-  /// row without inflating it). A provider this table has deleted from a row
-  /// (retract to zero, purge, upsert(0)) is tombstoned and will NOT be
-  /// resurrected by a stale replica push; the tombstone clears when the
-  /// provider re-publishes. Remaining at-least-once window: a *partial*
-  /// retract only lowers the frequency, so a stale replica snapshot can
-  /// still max-merge the old, higher frequency back in until the next
-  /// replication round overwrites it.
+  /// Mirror the owner's (frequency, version) for (key, address) verbatim —
+  /// the replica-maintenance write path. Takes effect only when `version`
+  /// is at least as new as what this table holds (entry or tombstone), so
+  /// reordered or repeated pushes are harmless. frequency == 0 removes the
+  /// entry and buries `version`.
+  void upsert_replica(chord::Key key, net::NodeAddress address,
+                      std::uint32_t frequency, std::uint32_t version);
+
+  /// Merge a snapshot of rows, taking the *newer version* per provider
+  /// (recovery merge: several replica holders may push the same row without
+  /// inflating it; equal versions merge by max frequency, so the merge stays
+  /// idempotent). A provider this table has deleted from a row (retract to
+  /// zero, purge, upsert(0)) is tombstoned together with its last version;
+  /// an incoming entry resurrects it only when its version is strictly newer
+  /// than the burial — i.e. the provider demonstrably re-published since.
+  /// This closes the old at-least-once window where a *partial* retract
+  /// (which only lowers the frequency) could be undone by a stale replica
+  /// snapshot max-merging the old, higher frequency back in.
   void reconcile(const std::map<chord::Key, std::vector<Provider>>& rows);
 
   /// Drop a provider from one row entirely (lazy repair after a storage
@@ -65,8 +85,14 @@ class LocationTable {
 
   /// Providers for a key; empty if unknown. Sorted by ascending frequency
   /// (the order the further-optimized chain strategy wants), ties by
-  /// address for determinism.
+  /// address for determinism. Rows are kept sorted on mutation, so this is
+  /// a plain copy — hot-key lookups no longer pay O(n log n) per call.
   [[nodiscard]] std::vector<Provider> lookup(chord::Key key) const;
+
+  /// One row entry, or nullptr when absent (no copy; used by replica
+  /// maintenance to read the owner's authoritative frequency + version).
+  [[nodiscard]] const Provider* find(chord::Key key,
+                                     net::NodeAddress address) const;
 
   /// Remove and return all rows with key in (lo, hi] on the ring — the
   /// slice handed to a joining index node (Sect. III-C).
@@ -80,7 +106,10 @@ class LocationTable {
   extract_range_mapped(chord::Key lo, chord::Key hi,
                        const std::function<chord::Key(chord::Key)>& to_ring);
 
-  /// Merge rows (from a slice transfer or replica activation).
+  /// Merge rows (from a slice transfer or replica activation). Versions are
+  /// preserved: an entry new to this table keeps the incoming version (so a
+  /// transferred row stays ahead of its replica mirrors), a merged entry
+  /// adds frequencies and advances past both versions.
   void absorb(const std::map<chord::Key, std::vector<Provider>>& rows);
 
   /// Remove one row entirely.
@@ -103,30 +132,52 @@ class LocationTable {
   }
 
   /// True if (key, address) was deleted here and not re-published since —
-  /// reconcile() refuses to resurrect such entries.
+  /// reconcile() refuses to resurrect such entries with stale versions.
   [[nodiscard]] bool tombstoned(chord::Key key,
                                 net::NodeAddress address) const {
     auto it = tombstones_.find(key);
     return it != tombstones_.end() && it->second.count(address) > 0;
   }
 
- private:
-  void bury(chord::Key key, net::NodeAddress address) {
-    tombstones_[key].insert(address);
-  }
-  void revive(chord::Key key, net::NodeAddress address) {
+  /// The version buried with a tombstoned (key, address), if any.
+  [[nodiscard]] std::optional<std::uint32_t> tombstone_version(
+      chord::Key key, net::NodeAddress address) const {
     auto it = tombstones_.find(key);
-    if (it == tombstones_.end()) return;
-    it->second.erase(address);
-    if (it->second.empty()) tombstones_.erase(it);
+    if (it == tombstones_.end()) return std::nullopt;
+    auto pit = it->second.find(address);
+    if (pit == it->second.end()) return std::nullopt;
+    return pit->second;
   }
 
+ private:
+  void bury(chord::Key key, net::NodeAddress address, std::uint32_t version) {
+    std::uint32_t& buried = tombstones_[key][address];
+    buried = std::max(buried, version);
+  }
+  /// Clear the tombstone; returns the buried version (0 when none) so the
+  /// reviving entry can start strictly past it.
+  std::uint32_t revive(chord::Key key, net::NodeAddress address) {
+    auto it = tombstones_.find(key);
+    if (it == tombstones_.end()) return 0;
+    auto pit = it->second.find(address);
+    if (pit == it->second.end()) return 0;
+    std::uint32_t buried = pit->second;
+    it->second.erase(pit);
+    if (it->second.empty()) tombstones_.erase(it);
+    return buried;
+  }
+  /// Restore the (frequency asc, address asc) row invariant after a
+  /// mutation — the deterministic order lookup() and the chain strategies
+  /// consume.
+  static void sort_row(std::vector<Provider>& row);
+
   std::map<chord::Key, std::vector<Provider>> rows_;
-  /// Deleted (key, provider) pairs awaiting re-publication. Tombstones stay
-  /// local: they do not travel with extract_range slices, so a new owner
-  /// has a short resurrection window until the next purge — the documented
-  /// at-least-once behavior of recovery reconciliation.
-  std::map<chord::Key, std::set<net::NodeAddress>> tombstones_;
+  /// Deleted (key, provider) pairs awaiting re-publication, with the
+  /// version they died at. Tombstones stay local: they do not travel with
+  /// extract_range slices, so a new owner has a short resurrection window
+  /// until the next purge — the documented at-least-once behavior of
+  /// recovery reconciliation.
+  std::map<chord::Key, std::map<net::NodeAddress, std::uint32_t>> tombstones_;
 };
 
 }  // namespace ahsw::overlay

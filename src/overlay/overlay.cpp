@@ -133,12 +133,16 @@ void HybridOverlay::replicate_row(IndexNodeState& owner, chord::Key key,
                                   net::SimTime now) {
   if (config_.replication_factor <= 1) return;
   if (!ring_.contains(owner.id)) return;
-  // Replicas carry a snapshot of the owner's current entry, so repeated
-  // replication (publish, slice transfer, recovery) is idempotent.
-  std::uint32_t freq = 0;
-  for (const Provider& p : owner.table.lookup(key)) {
-    if (p.address == provider) freq = p.frequency;
-  }
+  // Replicas mirror the owner's (frequency, version) verbatim, so repeated
+  // replication (publish, slice transfer, recovery) is idempotent and
+  // reordered pushes are rejected by the version check. When the entry is
+  // gone the push carries frequency 0 with the buried tombstone version, so
+  // replicas bury the same version the owner did.
+  const Provider* entry = owner.table.find(key, provider);
+  std::uint32_t freq = entry ? entry->frequency : 0;
+  std::uint32_t version =
+      entry ? entry->version
+            : owner.table.tombstone_version(key, provider).value_or(0);
   const chord::NodeState& rs = ring_.state(owner.id);
   int copies = 0;
   for (chord::Key succ : rs.successors) {
@@ -147,9 +151,52 @@ void HybridOverlay::replicate_row(IndexNodeState& owner, chord::Key key,
     if (it == index_.end() || succ == owner.id) continue;
     net_->send(owner.address, it->second.address, kPublishBytes, now,
                net::Category::kIndex);
-    it->second.replicas.upsert(key, provider, freq);
+    it->second.replicas.upsert_replica(key, provider, freq, version);
     ++copies;
   }
+}
+
+void HybridOverlay::configure_caches(const CacheConfig& config) {
+  cache_config_ = config;
+  caches_.clear();
+  cache_subscribers_.clear();
+}
+
+LocationCache& HybridOverlay::cache_for(net::NodeAddress initiator) {
+  auto it = caches_.find(initiator);
+  if (it == caches_.end()) {
+    it = caches_.emplace(initiator, LocationCache(cache_config_)).first;
+  }
+  return it->second;
+}
+
+void HybridOverlay::subscribe_invalidations(chord::Key key,
+                                            net::NodeAddress initiator) {
+  cache_subscribers_[key].insert(initiator);
+}
+
+CacheStats HybridOverlay::cache_stats_total() const {
+  CacheStats total;
+  for (const auto& [addr, cache] : caches_) total.accumulate(cache.stats());
+  return total;
+}
+
+void HybridOverlay::push_invalidations(chord::Key key,
+                                       net::NodeAddress owner_addr,
+                                       net::SimTime now, bool charge) {
+  auto it = cache_subscribers_.find(key);
+  if (it == cache_subscribers_.end()) return;
+  for (net::NodeAddress initiator : it->second) {
+    auto ci = caches_.find(initiator);
+    if (ci != caches_.end()) ci->second.invalidate(key);
+    if (charge) {
+      net_->send(owner_addr, initiator, cache_config_.invalidation_bytes, now,
+                 net::Category::kIndex);
+    }
+  }
+  // One-shot leases: the cached rows are gone, so the next miss re-fetches
+  // and re-subscribes if the key is still hot.
+  cache_subscribers_.erase(it);
 }
 
 net::SimTime HybridOverlay::publish_key(net::NodeAddress from, chord::Key key,
@@ -180,6 +227,9 @@ net::SimTime HybridOverlay::publish_key(net::NodeAddress from, chord::Key key,
       break;
   }
   replicate_row(it->second, key, from, t);
+  // Owner-side mutation: leased cached copies of this row are now stale —
+  // push their invalidations (charged, they are real messages).
+  push_invalidations(key, it->second.address, t, /*charge=*/true);
   return t;
 }
 
@@ -227,7 +277,7 @@ net::SimTime HybridOverlay::unshare_triples(
   return latest;
 }
 
-std::optional<chord::Key> HybridOverlay::pattern_row_key(
+std::optional<chord::Key> HybridOverlay::row_key(
     const rdf::TriplePattern& p) const {
   std::optional<PatternKey> pk = key_for_pattern(p);
   if (!pk.has_value()) return std::nullopt;
@@ -248,7 +298,7 @@ HybridOverlay::Located HybridOverlay::locate(net::NodeAddress requester,
                                              const rdf::TriplePattern& p,
                                              net::SimTime now) {
   Located res;
-  std::optional<chord::Key> pk = pattern_row_key(p);
+  std::optional<chord::Key> pk = row_key(p);
   if (!pk.has_value()) {
     // (?s, ?p, ?o): the index cannot narrow anything — flood all providers.
     res.broadcast = true;
@@ -293,7 +343,7 @@ net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
                                                  const rdf::TriplePattern& p,
                                                  net::NodeAddress dead,
                                                  net::SimTime now) {
-  std::optional<chord::Key> pk = pattern_row_key(p);
+  std::optional<chord::Key> pk = row_key(p);
   if (!pk.has_value()) return now;
   chord::Key key = *pk;
   chord::Key owner = ring_.oracle_successor(ring_.truncate(key));
@@ -322,6 +372,10 @@ net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
       ++copies;
     }
   }
+  // The row changed (the dead provider is gone): leased cached copies are
+  // stale. The reporter's own cache is invalidated by the executor's
+  // give-up path; other initiators learn through the owner push.
+  push_invalidations(key, it->second.address, t, /*charge=*/true);
   span.finish(t);
   return t;
 }
@@ -382,9 +436,11 @@ void HybridOverlay::repair(net::SimTime now) {
 
   // Recovery reconciliation: every surviving replica holder routes its
   // rows to the key's *current* oracle owner (which, after arbitrary join/
-  // crash interleavings, need not be the holder itself). reconcile() is a
-  // max-merge, so several holders pushing the same row stay idempotent;
-  // owners then re-seed replicas at their own successors.
+  // crash interleavings, need not be the holder itself). reconcile() takes
+  // the newer per-entry version (equal versions merge by max frequency), so
+  // several holders pushing the same row stay idempotent and a stale holder
+  // cannot resurrect an old, higher frequency; owners then re-seed replicas
+  // at their own successors.
   std::vector<chord::Key> live;
   for (const auto& [id, ix] : index_) {
     if (ring_.contains(id)) live.push_back(id);
@@ -430,6 +486,13 @@ void HybridOverlay::purge_failed_everywhere() {
       ix.table.purge_everywhere(addr);
       ix.replicas.purge_everywhere(addr);
     }
+  }
+  // Oracle cleanup extends to the caches: drop every cached row that still
+  // lists a dead provider, so post-convergence audits (I6 over cached rows)
+  // have the same precondition as the index layer. Charges nothing — like
+  // the purge above, this models the eventual outcome, not a protocol.
+  for (auto& [initiator, cache] : caches_) {
+    for (net::NodeAddress addr : dead) cache.invalidate_provider(addr);
   }
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "chord/ring.hpp"
@@ -18,6 +19,7 @@
 #include "net/network.hpp"
 #include "obs/trace.hpp"
 #include "overlay/keys.hpp"
+#include "overlay/location_cache.hpp"
 #include "overlay/location_table.hpp"
 #include "rdf/store.hpp"
 
@@ -132,6 +134,11 @@ class HybridOverlay {
     bool broadcast = false;           // fully unbound pattern: flood instead
     bool ok = false;
     net::SimTime completed_at = 0;
+    /// Served from the initiator's LocationCache (zero index traffic); the
+    /// age makes the frequency snapshot's staleness auditable downstream
+    /// (the planner notes it, the auditor bounds it).
+    bool cached = false;
+    net::SimTime snapshot_age_ms = 0;
   };
 
   /// Resolve the providers of a triple pattern through the two-level index
@@ -146,6 +153,31 @@ class HybridOverlay {
   net::SimTime report_dead_provider(net::NodeAddress reporter,
                                     const rdf::TriplePattern& p,
                                     net::NodeAddress dead, net::SimTime now);
+
+  // -- location-row caching (docs/caching.md) ------------------------------
+
+  /// Install the cache configuration for every initiator-side cache.
+  /// Clears existing caches and lease subscriptions (a config change resets
+  /// the world; not counted as invalidations).
+  void configure_caches(const CacheConfig& config);
+  [[nodiscard]] const CacheConfig& cache_config() const noexcept {
+    return cache_config_;
+  }
+  /// The initiator's location-row cache, created on first use with the
+  /// installed config. Deterministic: keyed by address only.
+  [[nodiscard]] LocationCache& cache_for(net::NodeAddress initiator);
+  [[nodiscard]] const std::map<net::NodeAddress, LocationCache>& caches()
+      const noexcept {
+    return caches_;
+  }
+  /// Register `initiator` for owner-pushed invalidations of `key`'s row —
+  /// the lease behind hot-row extra-replication. One-shot: the subscription
+  /// is consumed by the first push (the row is gone from the cache, so the
+  /// next miss re-fetches and re-subscribes). Registration itself is free:
+  /// it rides the lookup response that delivered the row.
+  void subscribe_invalidations(chord::Key key, net::NodeAddress initiator);
+  /// Cache counters summed across every initiator.
+  [[nodiscard]] CacheStats cache_stats_total() const;
 
   /// Attach the trace that locate()/report_dead_provider() record
   /// index-lookup and repair spans into; forwarded to the ring so lookups
@@ -203,12 +235,14 @@ class HybridOverlay {
   /// single-site oracle distributed execution is validated against.
   [[nodiscard]] rdf::TripleStore merged_store() const;
 
- private:
   /// The location-table row key a pattern resolves through, honoring the
-  /// pair_keys ablation (nullopt for the fully unbound pattern).
-  [[nodiscard]] std::optional<chord::Key> pattern_row_key(
+  /// pair_keys ablation (nullopt for the fully unbound pattern). Public so
+  /// the executor's cache path and the auditor can address cached rows by
+  /// the same key locate() resolves.
+  [[nodiscard]] std::optional<chord::Key> row_key(
       const rdf::TriplePattern& p) const;
 
+ private:
   /// How publish_key applies a delivered (key, provider, freq) entry.
   enum class PublishOp : std::uint8_t {
     kAdd,       // additive publish (new triples shared)
@@ -226,6 +260,12 @@ class HybridOverlay {
                      net::NodeAddress provider, net::SimTime now);
   void on_transfer(chord::Key old_owner, chord::Key new_owner, chord::Key lo,
                    chord::Key hi, net::SimTime when);
+  /// Push the owner's invalidation of `key` to every lease subscriber
+  /// (consuming the subscriptions). `charge` bills one invalidation message
+  /// per subscriber as `index` traffic from `owner_addr`; oracle paths
+  /// (converge-time cleanup) pass false.
+  void push_invalidations(chord::Key key, net::NodeAddress owner_addr,
+                          net::SimTime now, bool charge);
 
   net::Network* net_;
   OverlayConfig config_;
@@ -235,6 +275,10 @@ class HybridOverlay {
   common::Rng id_rng_;
   std::size_t attach_counter_ = 0;
   obs::QueryTrace* trace_ = nullptr;
+  CacheConfig cache_config_;
+  std::map<net::NodeAddress, LocationCache> caches_;
+  /// Lease subscriptions: row key -> initiators to notify on mutation.
+  std::map<chord::Key, std::set<net::NodeAddress>> cache_subscribers_;
 };
 
 }  // namespace ahsw::overlay

@@ -1,0 +1,238 @@
+// The initiator-side location-row cache through the DAG engine: Zipf-skewed
+// batches must cut index-category traffic without perturbing results or
+// replay determinism, reports must attribute cache activity exactly, the
+// planner must disclose when it planned off a cached frequency snapshot,
+// and leased (hot) rows must be invalidated by owner pushes on publish.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "common/rng.hpp"
+#include "dqp/processor.hpp"
+#include "sparql/format.hpp"
+#include "workload/testbed.hpp"
+#include "workload/vocab.hpp"
+
+namespace ahsw::dqp {
+namespace {
+
+constexpr std::string_view kPrologue =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n";
+
+workload::TestbedConfig config() {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 8;
+  cfg.storage_nodes = 8;
+  cfg.foaf.persons = 120;
+  cfg.foaf.seed = 91;
+  cfg.partition.overlap = 0.25;
+  cfg.partition.seed = 92;
+  cfg.overlay.seed = 93;
+  return cfg;
+}
+
+/// Zipf-skewed E1/E2 point-query batch (rank 0 hottest person).
+std::vector<std::string> zipf_queries(int n, double skew) {
+  common::Rng rng(94);
+  common::ZipfSampler zipf(config().foaf.persons, skew);
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) {
+    const std::string p = "<http://example.org/people/p" +
+                          std::to_string(zipf.sample(rng)) + ">";
+    if (i % 2 == 0) {
+      out.push_back(std::string(kPrologue) + "SELECT ?o WHERE { " + p +
+                    " foaf:knows ?o . }");
+    } else {
+      out.push_back(std::string(kPrologue) + "SELECT ?n ?o WHERE { " + p +
+                    " foaf:name ?n . " + p + " foaf:knows ?o . }");
+    }
+  }
+  return out;
+}
+
+/// Two hammering initiators: caches are per initiator, so a small pool is
+/// what makes repeated keys actually repeat *at one node*.
+std::vector<net::NodeAddress> initiators(const workload::Testbed& bed,
+                                         std::size_t n) {
+  std::vector<net::NodeAddress> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(bed.storage_addrs()[i % 2]);
+  }
+  return out;
+}
+
+std::uint64_t index_bytes(const std::vector<ExecutionReport>& reps) {
+  std::uint64_t b = 0;
+  for (const ExecutionReport& r : reps) {
+    b += r.traffic.bytes_by[static_cast<std::size_t>(net::Category::kIndex)];
+  }
+  return b;
+}
+
+std::vector<std::string> tables(const BatchResult& r) {
+  std::vector<std::string> out;
+  for (const sparql::QueryResult& q : r.results) {
+    out.push_back(sparql::to_table(q));
+  }
+  return out;
+}
+
+/// One batch run against `bed` with caching on or off.
+BatchResult run(workload::Testbed& bed, const std::vector<std::string>& queries,
+                bool cache_on) {
+  ExecutionPolicy policy;
+  policy.cache.enabled = cache_on;
+  bed.overlay().configure_caches(policy.cache);
+  DistributedQueryProcessor proc(bed.overlay(), policy);
+  return proc.execute_batch(queries, initiators(bed, queries.size()));
+}
+
+TEST(LocationRowCache, CutsIndexTrafficOnZipfBatchWithIdenticalResults) {
+  std::vector<std::string> queries = zipf_queries(64, 1.2);
+
+  workload::Testbed off_bed(config());
+  BatchResult off = run(off_bed, queries, /*cache_on=*/false);
+  workload::Testbed on_bed(config());
+  BatchResult on = run(on_bed, queries, /*cache_on=*/true);
+
+  // Caching must be invisible to answers.
+  EXPECT_EQ(tables(off), tables(on));
+
+  // ... while cutting index-category bytes by at least 30% on this skew.
+  const auto bytes_off = static_cast<double>(index_bytes(off.reports));
+  const auto bytes_on = static_cast<double>(index_bytes(on.reports));
+  ASSERT_GT(bytes_off, 0.0);
+  EXPECT_LE(bytes_on, 0.7 * bytes_off)
+      << "index bytes only dropped from " << bytes_off << " to " << bytes_on;
+
+  overlay::CacheStats total;
+  for (const ExecutionReport& r : on.reports) total.accumulate(r.cache);
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_GT(total.insertions, 0u);
+
+  // A cache hit is free in every category, so overall traffic shrinks too.
+  net::TrafficStats sum_off, sum_on;
+  for (const ExecutionReport& r : off.reports) sum_off.accumulate(r.traffic);
+  for (const ExecutionReport& r : on.reports) sum_on.accumulate(r.traffic);
+  EXPECT_LT(sum_on.bytes, sum_off.bytes);
+
+  // The auditor covers the cached rows against the authoritative tables,
+  // aged to the batch end (the documented staleness bound).
+  check::AuditOptions opt;
+  opt.now = on.makespan;
+  check::AuditReport audit = check::audit(on_bed.overlay(), opt);
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+  EXPECT_GT(audit.cached_rows_checked, 0u);
+}
+
+TEST(LocationRowCache, ReplayIsByteIdenticalWithCacheOn) {
+  std::vector<std::string> queries = zipf_queries(32, 1.0);
+
+  workload::Testbed a(config());
+  BatchResult ra = run(a, queries, /*cache_on=*/true);
+  workload::Testbed b(config());
+  BatchResult rb = run(b, queries, /*cache_on=*/true);
+
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(tables(ra), tables(rb));
+  ASSERT_EQ(ra.reports.size(), rb.reports.size());
+  for (std::size_t i = 0; i < ra.reports.size(); ++i) {
+    EXPECT_EQ(ra.reports[i].traffic.messages, rb.reports[i].traffic.messages);
+    EXPECT_EQ(ra.reports[i].traffic.bytes, rb.reports[i].traffic.bytes);
+    EXPECT_EQ(ra.reports[i].response_time, rb.reports[i].response_time);
+    EXPECT_EQ(ra.reports[i].cache.hits, rb.reports[i].cache.hits);
+    EXPECT_EQ(ra.reports[i].cache.misses, rb.reports[i].cache.misses);
+  }
+}
+
+TEST(LocationRowCache, ReportsAttributeAllCacheActivity) {
+  // Per-query cache deltas must sum to the overlay-wide totals: nothing
+  // happens to a cache outside some query's bracketed consult/give-up path.
+  std::vector<std::string> queries = zipf_queries(32, 1.2);
+  workload::Testbed bed(config());
+  BatchResult r = run(bed, queries, /*cache_on=*/true);
+
+  overlay::CacheStats attributed;
+  for (const ExecutionReport& rep : r.reports) attributed.accumulate(rep.cache);
+  overlay::CacheStats total = bed.overlay().cache_stats_total();
+  EXPECT_EQ(attributed.hits, total.hits);
+  EXPECT_EQ(attributed.misses, total.misses);
+  EXPECT_EQ(attributed.insertions, total.insertions);
+  EXPECT_EQ(attributed.invalidations, total.invalidations);
+  EXPECT_EQ(attributed.expirations, total.expirations);
+  EXPECT_EQ(attributed.leases, total.leases);
+}
+
+TEST(LocationRowCache, CrossBatchReuseDisclosesStalenessInPlanNotes) {
+  // The same two-pattern query twice: the second batch resolves its join
+  // order from cached frequency snapshots and must say so, with the age
+  // bounded by the configured TTL.
+  workload::Testbed bed(config());
+  ExecutionPolicy policy;
+  policy.cache.enabled = true;
+  bed.overlay().configure_caches(policy.cache);
+  DistributedQueryProcessor proc(bed.overlay(), policy);
+
+  const std::string q = std::string(kPrologue) +
+                        "SELECT ?n ?o WHERE { <http://example.org/people/p1> "
+                        "foaf:name ?n . <http://example.org/people/p1> "
+                        "foaf:knows ?o . }";
+  const std::vector<net::NodeAddress> from = {bed.storage_addrs().front()};
+
+  BatchResult first = proc.execute_batch({q}, from);
+  EXPECT_EQ(first.reports.front().cache.hits, 0u);
+
+  BatchResult second = proc.execute_batch({q}, from);
+  EXPECT_GT(second.reports.front().cache.hits, 0u);
+  bool disclosed = false;
+  for (const std::string& note : second.reports.front().plan_notes) {
+    disclosed = disclosed ||
+                note.find("frequency-snapshot: cached") != std::string::npos;
+  }
+  EXPECT_TRUE(disclosed) << "no staleness note in plan_notes";
+
+  // The cached second run returned the same rows as the authoritative one.
+  EXPECT_EQ(sparql::to_table(first.results.front()),
+            sparql::to_table(second.results.front()));
+}
+
+TEST(LocationRowCache, LeasedRowInvalidatedByOwnerPushOnPublish) {
+  workload::Testbed bed(config());
+  ExecutionPolicy policy;
+  policy.cache.enabled = true;
+  policy.cache.hot_threshold = 1;  // every inserted row is leased
+  bed.overlay().configure_caches(policy.cache);
+  DistributedQueryProcessor proc(bed.overlay(), policy);
+
+  const std::string q = std::string(kPrologue) +
+                        "SELECT ?o WHERE { <http://example.org/people/p1> "
+                        "foaf:knows ?o . }";
+  const net::NodeAddress from = bed.storage_addrs().front();
+  (void)proc.execute_batch({q}, {from});
+
+  rdf::TriplePattern pat{
+      rdf::Term::iri("http://example.org/people/p1"),
+      rdf::Term::iri(std::string(workload::foaf::kKnows)),
+      rdf::Variable{"o"}};
+  const std::optional<chord::Key> key_opt = bed.overlay().row_key(pat);
+  ASSERT_TRUE(key_opt.has_value());
+  const chord::Key key = *key_opt;
+  ASSERT_EQ(bed.overlay().cache_for(from).rows().count(key), 1u);
+  ASSERT_TRUE(bed.overlay().cache_for(from).rows().at(key).leased);
+
+  // A publish that touches the row makes the owner push an invalidation to
+  // the leaseholder: the cached copy disappears without any TTL elapsing.
+  std::vector<rdf::Triple> fresh = {
+      {rdf::Term::iri("http://example.org/people/p1"),
+       rdf::Term::iri(std::string(workload::foaf::kKnows)),
+       rdf::Term::iri("http://example.org/people/p2")}};
+  (void)bed.overlay().share_triples(bed.storage_addrs().back(), fresh, 0);
+
+  EXPECT_EQ(bed.overlay().cache_for(from).rows().count(key), 0u);
+  EXPECT_GE(bed.overlay().cache_for(from).stats().invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace ahsw::dqp

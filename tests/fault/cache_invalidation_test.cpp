@@ -1,0 +1,124 @@
+// Location-row caching under faults: a cached row pointing at a provider
+// that dies is invalidated the moment a query pays the dead-provider
+// timeout, so the *next* query falls through to the (lazily repaired)
+// authoritative row and pays nothing; the convergence oracle also scrubs
+// caches, keeping I6 liveness true for cached rows.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/audit.hpp"
+#include "fault/harness.hpp"
+#include "sparql/eval.hpp"
+#include "workload/testbed.hpp"
+
+namespace ahsw::fault {
+namespace {
+
+constexpr std::string_view kPrologue =
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n";
+
+workload::TestbedConfig config() {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 5;
+  cfg.storage_nodes = 6;
+  cfg.foaf.persons = 70;
+  cfg.foaf.seed = 51;
+  cfg.partition.seed = 52;
+  return cfg;
+}
+
+dqp::BatchQuery knows_query(workload::Testbed& bed) {
+  dqp::BatchQuery q;
+  q.query = sparql::parse_query(std::string(kPrologue) +
+                                "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }");
+  q.initiator = bed.storage_addrs().front();
+  return q;
+}
+
+TEST(CacheInvalidation, DeadProviderTimeoutPurgesRowSoNextQueryIsClean) {
+  workload::Testbed bed(config());
+  dqp::ExecutionPolicy policy;
+  policy.cache.enabled = true;
+  bed.overlay().configure_caches(policy.cache);
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  const net::NodeAddress initiator = bed.storage_addrs().front();
+
+  // Warm run: the row is fetched from the ring and cached at the initiator.
+  dqp::BatchResult warm = proc.execute_batch({knows_query(bed)});
+  EXPECT_EQ(warm.reports.front().dead_providers_skipped, 0);
+  EXPECT_GT(warm.reports.front().cache.insertions, 0u);
+  ASSERT_FALSE(bed.overlay().cache_for(initiator).rows().empty());
+
+  // A cached provider dies. The next query hits the stale cached row,
+  // pays the detection timeout once, and the give-up path invalidates the
+  // row on the spot (plus lazy repair of the authoritative copy).
+  FaultSchedule schedule;
+  schedule.storage_fail(0, bed.storage_addrs()[2]);
+  FaultRunResult faulted =
+      run_with_faults(proc, bed.overlay(), {knows_query(bed)}, schedule);
+  const dqp::ExecutionReport& hit = faulted.batch.reports.front();
+  EXPECT_GT(hit.cache.hits, 0u);
+  EXPECT_GT(hit.dead_providers_skipped, 0);
+  EXPECT_GT(hit.traffic.timeouts, 0u);
+  EXPECT_GT(hit.cache.invalidations, 0u);
+
+  // Third run: the invalidated key misses, the fresh ring lookup returns
+  // the repaired row, and nobody pays the dead-provider timeout again.
+  dqp::BatchResult clean = proc.execute_batch({knows_query(bed)});
+  const dqp::ExecutionReport& after = clean.reports.front();
+  EXPECT_EQ(after.dead_providers_skipped, 0);
+  EXPECT_EQ(after.traffic.timeouts, 0u);
+  EXPECT_LT(after.response_time, hit.response_time);
+
+  // Post-converge, I6 liveness must hold for authoritative AND cached rows.
+  converge(bed.overlay(), clean.makespan);
+  check::AuditOptions opt;
+  opt.churned = true;
+  opt.converged = true;
+  opt.now = clean.makespan;
+  check::AuditReport audit = check::audit(bed.overlay(), opt);
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+}
+
+TEST(CacheInvalidation, ConvergenceOracleScrubsCachedRowsOfFailedNodes) {
+  // Even when no query ever trips over the dead provider, converge() must
+  // leave no cached row naming it — the auditor's converged cache scan
+  // would flag exactly that as an I6 violation.
+  workload::Testbed bed(config());
+  dqp::ExecutionPolicy policy;
+  policy.cache.enabled = true;
+  bed.overlay().configure_caches(policy.cache);
+  dqp::DistributedQueryProcessor proc(bed.overlay(), policy);
+  const net::NodeAddress initiator = bed.storage_addrs().front();
+
+  dqp::BatchResult warm = proc.execute_batch({knows_query(bed)});
+  const net::NodeAddress victim = bed.storage_addrs()[2];
+  bool victim_cached = false;
+  for (const auto& [key, row] : bed.overlay().cache_for(initiator).rows()) {
+    for (const overlay::Provider& p : row.providers) {
+      victim_cached = victim_cached || p.address == victim;
+    }
+  }
+  ASSERT_TRUE(victim_cached) << "scenario lost its premise: row not cached";
+
+  FaultInjector injector(bed.overlay(), {});
+  injector.apply({warm.makespan, FaultKind::kStorageFail, victim, 0},
+                 warm.makespan);
+  converge(bed.overlay(), warm.makespan + 1);
+
+  for (const auto& [key, row] : bed.overlay().cache_for(initiator).rows()) {
+    for (const overlay::Provider& p : row.providers) {
+      EXPECT_NE(p.address, victim) << "cached row still lists failed node";
+    }
+  }
+  check::AuditOptions opt;
+  opt.churned = true;
+  opt.converged = true;
+  opt.now = warm.makespan + 1;
+  check::AuditReport audit = check::audit(bed.overlay(), opt);
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+}
+
+}  // namespace
+}  // namespace ahsw::fault

@@ -20,7 +20,8 @@ constexpr std::string_view kFixtureSpec =
     "common:\n"
     "net: common\n"
     "obs: common net\n"
-    "dqp: common net obs\n"
+    "overlay: common net obs\n"
+    "dqp: common net obs overlay\n"
     "tools: *\n";
 
 lint::LintConfig fixture_config() {
@@ -77,6 +78,10 @@ TEST(LintFixtures, A1UncategorizedSend) {
 }
 
 TEST(LintFixtures, A2CounterMutation) { expect_golden("a2_counter_mutation"); }
+
+TEST(LintFixtures, A2CacheCounterMutation) {
+  expect_golden("a2_cache_counter_mutation");
+}
 
 TEST(LintFixtures, O1ManualSpan) { expect_golden("o1_manual_span"); }
 

@@ -163,18 +163,61 @@ TEST(LocationTable, UpsertZeroRemoves) {
   EXPECT_TRUE(t.lookup(999).empty());
 }
 
-TEST(LocationTable, ReconcileTakesMaxPerProvider) {
+TEST(LocationTable, ReconcileTakesNewerVersionPerProvider) {
   LocationTable t;
-  t.publish(K1, D1, 10);
-  // Two replica holders push overlapping snapshots.
-  t.reconcile({{K1, {{D1, 7}, {D2, 4}}}});
-  t.reconcile({{K1, {{D1, 12}, {D2, 4}}}});
+  t.publish(K1, D1, 10);  // owner entry at version 1
+  // Two replica holders push overlapping snapshots: a stale one (version 1,
+  // the pre-publish frequency) and a newer one (version 2).
+  t.reconcile({{K1, {{D1, 7, 1}, {D2, 4, 1}}}});
+  t.reconcile({{K1, {{D1, 12, 2}, {D2, 4, 1}}}});
   std::vector<Provider> row = t.lookup(K1);
   ASSERT_EQ(row.size(), 2u);
   EXPECT_EQ(row[0].address, D2);
   EXPECT_EQ(row[0].frequency, 4u);
   EXPECT_EQ(row[1].address, D1);
   EXPECT_EQ(row[1].frequency, 12u);
+  EXPECT_EQ(row[1].version, 2u);
+}
+
+TEST(LocationTable, ReconcileEqualVersionsMergeByMaxFrequency) {
+  // Several holders pushing the *same* causal state must stay idempotent:
+  // equal versions merge by max, so repeated pushes never inflate the row.
+  LocationTable t;
+  t.reconcile({{K1, {{D1, 7, 3}}}});
+  t.reconcile({{K1, {{D1, 7, 3}}}});
+  t.reconcile({{K1, {{D1, 5, 3}}}});  // lower freq at the same version loses
+  std::vector<Provider> row = t.lookup(K1);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0].frequency, 7u);
+  EXPECT_EQ(row[0].version, 3u);
+}
+
+TEST(LocationTable, ReconcileDoesNotResurrectStaleHigherFrequency) {
+  // THE regression this PR fixes (the documented wart): a *partial* retract
+  // only lowers the frequency, and the old max-merge reconcile let a stale
+  // replica snapshot bring the old, higher frequency back.
+  LocationTable t;
+  t.publish(K1, D1, 30);                   // version 1, frequency 30
+  std::map<chord::Key, std::vector<Provider>> stale_snapshot = t.rows();
+  EXPECT_TRUE(t.retract(K1, D1, 15));      // partial: frequency 15, version 2
+  t.reconcile(stale_snapshot);             // max-merge would restore 30
+  std::vector<Provider> row = t.lookup(K1);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0].frequency, 15u) << "stale higher frequency resurrected";
+  EXPECT_EQ(row[0].version, 2u);
+}
+
+TEST(LocationTable, ReconcileAllTombstonedLeavesNoEmptyRow) {
+  // A snapshot in which every provider is tombstoned must not churn an
+  // empty rows_[key] entry into existence (the old operator[] did, then
+  // erased it again on the hot reconcile path).
+  LocationTable t;
+  t.publish(K1, D1, 5);
+  t.retract(K1, D1, 5);  // row gone, tombstone buried at version 1
+  EXPECT_EQ(t.row_count(), 0u);
+  t.reconcile({{K1, {{D1, 5, 1}}}, {K2, {{D2, 0, 9}}}});
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_TRUE(t.empty());
 }
 
 TEST(LocationTable, ReconcileIsIdempotent) {
@@ -216,16 +259,56 @@ TEST(LocationTable, ReconcileDoesNotResurrectPurgedProvider) {
 
 TEST(LocationTable, RepublishClearsTombstone) {
   // The provider comes back (rejoins, shares again): publish lifts the
-  // tombstone and reconcile may merge it again.
+  // tombstone, restarts the version past the burial, and reconcile may
+  // merge *newer* snapshots again — while pre-burial ones stay rejected.
   LocationTable t;
-  t.publish(K1, D1, 5);
-  t.retract(K1, D1, 5);
+  t.publish(K1, D1, 5);   // version 1
+  t.retract(K1, D1, 5);   // buried at version 1
   EXPECT_TRUE(t.tombstoned(K1, D1));
-  t.publish(K1, D1, 8);
+  ASSERT_TRUE(t.tombstone_version(K1, D1).has_value());
+  EXPECT_EQ(*t.tombstone_version(K1, D1), 1u);
+  t.publish(K1, D1, 8);   // revived at version 2
   EXPECT_FALSE(t.tombstoned(K1, D1));
-  t.reconcile({{K1, {{D1, 11}}}});
+  t.reconcile({{K1, {{D1, 5, 1}}}});  // stale pre-burial snapshot: rejected
+  EXPECT_EQ(t.lookup(K1)[0].frequency, 8u);
+  t.reconcile({{K1, {{D1, 11, 3}}}});  // post-revival snapshot: accepted
   ASSERT_EQ(t.lookup(K1).size(), 1u);
   EXPECT_EQ(t.lookup(K1)[0].frequency, 11u);
+}
+
+TEST(LocationTable, UpsertReplicaMirrorsVersionVerbatim) {
+  LocationTable replicas;
+  replicas.upsert_replica(K1, D1, 15, 3);
+  ASSERT_EQ(replicas.lookup(K1).size(), 1u);
+  EXPECT_EQ(replicas.lookup(K1)[0].version, 3u);
+  replicas.upsert_replica(K1, D1, 10, 2);  // out-of-order push: ignored
+  EXPECT_EQ(replicas.lookup(K1)[0].frequency, 15u);
+  replicas.upsert_replica(K1, D1, 9, 4);   // newer push: applied
+  EXPECT_EQ(replicas.lookup(K1)[0].frequency, 9u);
+  replicas.upsert_replica(K1, D1, 0, 5);   // removal push: buries version 5
+  EXPECT_TRUE(replicas.lookup(K1).empty());
+  EXPECT_TRUE(replicas.tombstoned(K1, D1));
+  replicas.upsert_replica(K1, D1, 7, 5);   // not newer than burial: rejected
+  EXPECT_TRUE(replicas.lookup(K1).empty());
+  replicas.upsert_replica(K1, D1, 7, 6);   // re-publish reached the owner
+  ASSERT_EQ(replicas.lookup(K1).size(), 1u);
+  EXPECT_EQ(replicas.lookup(K1)[0].frequency, 7u);
+}
+
+TEST(LocationTable, AbsorbPreservesVersions) {
+  // Slice transfers must not reset versions: the new owner's entries have
+  // to stay ahead of replica mirrors still carrying pre-transfer versions.
+  LocationTable a;
+  a.publish(K1, D1, 10);
+  a.publish(K1, D1, 10);
+  a.publish(K1, D1, 10);  // version 3, frequency 30
+  LocationTable b;
+  b.absorb(a.extract_range(0, ~chord::Key{0}));
+  ASSERT_EQ(b.lookup(K1).size(), 1u);
+  EXPECT_EQ(b.lookup(K1)[0].version, 3u);
+  EXPECT_TRUE(b.retract(K1, D1, 15));  // version 4, frequency 15
+  b.reconcile({{K1, {{D1, 30, 3}}}});  // stale mirror of the old owner
+  EXPECT_EQ(b.lookup(K1)[0].frequency, 15u);
 }
 
 TEST(LocationTable, PurgeEverywhereTombstonesAffectedRows) {

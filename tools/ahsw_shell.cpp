@@ -16,6 +16,9 @@
 //   policy engine dag|legacy     pick the execution engine (default dag)
 //   policy retry <max> [base growth relookup]   bounded retry/backoff +
 //                                lazy-repair re-lookup on dead providers
+//   policy cache on|off [ttl hot_threshold hot_ttl max_rows]
+//                                initiator-side location-row caching
+//                                (docs/caching.md); defaults 400 4 4000 64
 //   query <addr> <sparql...>     run a query (may span lines; end with ';')
 //   batch <addr> <addr> ...      run N queries concurrently (one per ';'-
 //                                terminated query on the following lines)
@@ -87,6 +90,7 @@ struct Shell {
     for (std::size_t i = 0; i < storage_nodes; ++i) {
       std::cout << "device " << overlay->add_storage_node() << "\n";
     }
+    overlay->configure_caches(policy.cache);
     processor =
         std::make_unique<dqp::DistributedQueryProcessor>(*overlay, policy);
     processor->set_trace(&trace);
@@ -115,8 +119,12 @@ struct Shell {
                 << rep.traffic.bytes << " B, " << rep.response_time
                 << " ms simulated"
                 << (rep.dead_providers_skipped > 0 ? " (stale providers skipped)"
-                                                   : "")
-                << "\n";
+                                                   : "");
+      if (policy.cache.enabled) {
+        std::cout << " (cache " << rep.cache.hits << " hit/" << rep.cache.misses
+                  << " miss)";
+      }
+      std::cout << "\n";
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
     }
@@ -281,10 +289,28 @@ int run(std::istream& in, bool interactive) {
           if (ss >> tw >> lw) {
             shell.policy.objectives = {tw, lw};
           }
+        } else if (kind == "cache") {
+          std::string mode;
+          ss >> mode;
+          if (mode == "on" || mode == "off") {
+            shell.policy.cache.enabled = mode == "on";
+            double ttl = 0, hot_ttl = 0;
+            std::uint32_t hot = 0;
+            std::size_t max_rows = 0;
+            if (ss >> ttl >> hot >> hot_ttl >> max_rows) {
+              shell.policy.cache.ttl_ms = ttl;
+              shell.policy.cache.hot_threshold = hot;
+              shell.policy.cache.hot_ttl_ms = hot_ttl;
+              shell.policy.cache.max_rows = max_rows;
+            }
+          } else {
+            std::cout << "error: policy cache on|off [ttl hot hot_ttl rows]\n";
+          }
         } else {
           std::cout << "error: unknown policy\n";
         }
         if (shell.overlay != nullptr) {
+          shell.overlay->configure_caches(shell.policy.cache);
           shell.processor = std::make_unique<dqp::DistributedQueryProcessor>(
               *shell.overlay, shell.policy);
           shell.processor->set_trace(&shell.trace);
