@@ -625,7 +625,8 @@ AuditReport audit(workload::Testbed& testbed, const AuditOptions& options) {
 
 bool audit_enabled() {
   static const bool enabled = [] {
-    const char* v = std::getenv("AHSW_AUDIT");
+    // Read once at first call, before any threads could exist.
+    const char* v = std::getenv("AHSW_AUDIT");  // NOLINT(concurrency-mt-unsafe)
     if (v == nullptr) return false;
     std::string s(v);
     for (char& c : s) c = static_cast<char>(std::tolower(c));

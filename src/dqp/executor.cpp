@@ -65,7 +65,7 @@ DagExecutor::Located DagExecutor::ship(Located from, net::NodeAddress target,
 
 std::optional<SolutionSet> DagExecutor::run_at_provider(
     net::NodeAddress provider, const sparql::BgpPattern& p, net::SimTime& now,
-    net::NodeAddress initiator, ExecutionReport& rep) {
+    net::NodeAddress /*initiator*/, ExecutionReport& rep) {
   if (net().is_failed(provider)) {
     now = net().timeout(now, provider, net::Category::kQuery);
     return std::nullopt;

@@ -89,6 +89,7 @@ std::string LintReport::to_json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"tool\": \"ahsw-lint\",\n";
+  out << "  \"schema_version\": " << kJsonSchemaVersion << ",\n";
   out << "  \"files_scanned\": " << files_scanned << ",\n";
   out << "  \"suppressed\": " << suppressed << ",\n";
   out << "  \"diagnostic_count\": " << diagnostics.size() << ",\n";
@@ -142,8 +143,10 @@ LintReport lint_files(const std::string& root,
   return report;
 }
 
-LintReport lint_tree(const std::string& root, const LintConfig& cfg,
-                     const std::vector<std::string>& dirs) {
+namespace {
+
+[[nodiscard]] std::vector<std::string> collect_tree(
+    const std::string& root, const std::vector<std::string>& dirs) {
   std::vector<std::string> rel_paths;
   for (const std::string& dir : dirs) {
     fs::path top = fs::path(root) / dir;
@@ -157,7 +160,55 @@ LintReport lint_tree(const std::string& root, const LintConfig& cfg,
   }
   // Deterministic scan order regardless of directory enumeration order.
   std::sort(rel_paths.begin(), rel_paths.end());
-  return lint_files(root, rel_paths, cfg);
+  return rel_paths;
+}
+
+}  // namespace
+
+LintReport lint_tree(const std::string& root, const LintConfig& cfg,
+                     const std::vector<std::string>& dirs) {
+  return lint_files(root, collect_tree(root, dirs), cfg);
+}
+
+std::vector<SourceFile> tokenize_tree(const std::string& root,
+                                      const std::vector<std::string>& dirs) {
+  std::vector<SourceFile> files;
+  for (const std::string& rel : collect_tree(root, dirs)) {
+    files.push_back(tokenize(rel, read_file(fs::path(root) / rel)));
+  }
+  return files;
+}
+
+void lint_tree_effects(const std::string& root, const LintConfig& cfg,
+                       const SharedStateSpec& spec, LintReport* report,
+                       std::string* ledger_json,
+                       const std::vector<std::string>& dirs) {
+  std::vector<SourceFile> files = tokenize_tree(root, dirs);
+  EffectsReport effects = analyze_effects(files, spec, cfg.layers);
+  // Apply the normal suppression machinery per file, so a justified
+  // `// ahsw-lint: allow(P1) ...` works exactly like the token rules.
+  std::map<std::string, std::vector<Diagnostic>> by_file;
+  for (Diagnostic& d : effects.diagnostics) {
+    by_file[d.file].push_back(std::move(d));
+  }
+  for (const SourceFile& f : files) {
+    auto it = by_file.find(f.path);
+    if (it == by_file.end()) continue;
+    std::size_t suppressed = 0;
+    std::vector<Diagnostic> kept =
+        apply_suppressions(f, std::move(it->second), &suppressed);
+    report->suppressed += suppressed;
+    // S1 findings about the file's markers were already raised by the token
+    // pass over the same tree; re-reporting them here would double-count.
+    kept.erase(std::remove_if(kept.begin(), kept.end(),
+                              [](const Diagnostic& d) { return d.rule == "S1"; }),
+               kept.end());
+    for (Diagnostic& d : kept) {
+      ++report->by_rule[d.rule];
+      report->diagnostics.push_back(std::move(d));
+    }
+  }
+  if (ledger_json != nullptr) *ledger_json = effects.ledger_json(spec);
 }
 
 LintConfig load_config(const std::string& root,
@@ -176,6 +227,24 @@ LintConfig load_config(const std::string& root,
                              " declares no modules");
   }
   return cfg;
+}
+
+SharedStateSpec load_shared_state_spec(const std::string& root,
+                                       const std::string& spec_path) {
+  std::string path = spec_path.empty()
+                         ? root + "/tools/ahsw_shared_state.spec"
+                         : spec_path;
+  std::string text = read_file(path);
+  std::vector<std::string> errors;
+  SharedStateSpec spec = SharedStateSpec::parse(text, &errors);
+  if (!errors.empty()) {
+    throw std::runtime_error("ahsw-lint: " + path + ": " + errors[0]);
+  }
+  if (spec.states.empty() || spec.roots.empty()) {
+    throw std::runtime_error("ahsw-lint: " + path +
+                             " declares no states or no dispatch roots");
+  }
+  return spec;
 }
 
 }  // namespace ahsw::lint

@@ -8,9 +8,15 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/effects.hpp"
 #include "lint/rules.hpp"
 
 namespace ahsw::lint {
+
+/// Version stamp of the JSON renderings (`ahsw_lint.json` and the
+/// `ahsw_effects.json` ledger). Bump when a field changes meaning or shape,
+/// so ledger-diff tooling can evolve the format without guessing.
+inline constexpr int kJsonSchemaVersion = 1;
 
 struct LintReport {
   std::vector<Diagnostic> diagnostics;  // post-suppression, sorted per file
@@ -45,11 +51,33 @@ struct LintReport {
     const std::string& root, const LintConfig& cfg,
     const std::vector<std::string>& dirs = {"src", "tools", "bench"});
 
+/// Tokenize every lintable file under the given top-level directories, in
+/// sorted path order — the input of the whole-program effect analysis.
+[[nodiscard]] std::vector<SourceFile> tokenize_tree(
+    const std::string& root,
+    const std::vector<std::string>& dirs = {"src", "tools", "bench"});
+
+/// Run the effect analysis (rule family P) over the tree and merge its
+/// post-suppression diagnostics into `report`. When `ledger_json` is
+/// non-null it receives the stable parallel-safety ledger (P4).
+void lint_tree_effects(const std::string& root, const LintConfig& cfg,
+                       const SharedStateSpec& spec, LintReport* report,
+                       std::string* ledger_json,
+                       const std::vector<std::string>& dirs = {"src", "tools",
+                                                               "bench"});
+
 /// Build the default config: parse the layer spec at `layers_path`
 /// (default `<root>/tools/ahsw_layers.spec`). Throws std::runtime_error on
 /// a missing or malformed spec — the gate must not silently run without
 /// layering.
 [[nodiscard]] LintConfig load_config(const std::string& root,
                                      const std::string& layers_path = "");
+
+/// Parse the shared-state spec at `spec_path` (default
+/// `<root>/tools/ahsw_shared_state.spec`). Throws std::runtime_error on a
+/// missing or malformed spec — the effects gate must not run against an
+/// empty contract.
+[[nodiscard]] SharedStateSpec load_shared_state_spec(
+    const std::string& root, const std::string& spec_path = "");
 
 }  // namespace ahsw::lint

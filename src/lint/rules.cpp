@@ -652,6 +652,55 @@ LayerSpec LayerSpec::parse(std::string_view text,
   return spec;
 }
 
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kCatalogue = {
+      {"D1", "determinism",
+       "wall-clock, OS randomness and threading primitives are banned in "
+       "sim code; use common::Rng and net::SimTime"},
+      {"D2", "determinism",
+       "iterating an unordered container leaks hash order into downstream "
+       "output; iterate an ordered projection"},
+      {"D3", "determinism",
+       "unordered container members in headers document their "
+       "iteration-order contract"},
+      {"A1", "accounting",
+       "every Network::send / Network::timeout call site names its traffic "
+       "category explicitly"},
+      {"A2", "accounting",
+       "traffic and cache counters mutate only inside the accounting layer "
+       "(Network / TrafficStats / LocationCache)"},
+      {"O1", "observability",
+       "manual QueryTrace::open/close/reopen is forbidden outside "
+       "SpanScope; RAII keeps span trees balanced"},
+      {"O2", "observability",
+       "switches over guarded enums (Category, SpanKind, PhysOpKind) stay "
+       "exhaustive with no default: label"},
+      {"L1", "layering",
+       "#include edges follow the declared module DAG in "
+       "tools/ahsw_layers.spec"},
+      {"L2", "layering",
+       "every module under src/ is declared in the layer spec"},
+      {"S1", "suppressions",
+       "ahsw-lint: allow(...) markers are well-formed and carry a "
+       "justification"},
+      {"P1", "effects",
+       "declared shared mutable state is mutated outside its home "
+       "implementation only through sync surfaces declared in "
+       "tools/ahsw_shared_state.spec"},
+      {"P2", "effects",
+       "functions transitively reachable from the DagExecutor dispatch "
+       "roots mutate shared state only through dispatch-safe surfaces"},
+      {"P3", "effects",
+       "no non-const globals or function-local statics outside the "
+       "declared singletons"},
+      {"P4", "effects",
+       "the parallel-safety ledger (ahsw_effects.json) inventories every "
+       "shared touch point with its dispatch call path; its diff is gated "
+       "in CI"},
+  };
+  return kCatalogue;
+}
+
 std::string module_of(std::string_view path) {
   for (std::string_view root : {"tools", "bench", "tests", "examples"}) {
     if (common::starts_with(path, std::string(root) + "/")) {

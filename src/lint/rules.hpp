@@ -87,6 +87,18 @@ struct LintConfig {
     const SourceFile& file, std::vector<Diagnostic> raw,
     std::size_t* suppressed_count);
 
+/// One catalogue row: the single source of truth the generated table in
+/// docs/static_analysis.md is checked against (`ahsw-lint --rules`).
+struct RuleInfo {
+  std::string_view id;      // "D1", ..., "P4"
+  std::string_view family;  // "determinism", ...
+  std::string_view summary;
+};
+
+/// Every rule the linter can emit (token families, suppressions, and the
+/// effect-analysis P family), in catalogue order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
 /// The module a repo-relative path belongs to for the layering rules:
 /// "src/net/network.cpp" -> "net", "tools/x.cpp" -> "tools",
 /// "bench/y.hpp" -> "bench". Empty when the path matches no module root.

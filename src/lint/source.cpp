@@ -115,11 +115,26 @@ class Scanner {
     out_.tokens.push_back(Token{kind, std::move(text), line_});
   }
 
+  /// A `//` comment. A backslash immediately before the newline splices the
+  /// next physical line into the comment ([lex.phases] p2 runs before
+  /// comment removal), so `// ... \` swallows the following line too — rule
+  /// input must never see code that the compiler would not.
   void line_comment() {
+    int begin = line_;
     std::size_t start = pos_;
-    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '\n' ||
+           (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() &&
+            src_[pos_ + 2] == '\n'))) {
+        pos_ += src_[pos_ + 1] == '\r' ? 3u : 2u;
+        ++line_;
+        continue;
+      }
+      ++pos_;
+    }
     out_.comments.push_back(
-        Comment{line_, line_, std::string(src_.substr(start, pos_ - start))});
+        Comment{begin, line_, std::string(src_.substr(start, pos_ - start))});
   }
 
   void block_comment() {

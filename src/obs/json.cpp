@@ -221,7 +221,8 @@ void BenchSink::flush() {
   if (records_.empty()) return;
   std::string path = path_;
   if (path.empty()) {
-    if (const char* env = std::getenv("AHSW_BENCH_JSON")) {
+    // Single-threaded bench-main startup read; no concurrent setenv.
+    if (const char* env = std::getenv("AHSW_BENCH_JSON")) {  // NOLINT(concurrency-mt-unsafe)
       path = env;
     } else {
       path = "BENCH_" + default_experiment_name() + ".json";

@@ -173,6 +173,10 @@ TEST(Report, SummaryAndJsonShape) {
 
   std::string json = r.to_json();
   EXPECT_NE(json.find("\"tool\": \"ahsw-lint\""), std::string::npos);
+  // Pinned: bump kJsonSchemaVersion (and this test) only with a consumer
+  // migration path — CI artifacts are parsed by schema_version.
+  EXPECT_EQ(lint::kJsonSchemaVersion, 1);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"diagnostic_count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"by_rule\": {\"D1\": 1}"), std::string::npos);
   EXPECT_NE(json.find("\"file\": \"src/dqp/f.cpp\""), std::string::npos);

@@ -109,4 +109,54 @@ TEST(Tokenizer, LineHasCode) {
   EXPECT_EQ(f.last_line, 5);  // final newline starts line 5
 }
 
+TEST(Tokenizer, RawStringCustomDelimiterAndLineCount) {
+  // The closer is the exact `)xyz"`; a bare `)"` inside is literal text.
+  SourceFile f = lint::tokenize(
+      "x.cpp", "auto s = R\"xyz(rand()\nfake close: )\"\n)xyz\";\nint x;\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "rand") << "raw-string body leaked into tokens";
+  }
+  bool saw_x = false;
+  for (const Token& t : f.tokens) {
+    if (t.ident("x")) {
+      saw_x = true;
+      EXPECT_EQ(t.line, 4);  // newlines inside the raw string were counted
+    }
+  }
+  EXPECT_TRUE(saw_x);
+}
+
+TEST(Tokenizer, LineCommentBackslashSpliceSwallowsNextLine) {
+  // [lex.phases]: line splicing runs before comment removal, so a `//`
+  // comment ending in a backslash continues onto the next physical line.
+  SourceFile f = lint::tokenize(
+      "x.cpp", "// spliced \\\nrand();\nint x;\n// cr-lf splice \\\r\ny();\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "rand") << "spliced comment line leaked into tokens";
+    EXPECT_NE(t.text, "y") << "cr-lf spliced line leaked into tokens";
+  }
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_EQ(f.comments[0].begin, 1);
+  EXPECT_EQ(f.comments[0].end, 2);
+  EXPECT_NE(f.comments[0].text.find("rand"), std::string::npos);
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_TRUE(f.tokens[0].ident("int"));
+  EXPECT_EQ(f.tokens[0].line, 3);
+}
+
+TEST(Tokenizer, AdjacentStringLiteralsStayStrings) {
+  // Concatenated literals (with or without encoding prefixes) are three
+  // string tokens; no prefix or content identifier survives.
+  SourceFile f = lint::tokenize(
+      "x.cpp", "auto m = \"rand()\" u8\"srand()\" L\"time()\";\nint x;\n");
+  int strings = 0;
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kString) ++strings;
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "u8") << "encoding prefix emitted as identifier";
+    EXPECT_NE(t.text, "L") << "encoding prefix emitted as identifier";
+  }
+  EXPECT_EQ(strings, 3);
+}
+
 }  // namespace

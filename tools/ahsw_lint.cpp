@@ -1,12 +1,19 @@
 // ahsw-lint driver.
 //
 // Usage:
-//   ahsw_lint [--root DIR] [--layers FILE] [--json FILE] [paths...]
+//   ahsw_lint [--root DIR] [--layers FILE] [--json FILE]
+//             [--effects] [--effects-spec FILE] [--effects-json FILE]
+//             [--rules] [paths...]
 //
 // With no paths, lints every .cpp/.hpp under src/, tools/ and bench/ of
 // the root (the CI gate configuration). Paths, when given, are
-// root-relative files to lint instead. Exit codes: 0 clean, 1 diagnostics
-// found, 2 usage or I/O error.
+// root-relative files to lint instead. `--effects` additionally runs the
+// whole-program shared-state effect analysis (rule family P) against
+// tools/ahsw_shared_state.spec; `--effects-json` writes the stable
+// parallel-safety ledger (and implies --effects). `--rules` prints the
+// rule catalogue as the markdown table docs/static_analysis.md embeds
+// (tools/check_rules_docs.sh gates drift) and exits. Exit codes: 0 clean,
+// 1 diagnostics found, 2 usage or I/O error.
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -19,8 +26,29 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root DIR] [--layers FILE] [--json FILE] [paths...]\n";
+            << " [--root DIR] [--layers FILE] [--json FILE] [--effects]"
+               " [--effects-spec FILE] [--effects-json FILE] [--rules]"
+               " [paths...]\n";
   return 2;
+}
+
+void print_rules() {
+  std::cout << "| Rule | Family | Enforces |\n";
+  std::cout << "|------|--------|----------|\n";
+  for (const ahsw::lint::RuleInfo& r : ahsw::lint::rule_catalogue()) {
+    std::cout << "| " << r.id << " | " << r.family << " | " << r.summary
+              << " |\n";
+  }
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ahsw-lint: cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return true;
 }
 
 }  // namespace
@@ -29,6 +57,9 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string layers;
   std::string json_path;
+  std::string effects_spec;
+  std::string effects_json;
+  bool effects = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -38,6 +69,17 @@ int main(int argc, char** argv) {
       layers = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--effects") {
+      effects = true;
+    } else if (arg == "--effects-spec" && i + 1 < argc) {
+      effects_spec = argv[++i];
+      effects = true;
+    } else if (arg == "--effects-json" && i + 1 < argc) {
+      effects_json = argv[++i];
+      effects = true;
+    } else if (arg == "--rules") {
+      print_rules();
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -47,19 +89,28 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (effects && !paths.empty()) {
+    std::cerr << "ahsw-lint: --effects is a whole-tree analysis and cannot "
+                 "be combined with explicit paths\n";
+    return 2;
+  }
 
   try {
     ahsw::lint::LintConfig cfg = ahsw::lint::load_config(root, layers);
     ahsw::lint::LintReport report =
         paths.empty() ? ahsw::lint::lint_tree(root, cfg)
                       : ahsw::lint::lint_files(root, paths, cfg);
-    if (!json_path.empty()) {
-      std::ofstream out(json_path);
-      if (!out) {
-        std::cerr << "ahsw-lint: cannot write " << json_path << "\n";
+    if (effects) {
+      ahsw::lint::SharedStateSpec spec =
+          ahsw::lint::load_shared_state_spec(root, effects_spec);
+      std::string ledger;
+      ahsw::lint::lint_tree_effects(root, cfg, spec, &report, &ledger);
+      if (!effects_json.empty() && !write_text(effects_json, ledger)) {
         return 2;
       }
-      out << report.to_json();
+    }
+    if (!json_path.empty() && !write_text(json_path, report.to_json())) {
+      return 2;
     }
     std::cout << report.to_string();
     return report.clean() ? 0 : 1;

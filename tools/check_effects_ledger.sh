@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Parallel-safety ledger drift gate.
+#
+# Compares a freshly generated ahsw_effects.json (argument, or regenerated
+# here when omitted) against the committed baseline tools/ahsw_effects.json.
+# The ledger is line-less and deduplicated, so a diff means the shared
+# mutable surface itself changed — a new touch point, a removed one, or a
+# declaration flip — and the baseline must be regenerated and re-reviewed:
+#
+#   build/tools/ahsw_lint --root . --effects --effects-json tools/ahsw_effects.json
+#
+# Exit codes: 0 in sync, 1 drift, 2 usage/build error.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=tools/ahsw_effects.json
+fresh="${1:-}"
+
+if [ -z "${fresh}" ]; then
+  build_dir="${AHSW_BUILD_DIR:-build}"
+  if [ ! -x "${build_dir}/tools/ahsw_lint" ]; then
+    echo "error: ${build_dir}/tools/ahsw_lint not built (pass a ledger path or set AHSW_BUILD_DIR)" >&2
+    exit 2
+  fi
+  fresh="$(mktemp)"
+  trap 'rm -f "${fresh}"' EXIT
+  # The tree may have lint findings; drift checking only needs the ledger,
+  # so the lint exit code is ignored here (lint.self gates it separately).
+  "${build_dir}/tools/ahsw_lint" --root . --effects \
+    --effects-json "${fresh}" > /dev/null || true
+fi
+
+if [ ! -f "${fresh}" ]; then
+  echo "error: generated ledger ${fresh} missing" >&2
+  exit 2
+fi
+
+if ! diff -u "${baseline}" "${fresh}"; then
+  echo "error: ${baseline} is out of date with the tree; regenerate it with" >&2
+  echo "  <build>/tools/ahsw_lint --root . --effects --effects-json ${baseline}" >&2
+  echo "and review the new shared-state touch points." >&2
+  exit 1
+fi
+echo "ledger in sync (${baseline})"

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Static-analysis gate: clang-tidy (profile in .clang-tidy) and cppcheck over
-# the library sources, then ahsw-lint (the self-hosted domain linter, built
-# from src/lint/) over src/, tools/ and bench/. The dynamic counterpart of
+# src/, tools/ and bench/, then ahsw-lint (the self-hosted domain linter,
+# built from src/lint/) over the same tree — token rules plus the
+# whole-program effect analysis (rule family P) against
+# tools/ahsw_shared_state.spec, with drift gates on the committed
+# parallel-safety ledger (tools/ahsw_effects.json) and the rule-catalogue
+# table embedded in docs/static_analysis.md. The dynamic counterpart of
 # this gate is the invariant auditor (src/check/, AHSW_AUDIT=1); see
 # docs/static_analysis.md for both halves.
 #
@@ -24,10 +28,11 @@ missing_tool() {
   fi
 }
 
-# Sources under analysis: the libraries plus the tools that link them.
-# Tests and benches are intentionally out of scope for cppcheck/tidy — GTest
-# and Google Benchmark macros trip too many style checks to be useful.
-mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+# Sources under analysis: the libraries, the tools that link them, and the
+# bench mains (self-rolled harness, no framework macros to trip on). Tests
+# stay out of scope for cppcheck/tidy — GTest macros are too noisy — but
+# ahsw-lint covers bench/ regardless via its own tree walk.
+mapfile -t sources < <(find src tools bench -name '*.cpp' | sort)
 
 # Always configure: the external tools read compile_commands.json from the
 # analysis build, and ahsw-lint is built inside it.
@@ -37,7 +42,13 @@ cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Debug \
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (${#sources[@]} files) =="
-  if ! clang-tidy -p "${build_dir}" --quiet "${sources[@]}"; then
+  # Strict mode (CI) escalates the whole bug-prone and concurrency families
+  # on top of the WarningsAsErrors set baked into .clang-tidy.
+  tidy_args=()
+  if [ "${strict}" = "1" ]; then
+    tidy_args+=(--warnings-as-errors='bugprone-*,concurrency-*')
+  fi
+  if ! clang-tidy -p "${build_dir}" --quiet "${tidy_args[@]}" "${sources[@]}"; then
     status=1
   fi
 else
@@ -58,10 +69,23 @@ fi
 
 echo "== ahsw-lint =="
 if cmake --build "${build_dir}" --target ahsw_lint_tool -j > /dev/null; then
-  # JSON diagnostics land next to the analysis build; CI uploads them as an
-  # artifact so findings are inspectable without re-running the job.
-  if ! "${build_dir}/tools/ahsw_lint" --root . \
-      --json "${build_dir}/ahsw_lint.json"; then
+  # JSON diagnostics and the regenerated parallel-safety ledger land next
+  # to the analysis build; CI uploads both as artifacts so findings are
+  # inspectable without re-running the job. --effects runs the
+  # whole-program shared-state analysis (rule family P).
+  if ! "${build_dir}/tools/ahsw_lint" --root . --effects \
+      --json "${build_dir}/ahsw_lint.json" \
+      --effects-json "${build_dir}/ahsw_effects.json"; then
+    status=1
+  fi
+
+  echo "== parallel-safety ledger drift =="
+  if ! tools/check_effects_ledger.sh "${build_dir}/ahsw_effects.json"; then
+    status=1
+  fi
+
+  echo "== rule-catalogue docs drift =="
+  if ! tools/check_rules_docs.sh "${build_dir}/tools/ahsw_lint"; then
     status=1
   fi
 else
