@@ -1,9 +1,11 @@
 // Custom benchmark entry point: understands `--audit` (run the invariant
-// auditor over every benchmark system; corruption aborts the run) before
-// handing the remaining flags to Google Benchmark. AHSW_AUDIT=1 in the
-// environment enables auditing too.
+// auditor over every benchmark system; corruption aborts the run) and
+// `--workers N` (parallel batch driver worker count for batch benchmarks)
+// before handing the remaining flags to Google Benchmark. AHSW_AUDIT=1 and
+// AHSW_WORKERS=N in the environment work too.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_util.hpp"
@@ -13,6 +15,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--audit") == 0) {
       ahsw::benchutil::set_audit(true);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      ahsw::benchutil::set_workers(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      ahsw::benchutil::set_workers(std::atoi(argv[i] + 10));
     } else {
       argv[kept++] = argv[i];
     }

@@ -30,6 +30,21 @@ inline bool& audit_flag() {
 }
 inline void set_audit(bool on) { audit_flag() = on; }
 
+/// Process-wide batch-worker count: `--workers N` in bench_main (or the
+/// AHSW_WORKERS environment variable). Batch benchmarks pass it through to
+/// BatchOptions::workers; the parallel driver's byte-identity guarantee
+/// means every simulated series stays identical, only wall-clock moves.
+inline int& workers_flag() {
+  static int workers = []() {
+    const char* env = std::getenv("AHSW_WORKERS");
+    const int n = env != nullptr ? std::atoi(env) : 1;
+    return n > 1 ? n : 1;
+  }();
+  return workers;
+}
+inline void set_workers(int n) { workers_flag() = n > 1 ? n : 1; }
+inline int batch_workers() { return workers_flag(); }
+
 /// Run the invariant auditor over a benchmark system when auditing is on.
 /// Corruption aborts the process: a benchmark series must never publish
 /// numbers measured against a corrupted system.

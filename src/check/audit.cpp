@@ -346,11 +346,10 @@ void audit_overlay(const overlay::HybridOverlay& ov, AuditReport& rep,
       Key owner = successor_in(live, ring.truncate(key));
       auto it = ov.index_nodes().find(owner);
       if (it == ov.index_nodes().end()) continue;  // reported above under I1
-      const auto& rows = it->second.table.rows();
-      auto row = rows.find(key);
+      const overlay::Row* row = it->second.table.find_row(key);
       const bool indexed =
-          row != rows.end() &&
-          std::any_of(row->second.begin(), row->second.end(),
+          row != nullptr &&
+          std::any_of(row->providers.begin(), row->providers.end(),
                       [&](const overlay::Provider& p) {
                         return p.address == addr;
                       });
@@ -515,12 +514,12 @@ void audit_overlay(const overlay::HybridOverlay& ov, AuditReport& rep,
       for (Key h : holders) {
         const overlay::IndexNodeState& hs = ov.index_nodes().at(h);
         if (net.is_failed(hs.address)) continue;  // corpse awaiting repair
-        auto hrow = hs.replicas.rows().find(key);
+        const overlay::Row* hrow = hs.replicas.find_row(key);
         for (const overlay::Provider& p : provs) {
           ++rep.replica_rows_checked;
           const overlay::Provider* mirror = nullptr;
-          if (hrow != hs.replicas.rows().end()) {
-            for (const overlay::Provider& hp : hrow->second) {
+          if (hrow != nullptr) {
+            for (const overlay::Provider& hp : hrow->providers) {
               if (hp.address == p.address) mirror = &hp;
             }
           }

@@ -54,6 +54,13 @@ std::vector<Key> Ring::live_ids() const {
   return out;
 }
 
+std::optional<Key> Ring::first_live_id() const {
+  for (const auto& [id, n] : nodes_) {
+    if (!net_->is_failed(n.address)) return id;
+  }
+  return std::nullopt;
+}
+
 void Ring::refresh_successor_list(NodeState& n) {
   n.successors.clear();
   auto it = nodes_.upper_bound(n.id);

@@ -110,6 +110,11 @@ class Ring {
   /// (nullptr detaches). The ring never owns the trace.
   void set_trace(obs::QueryTrace* trace) noexcept { trace_ = trace; }
 
+  /// Point this ring at another simulated network (same cost model). Used
+  /// when a copied ring must charge its traffic to a worker-local network
+  /// instead of the network its source was built on (overlay cloning).
+  void rebind_network(net::Network& network) noexcept { net_ = &network; }
+
   // -- maintenance ------------------------------------------------------------
 
   /// Oracle finger construction for all nodes (free; used to bootstrap
@@ -159,6 +164,10 @@ class Ring {
   [[nodiscard]] Key oracle_successor(Key key) const;
   /// Live ring nodes in id order.
   [[nodiscard]] std::vector<Key> live_ids() const;
+  /// Lowest live node id (nullopt when every node is failed) — the
+  /// allocation-free fast path for bootstrap and storage re-attachment,
+  /// which only ever want live_ids().front().
+  [[nodiscard]] std::optional<Key> first_live_id() const;
   [[nodiscard]] const RingConfig& config() const noexcept { return config_; }
 
  private:

@@ -1,0 +1,39 @@
+// Tiny vector-capacity pool: an arena for containers that churn in hot
+// loops (location-table row erase/create during purge storms, transfer
+// slices, bucketed event drains). Instead of freeing a dead vector's
+// heap block and reallocating an identical one moments later, the block
+// parks here and the next acquire() reuses it. Deterministic by
+// construction — LIFO reuse, no sizes or addresses ever escape into
+// simulation state.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace ahsw::common {
+
+template <typename T>
+class VectorPool {
+ public:
+  /// An empty vector, reusing the most recently released capacity if any.
+  [[nodiscard]] std::vector<T> acquire() {
+    if (free_.empty()) return {};
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  /// Park a dead vector's capacity for reuse.
+  void release(std::vector<T>&& v) {
+    v.clear();
+    free_.push_back(std::move(v));
+  }
+
+  [[nodiscard]] std::size_t parked() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::vector<T>> free_;
+};
+
+}  // namespace ahsw::common

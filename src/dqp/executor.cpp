@@ -88,6 +88,14 @@ void DagExecutor::give_up_on_provider(net::NodeAddress provider,
     if (std::optional<chord::Key> key = overlay_->row_key(p.pattern)) {
       overlay::LocationCache& cache = overlay_->cache_for(initiator);
       const overlay::CacheStats before = cache.stats();
+      if (state_log_ != nullptr) {
+        StateAction a;
+        a.kind = StateAction::Kind::kCacheInvalidate;
+        a.when = now;
+        a.initiator = initiator;
+        a.key = *key;
+        record(std::move(a));
+      }
       if (cache.invalidate(*key)) {
         obs::SpanScope span(
             trace_, obs::SpanKind::kCache,
@@ -97,6 +105,15 @@ void DagExecutor::give_up_on_provider(net::NodeAddress provider,
       }
       rep.cache.accumulate(cache.stats().delta_since(before));
     }
+  }
+  if (state_log_ != nullptr) {
+    StateAction a;
+    a.kind = StateAction::Kind::kReportDead;
+    a.when = now;
+    a.initiator = initiator;
+    a.dead = provider;
+    a.pattern = p.pattern;
+    record(std::move(a));
   }
   overlay_->report_dead_provider(initiator, p.pattern, provider, now);
 }
@@ -262,6 +279,15 @@ void DagExecutor::setup_query(QueryRun& run) {
 // ---------------------------------------------------------------------------
 // Firing.
 
+void DagExecutor::record(StateAction a) {
+  if (state_log_ == nullptr) return;
+  a.at = fire_at_;
+  a.qid = fire_qid_;
+  a.task = fire_task_;
+  a.seq = fire_seq_++;
+  state_log_->push_back(std::move(a));
+}
+
 void DagExecutor::fire(QueryRun& run, TaskId id) {
   const net::TrafficStats before = net().stats();
   const obs::SpanId parent = run.tasks[id].parent_span;
@@ -307,6 +333,14 @@ net::SimTime DagExecutor::fire_lookup(QueryRun& run, TaskId id) {
     overlay::LocationCache& cache = overlay_->cache_for(run.initiator);
     const overlay::CacheStats before = cache.stats();
     const std::string klabel = std::to_string(overlay_->ring().truncate(*key));
+    if (state_log_ != nullptr) {
+      StateAction a;
+      a.kind = StateAction::Kind::kCacheLookup;
+      a.when = t.base;
+      a.initiator = run.initiator;
+      a.key = *key;
+      record(std::move(a));
+    }
     if (const overlay::CachedRow* row = cache.lookup(*key, t.base)) {
       // Hit: the row is served at the initiator — no ring lookup, no index
       // traffic, completion at the task's own start time.
@@ -330,6 +364,17 @@ net::SimTime DagExecutor::fire_lookup(QueryRun& run, TaskId id) {
     }
     t.loc = locate(t.pattern.pattern, run.initiator, t.base, run.rep);
     if (t.loc.ok && !t.loc.broadcast) {
+      if (state_log_ != nullptr) {
+        StateAction a;
+        a.kind = StateAction::Kind::kCacheInsert;
+        a.when = t.loc.completed_at;
+        a.initiator = run.initiator;
+        a.key = *key;
+        a.index_node = t.loc.index_node;
+        a.fetched_at = t.loc.completed_at;
+        a.providers = t.loc.providers;
+        record(std::move(a));
+      }
       if (cache.insert(*key, t.loc.providers, t.loc.index_node,
                        t.loc.completed_at)) {
         // The key crossed the hot threshold: the cached row becomes a
@@ -337,6 +382,14 @@ net::SimTime DagExecutor::fire_lookup(QueryRun& run, TaskId id) {
         // initiator on every row mutation (subscription rides the lookup
         // response, so it is free).
         overlay_->subscribe_invalidations(*key, run.initiator);
+        if (state_log_ != nullptr) {
+          StateAction a;
+          a.kind = StateAction::Kind::kSubscribe;
+          a.when = t.loc.completed_at;
+          a.initiator = run.initiator;
+          a.key = *key;
+          record(std::move(a));
+        }
       }
     }
     run.rep.cache.accumulate(cache.stats().delta_since(before));
@@ -1058,13 +1111,26 @@ net::SimTime DagExecutor::fire_describe_gather(QueryRun& run, TaskId id) {
 // ---------------------------------------------------------------------------
 
 BatchResult DagExecutor::run(const std::vector<BatchQuery>& batch) {
+  return run(batch, {});
+}
+
+BatchResult DagExecutor::run(const std::vector<BatchQuery>& batch,
+                             const std::vector<std::uint32_t>& qids) {
+  assert((qids.empty() || qids.size() == batch.size()) &&
+         "qids must be empty (identity) or match the batch");
   runs_.clear();
+  std::uint32_t max_qid = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     QueryRun& run = runs_.emplace_back();
-    run.qid = static_cast<std::uint32_t>(i);
+    run.qid = qids.empty() ? static_cast<std::uint32_t>(i) : qids[i];
     run.query = batch[i].query;
     run.initiator = batch[i].initiator;
-    setup_query(run);
+    max_qid = std::max(max_qid, run.qid);
+  }
+  run_of_qid_.assign(static_cast<std::size_t>(max_qid) + 1, 0);
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    run_of_qid_[runs_[i].qid] = static_cast<std::uint32_t>(i);
+    setup_query(runs_[i]);
   }
 
   // Injected (fault-schedule) events share the queue under the reserved
@@ -1083,7 +1149,10 @@ BatchResult DagExecutor::run(const std::vector<BatchQuery>& batch) {
       if (inj.apply) inj.apply(ev.at);
       continue;
     }
-    fire(runs_[ev.query], ev.task);
+    fire_at_ = ev.at;
+    fire_qid_ = ev.query;
+    fire_task_ = ev.task;
+    fire(runs_[run_of_qid_[ev.query]], ev.task);
   }
 
   BatchResult out;

@@ -1,0 +1,220 @@
+#include "dqp/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+// ahsw-lint: allow(D1) worker threads carry no simulated time: each shard is
+// a self-contained deterministic sub-simulation on a cloned overlay, and the
+// merge below fixes the global order by (time, query, task) — the scheduler
+// still models all parallelism; threads only shrink wall-clock time.
+#include <thread>
+
+#include "dqp/executor.hpp"
+
+namespace ahsw::dqp {
+
+namespace {
+
+/// One worker's world: a private copy of the network + overlay, the shard's
+/// queries with their original batch-wide ids, and the mutation log the
+/// master replays.
+struct Shard {
+  std::vector<BatchQuery> queries;
+  std::vector<std::uint32_t> qids;
+  net::Network network;
+  std::unique_ptr<overlay::HybridOverlay> overlay;
+  BatchOptions opts;
+  StateLog log;
+  BatchResult result;
+};
+
+/// Merge-order key: state actions carry their enclosing fire's event key;
+/// injections sort under the reserved injection query id exactly as the
+/// serial event loop pops them. `action == nullptr` marks an injection
+/// (task = injection index).
+struct MergeEntry {
+  net::SimTime at = 0;
+  std::uint32_t qid = 0;
+  std::uint32_t task = 0;
+  std::uint32_t seq = 0;
+  const StateAction* action = nullptr;
+};
+
+[[nodiscard]] bool merge_less(const MergeEntry& a,
+                              const MergeEntry& b) noexcept {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.qid != b.qid) return a.qid < b.qid;
+  if (a.task != b.task) return a.task < b.task;
+  return a.seq < b.seq;
+}
+
+/// Re-apply one recorded shard mutation on the master overlay. Must mirror
+/// the executor's own calls exactly (src/dqp/executor.cpp recording sites):
+/// the replay reproduces the serial driver's overlay end state, including
+/// cache rows, access counts, lease subscriptions and table tombstones.
+void replay_action(overlay::HybridOverlay& ov, const StateAction& a) {
+  switch (a.kind) {
+    case StateAction::Kind::kCacheLookup:
+      (void)ov.cache_for(a.initiator).lookup(a.key, a.when);
+      break;
+    case StateAction::Kind::kCacheInsert:
+      (void)ov.cache_for(a.initiator)
+          .insert(a.key, a.providers, a.index_node, a.fetched_at);
+      break;
+    case StateAction::Kind::kSubscribe:
+      ov.subscribe_invalidations(a.key, a.initiator);
+      break;
+    case StateAction::Kind::kCacheInvalidate:
+      (void)ov.cache_for(a.initiator).invalidate(a.key);
+      break;
+    case StateAction::Kind::kReportDead:
+      (void)ov.report_dead_provider(a.initiator, a.pattern, a.dead, a.when);
+      break;
+  }
+}
+
+}  // namespace
+
+bool parallel_batch_eligible(const BatchOptions& opts,
+                             const obs::QueryTrace* trace,
+                             std::size_t batch_size) noexcept {
+  if (opts.workers <= 1) return false;
+  if (batch_size < 2) return false;
+  if (trace != nullptr) return false;
+  if (opts.service.service_ms > 0) return false;
+  if (!opts.injections.empty() && !opts.injection_factory) return false;
+  return true;
+}
+
+BatchResult run_parallel_batch(overlay::HybridOverlay& overlay,
+                               const ExecutionPolicy& policy,
+                               const std::vector<BatchQuery>& batch,
+                               const BatchOptions& opts) {
+  assert(parallel_batch_eligible(opts, nullptr, batch.size()) &&
+         "run_parallel_batch: caller must check eligibility");
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(opts.workers), batch.size());
+
+  // -- partition: qid % workers (the documented rule) -----------------------
+  std::vector<Shard> shards(workers);
+  for (std::size_t qid = 0; qid < batch.size(); ++qid) {
+    Shard& s = shards[qid % workers];
+    s.queries.push_back(batch[qid]);
+    s.qids.push_back(static_cast<std::uint32_t>(qid));
+  }
+
+  // -- clone: each worker gets a private copy of the world ------------------
+  // Clones are built serially on the master thread; injection factories may
+  // consult master-side structures (the fault harness's schedule) while
+  // binding their events to the clone.
+  for (Shard& s : shards) {
+    s.network = overlay.network();
+    s.network.set_tracer(nullptr);
+    s.network.set_timeout_tracer(nullptr);
+    s.overlay = overlay.clone_for_worker(s.network);
+    s.opts.service = opts.service;
+    s.opts.label_query_ids = opts.label_query_ids;
+    if (opts.injection_factory) {
+      // Faults are broadcast: every shard observes the full schedule on its
+      // own world, so cross-shard queries see identical failure timelines.
+      s.opts.injections = opts.injection_factory(*s.overlay);
+    }
+  }
+
+  // -- execute shards on worker threads ------------------------------------
+  // ahsw-lint: allow(D1) see file header — shard runs are deterministic and
+  // share nothing; thread scheduling cannot reorder any simulated event.
+  std::vector<std::thread> pool;
+  pool.reserve(shards.size());
+  for (Shard& s : shards) {
+    // ahsw-lint: allow(D1) one deterministic shard per thread.
+    pool.emplace_back([&s, &policy]() {
+      DagExecutor exec(*s.overlay, policy, nullptr, s.opts);
+      exec.set_state_log(&s.log);
+      s.result = exec.run(s.queries, s.qids);
+    });
+  }
+  for (std::thread& t : pool) t.join();  // ahsw-lint: allow(D1) barrier only
+
+  // -- merge: replay shard mutations + master injections in serial order ---
+  std::vector<MergeEntry> entries;
+  std::size_t total_actions = 0;
+  for (const Shard& s : shards) total_actions += s.log.size();
+  entries.reserve(total_actions + opts.injections.size());
+  for (const Shard& s : shards) {
+    for (const StateAction& a : s.log) {
+      entries.push_back(MergeEntry{a.at, a.qid, a.task, a.seq, &a});
+    }
+  }
+  for (std::size_t i = 0; i < opts.injections.size(); ++i) {
+    entries.push_back(MergeEntry{opts.injections[i].at,
+                                 net::kInjectionQueryId,
+                                 static_cast<std::uint32_t>(i), 0, nullptr});
+  }
+  std::sort(entries.begin(), entries.end(), merge_less);
+
+  net::Network& net = overlay.network();
+  const net::Network::Tracer tracer = net.tracer();
+  const net::Network::TimeoutTracer timeout_tracer = net.timeout_tracer();
+  for (const MergeEntry& e : entries) {
+    if (e.action == nullptr) {
+      // Master-bound injection: charges traffic and notifies tracers
+      // exactly as the serial event loop would.
+      const InjectedEvent& inj = opts.injections[e.task];
+      if (inj.apply) inj.apply(e.at);
+      continue;
+    }
+    // State-action replay: the shard already charged this mutation's
+    // traffic into its query's report (fire() delta accounting), so the
+    // master replay must not re-charge it — or re-notify observers.
+    const net::TrafficStats saved = net.stats();
+    net.set_tracer(nullptr);
+    net.set_timeout_tracer(nullptr);
+    replay_action(overlay, *e.action);
+    net.set_tracer(tracer);
+    net.set_timeout_tracer(timeout_tracer);
+    net.restore_stats(saved);
+  }
+
+  // Lazy re-attachment is the one shard-side mutation outside the log: an
+  // initiator whose index node died re-attached to the first live ring node
+  // *at lookup time*. Adopt each shard's final attachment for its own
+  // initiators so a later batch re-attaches from the same state serial
+  // execution would have left.
+  for (const Shard& s : shards) {
+    for (const BatchQuery& q : s.queries) {
+      if (!overlay.is_storage_node(q.initiator)) continue;
+      overlay.storage_state(q.initiator).attached_index =
+          s.overlay->storage_state(q.initiator).attached_index;
+    }
+  }
+
+  // -- assemble: per-query outputs slot back by id --------------------------
+  BatchResult out;
+  out.results.resize(batch.size());
+  out.reports.resize(batch.size());
+  out.root_spans.assign(batch.size(), obs::kNoSpan);
+  out.worker_makespans.assign(shards.size(), 0.0);
+  for (std::size_t w = 0; w < shards.size(); ++w) {
+    Shard& s = shards[w];
+    out.worker_makespans[w] = s.result.makespan;
+    out.makespan = std::max(out.makespan, s.result.makespan);
+    for (std::size_t i = 0; i < s.qids.size(); ++i) {
+      out.results[s.qids[i]] = std::move(s.result.results[i]);
+      out.reports[s.qids[i]] = std::move(s.result.reports[i]);
+    }
+  }
+
+  // Master traffic total = pre-batch counters + injection charges (already
+  // applied above) + every query's report delta — the same decomposition
+  // the serial driver's per-fire accounting produces.
+  net::TrafficStats total = net.stats();
+  for (const ExecutionReport& rep : out.reports) {
+    total.accumulate(rep.traffic);
+  }
+  net.restore_stats(total);
+
+  return out;
+}
+
+}  // namespace ahsw::dqp

@@ -1,0 +1,45 @@
+// Deterministic parallel batch driver (docs/execution_engine.md, "Parallel
+// driver").
+//
+// Splits a batch into per-worker shards by query id (qid % workers), runs
+// each shard through its own DagExecutor against a *cloned* overlay + network
+// on a worker thread, then merges on the master: per-query results/reports
+// slot back by id, and every shared-overlay mutation the shards performed
+// (cache lookups/inserts/invalidations, lease subscriptions, lazy
+// dead-provider repairs) is replayed onto the master overlay in the serial
+// driver's global (time, query, task) order — interleaved with the master's
+// injected fault events under net::kInjectionQueryId. Parallelism changes
+// wall-clock time only, never simulated time: every SimTime in the merged
+// result is computed by the same formulas the serial driver uses.
+//
+// Byte-identity contract: with workers = 1 the processor runs today's serial
+// scheduler (this file is never entered). With workers > 1 the merged output
+// is byte-identical to serial whenever the partitioned queries are
+// independent — no cross-shard coupling through a shared initiator cache or
+// through lazy repairs racing lookups of the same row key. The A/B tests in
+// tests/dqp/parallel_batch_test.cpp pin this for workers in {2, 4, 8};
+// docs/execution_engine.md states the conditions.
+#pragma once
+
+#include "dqp/processor.hpp"
+
+namespace ahsw::dqp {
+
+/// Whether `execute_batch` may take the parallel path: workers > 1, at
+/// least two queries to partition, no attached trace (span attribution is
+/// master-thread state), no service model (per-node contention couples
+/// shards), and injections only when an `injection_factory` can rebuild
+/// them against each worker's clone.
+[[nodiscard]] bool parallel_batch_eligible(const BatchOptions& opts,
+                                           const obs::QueryTrace* trace,
+                                           std::size_t batch_size) noexcept;
+
+/// Run `batch` with `opts.workers` worker threads. Precondition:
+/// `parallel_batch_eligible(...)`. The master overlay/network end the call
+/// in the same state and with the same traffic totals the serial driver
+/// would have produced (see the byte-identity contract above).
+[[nodiscard]] BatchResult run_parallel_batch(
+    overlay::HybridOverlay& overlay, const ExecutionPolicy& policy,
+    const std::vector<BatchQuery>& batch, const BatchOptions& opts);
+
+}  // namespace ahsw::dqp

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "dqp/executor.hpp"
+#include "dqp/parallel.hpp"
 #include "obs/explain.hpp"
 #include "sparql/ast.hpp"
 
@@ -570,6 +571,9 @@ sparql::QueryResult DistributedQueryProcessor::execute(
 
 BatchResult DistributedQueryProcessor::execute_batch(
     const std::vector<BatchQuery>& batch, const BatchOptions& opts) {
+  if (parallel_batch_eligible(opts, trace_, batch.size())) {
+    return run_parallel_batch(*overlay_, policy_, batch, opts);
+  }
   DagExecutor exec(*overlay_, policy_, trace_, opts);
   return exec.run(batch);
 }

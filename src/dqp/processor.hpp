@@ -75,6 +75,23 @@ struct BatchOptions {
   /// Events to merge into the batch's event queue, in any order (the queue
   /// sorts). Applied even when stamped after the last query task finishes.
   std::vector<InjectedEvent> injections;
+  /// Worker threads for the parallel batch driver (docs/execution_engine.md
+  /// "Parallel driver"). 1 (the default) runs today's serial scheduler.
+  /// With workers > 1 the batch is partitioned by query id (qid % workers),
+  /// each shard runs on a cloned overlay, and shared-state mutations are
+  /// replayed on the master in (time, query, task) order. Parallelism
+  /// changes wall-clock time only, never simulated time; the driver falls
+  /// back to serial when a trace is attached, when the service model is on
+  /// (cross-query contention couples shards), or when `injections` is
+  /// non-empty without an `injection_factory`.
+  int workers = 1;
+  /// Rebuilds the injected events against a worker's cloned overlay, so
+  /// every shard observes the same fault schedule on its own world. The
+  /// `injections` above stay bound to the master (the merge step replays
+  /// them there). Required for parallel execution of faulted batches; the
+  /// fault harness sets both sides from one FaultSchedule.
+  std::function<std::vector<InjectedEvent>(overlay::HybridOverlay&)>
+      injection_factory;
 };
 
 /// What one query execution cost. Captures the paper's two optimization
@@ -102,6 +119,10 @@ struct BatchResult {
   std::vector<ExecutionReport> reports;
   std::vector<obs::SpanId> root_spans;
   net::SimTime makespan = 0;
+  /// Parallel driver only (empty for serial runs): worker w's shard-local
+  /// makespan (max response_time over its queries), for per-worker
+  /// attribution in the E14 sweep. The batch makespan is their max.
+  std::vector<net::SimTime> worker_makespans;
 };
 
 /// The distributed query processor. One instance per system; `execute` may

@@ -1,6 +1,7 @@
 #include "fault/harness.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace ahsw::fault {
 
@@ -103,6 +104,23 @@ FaultRunResult run_with_faults(dqp::DistributedQueryProcessor& processor,
   FaultInjector injector(overlay, schedule);
   dqp::BatchOptions faulted = opts;
   faulted.injections = injector.injections();
+  // Parallel driver support: each worker shard replays the same schedule on
+  // its own cloned overlay through a clone-bound injector (kept alive by the
+  // shared_ptr captured in every event). The master-bound `injections` above
+  // are what the merge step replays, so `injector.log()` below reflects the
+  // master application either way.
+  faulted.injection_factory =
+      [schedule](overlay::HybridOverlay& clone) -> std::vector<dqp::InjectedEvent> {
+    auto shard_injector = std::make_shared<FaultInjector>(clone, schedule);
+    std::vector<dqp::InjectedEvent> out = shard_injector->injections();
+    for (dqp::InjectedEvent& e : out) {
+      // injections() binds the raw injector; rebind each event so the
+      // shared_ptr owns it for the clone's lifetime.
+      auto apply = std::move(e.apply);
+      e.apply = [shard_injector, apply](net::SimTime at) { apply(at); };
+    }
+    return out;
+  };
   FaultRunResult out;
   out.batch = processor.execute_batch(batch, faulted);
   out.availability = availability_from_reports(out.batch.reports, schedule);

@@ -56,12 +56,20 @@ FaultSchedule& FaultSchedule::rejoin(net::SimTime at, net::NodeAddress addr) {
 FaultSchedule FaultSchedule::generate(
     const ChurnProfile& profile, const std::vector<net::NodeAddress>& victims,
     std::uint64_t seed) {
+  return generate(profile, victims, {}, seed);
+}
+
+FaultSchedule FaultSchedule::generate(
+    const ChurnProfile& profile, const std::vector<net::NodeAddress>& victims,
+    const std::vector<chord::Key>& index_victims, std::uint64_t seed) {
   FaultSchedule s;
-  if (victims.empty() || profile.horizon_ms <= 0) return s;
+  if ((victims.empty() && index_victims.empty()) || profile.horizon_ms <= 0) {
+    return s;
+  }
   common::Rng rng(seed);
   const double expected =
       profile.fails_per_second * profile.horizon_ms / 1000.0;
-  const auto failures = static_cast<std::size_t>(expected);
+  const auto failures = victims.empty() ? 0 : static_cast<std::size_t>(expected);
   for (std::size_t i = 0; i < failures; ++i) {
     const net::SimTime at = profile.horizon_ms * rng.uniform();
     const net::NodeAddress victim =
@@ -72,6 +80,18 @@ FaultSchedule FaultSchedule::generate(
       s.recover(back, victim);
       s.rejoin(back, victim);
     }
+  }
+  // Index draws strictly after all storage draws: turning the knob on never
+  // perturbs the storage half of a seeded schedule (see schedule_test.cpp).
+  const double index_expected =
+      profile.index_fails_per_second * profile.horizon_ms / 1000.0;
+  const auto index_failures =
+      index_victims.empty() ? 0 : static_cast<std::size_t>(index_expected);
+  for (std::size_t i = 0; i < index_failures; ++i) {
+    const net::SimTime at = profile.horizon_ms * rng.uniform();
+    const chord::Key victim = index_victims[static_cast<std::size_t>(
+        rng.below(index_victims.size()))];
+    s.index_fail(at, victim);
   }
   if (profile.repair_every_ms > 0) {
     for (net::SimTime at = profile.repair_every_ms; at < profile.horizon_ms;

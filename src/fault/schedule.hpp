@@ -49,6 +49,10 @@ struct ChurnProfile {
   double recover_fraction = 0.75;    // failures followed by recover + rejoin
   net::SimTime recover_delay_ms = 120.0;  // fail -> recover gap
   net::SimTime repair_every_ms = 0;  // 0 = no periodic kRepair events
+  // Index-node churn (replica-masked failures). 0 disables it, and the
+  // index draws happen after every storage draw, so schedules generated
+  // before this knob existed are byte-identical for the same seed.
+  double index_fails_per_second = 0.0;
 };
 
 /// An ordered fault script. Events keep (time, insertion) order: builders
@@ -70,6 +74,15 @@ class FaultSchedule {
   [[nodiscard]] static FaultSchedule generate(
       const ChurnProfile& profile,
       const std::vector<net::NodeAddress>& victims, std::uint64_t seed);
+
+  /// As above, plus index-node churn over `index_victims` (ring ids,
+  /// typically the live index nodes) at `profile.index_fails_per_second`.
+  /// All index draws come after the storage draws, so the storage half of
+  /// the schedule matches the three-argument overload for the same seed.
+  [[nodiscard]] static FaultSchedule generate(
+      const ChurnProfile& profile,
+      const std::vector<net::NodeAddress>& victims,
+      const std::vector<chord::Key>& index_victims, std::uint64_t seed);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;

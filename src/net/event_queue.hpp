@@ -9,9 +9,21 @@
 // then query id and task id as total tie-breakers — which makes every run
 // with the same inputs reproduce the same event order bit for bit. There is
 // no wall-clock anywhere in the key, so replays are exact.
+//
+// Layout (rebuilt for bulk, see ROADMAP "scale the simulator itself"): a
+// 4-ary indexed min-heap orders the *distinct timestamps* only; the events
+// sharing one timestamp live in a per-timestamp bucket, itself a binary
+// min-heap of packed (query, task) keys. Batch workloads cluster heavily
+// on shared timestamps (same-epoch scatter legs, injection storms), so the
+// expensive top-level heap moves happen once per timestamp while draining
+// the co-timed events costs only small intra-bucket sifts on 8-byte keys —
+// the O(1)-amortized bulk drain the 10k-query sweeps rely on. Bucket
+// storage is recycled through a free list, so steady-state push/pop does
+// not allocate.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -42,10 +54,7 @@ struct ReadyEvent {
   }
 };
 
-/// Min-heap of ready events. A thin wrapper over std::push_heap /
-/// std::pop_heap rather than std::priority_queue so the element order is
-/// pinned to ReadyEvent's own comparator and the storage stays inspectable
-/// (tests assert pop sequences).
+/// Min-queue of ready events popping in exact (at, query, task) order.
 class EventQueue {
  public:
   void push(ReadyEvent e);
@@ -53,14 +62,40 @@ class EventQueue {
   /// Remove and return the smallest event. Precondition: !empty().
   ReadyEvent pop();
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// The smallest event without removing it. Precondition: !empty().
-  [[nodiscard]] const ReadyEvent& top() const noexcept { return heap_.front(); }
+  [[nodiscard]] const ReadyEvent& top() const noexcept { return top_; }
 
  private:
-  std::vector<ReadyEvent> heap_;  // max-heap on the inverted comparator
+  using BucketId = std::uint32_t;
+
+  /// All events sharing one timestamp, as a binary min-heap of
+  /// (query << 32) | task keys — the packed integer compares exactly like
+  /// ReadyEvent's (query, task) tie-breakers, including kInjectionQueryId
+  /// sorting after every real query.
+  struct Bucket {
+    SimTime at = 0;
+    std::vector<std::uint64_t> heap;
+  };
+
+  [[nodiscard]] bool earlier(BucketId a, BucketId b) const noexcept {
+    return buckets_[a].at < buckets_[b].at;
+  }
+  void sift_up_time(std::size_t pos) noexcept;
+  void sift_down_time(std::size_t pos) noexcept;
+  void refresh_top() noexcept;
+
+  std::vector<BucketId> time_heap_;  // 4-ary min-heap over bucket ids
+  std::vector<Bucket> buckets_;      // arena indexed by BucketId
+  std::vector<BucketId> free_;       // recycled bucket slots
+  // iteration-order: never iterated — point lookups/erases only, so hash
+  // order cannot leak into the pop sequence. Keyed by the timestamp's bit
+  // pattern (-0.0 normalized onto +0.0).
+  std::unordered_map<std::uint64_t, BucketId> index_;
+  std::size_t size_ = 0;
+  ReadyEvent top_{};  // materialized minimum; valid while !empty()
 };
 
 }  // namespace ahsw::net

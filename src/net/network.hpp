@@ -124,6 +124,11 @@ class Network {
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = TrafficStats{}; }
+  /// Overwrite the aggregate counters with a snapshot taken earlier via
+  /// `stats()`. The parallel batch driver uses this to re-apply recorded
+  /// state actions on the master overlay without re-charging their traffic
+  /// (the charges already live in the per-query reports).
+  void restore_stats(const TrafficStats& stats) { stats_ = stats; }
 
   [[nodiscard]] const CostModel& cost_model() const noexcept { return model_; }
 

@@ -11,11 +11,88 @@ void LocationTable::sort_row(std::vector<Provider>& row) {
   });
 }
 
+std::size_t LocationTable::row_index(chord::Key key) const noexcept {
+  auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key,
+      [](const Row& r, chord::Key k) { return r.key < k; });
+  if (it == rows_.end() || it->key != key) return kNpos;
+  return static_cast<std::size_t>(it - rows_.begin());
+}
+
+std::size_t LocationTable::row_index_or_insert(chord::Key key) {
+  auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key,
+      [](const Row& r, chord::Key k) { return r.key < k; });
+  if (it != rows_.end() && it->key == key) {
+    return static_cast<std::size_t>(it - rows_.begin());
+  }
+  it = rows_.insert(it, Row{key, spare_.acquire()});
+  return static_cast<std::size_t>(it - rows_.begin());
+}
+
+void LocationTable::erase_row_at(std::size_t i) {
+  spare_.release(std::move(rows_[i].providers));
+  rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+void LocationTable::erase_row(chord::Key key) {
+  std::size_t i = row_index(key);
+  if (i != kNpos) erase_row_at(i);
+}
+
+void LocationTable::bury(chord::Key key, net::NodeAddress address,
+                         std::uint32_t version) {
+  auto it = std::lower_bound(
+      tombstones_.begin(), tombstones_.end(), std::make_pair(key, address),
+      [](const Tombstone& t, const std::pair<chord::Key, net::NodeAddress>& k) {
+        if (t.key != k.first) return t.key < k.first;
+        return t.address < k.second;
+      });
+  if (it != tombstones_.end() && it->key == key && it->address == address) {
+    it->version = std::max(it->version, version);
+    return;
+  }
+  tombstones_.insert(it, Tombstone{key, address, version});
+}
+
+std::uint32_t LocationTable::revive(chord::Key key, net::NodeAddress address) {
+  auto it = std::lower_bound(
+      tombstones_.begin(), tombstones_.end(), std::make_pair(key, address),
+      [](const Tombstone& t, const std::pair<chord::Key, net::NodeAddress>& k) {
+        if (t.key != k.first) return t.key < k.first;
+        return t.address < k.second;
+      });
+  if (it == tombstones_.end() || it->key != key || it->address != address) {
+    return 0;
+  }
+  std::uint32_t buried = it->version;
+  tombstones_.erase(it);
+  return buried;
+}
+
+bool LocationTable::tombstoned(chord::Key key, net::NodeAddress address) const {
+  return tombstone_version(key, address).has_value();
+}
+
+std::optional<std::uint32_t> LocationTable::tombstone_version(
+    chord::Key key, net::NodeAddress address) const {
+  auto it = std::lower_bound(
+      tombstones_.begin(), tombstones_.end(), std::make_pair(key, address),
+      [](const Tombstone& t, const std::pair<chord::Key, net::NodeAddress>& k) {
+        if (t.key != k.first) return t.key < k.first;
+        return t.address < k.second;
+      });
+  if (it == tombstones_.end() || it->key != key || it->address != address) {
+    return std::nullopt;
+  }
+  return it->version;
+}
+
 void LocationTable::publish(chord::Key key, net::NodeAddress address,
                             std::uint32_t frequency) {
   if (frequency == 0) return;
   std::uint32_t buried = revive(key, address);
-  std::vector<Provider>& row = rows_[key];
+  std::vector<Provider>& row = rows_[row_index_or_insert(key)].providers;
   for (Provider& p : row) {
     if (p.address == address) {
       p.frequency += frequency;
@@ -30,9 +107,9 @@ void LocationTable::publish(chord::Key key, net::NodeAddress address,
 
 bool LocationTable::retract(chord::Key key, net::NodeAddress address,
                             std::uint32_t frequency) {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) return false;
-  std::vector<Provider>& row = it->second;
+  std::size_t ri = row_index(key);
+  if (ri == kNpos) return false;
+  std::vector<Provider>& row = rows_[ri].providers;
   for (std::size_t i = 0; i < row.size(); ++i) {
     if (row[i].address != address) continue;
     if (row[i].frequency <= frequency) {
@@ -45,7 +122,7 @@ bool LocationTable::retract(chord::Key key, net::NodeAddress address,
       ++row[i].version;
       sort_row(row);
     }
-    if (row.empty()) rows_.erase(it);
+    if (row.empty()) erase_row_at(ri);
     return true;
   }
   return false;
@@ -58,7 +135,7 @@ void LocationTable::upsert(chord::Key key, net::NodeAddress address,
     return;
   }
   std::uint32_t buried = revive(key, address);
-  std::vector<Provider>& row = rows_[key];
+  std::vector<Provider>& row = rows_[row_index_or_insert(key)].providers;
   for (Provider& p : row) {
     if (p.address == address) {
       p.frequency = frequency;
@@ -76,14 +153,14 @@ void LocationTable::upsert_replica(chord::Key key, net::NodeAddress address,
                                    std::uint32_t version) {
   if (frequency == 0) {
     bury(key, address, version);
-    auto it = rows_.find(key);
-    if (it == rows_.end()) return;
-    std::vector<Provider>& row = it->second;
+    std::size_t ri = row_index(key);
+    if (ri == kNpos) return;
+    std::vector<Provider>& row = rows_[ri].providers;
     auto pos = std::remove_if(row.begin(), row.end(), [&](const Provider& p) {
       return p.address == address && p.version <= version;
     });
     row.erase(pos, row.end());
-    if (row.empty()) rows_.erase(it);
+    if (row.empty()) erase_row_at(ri);
     return;
   }
   if (std::optional<std::uint32_t> buried = tombstone_version(key, address);
@@ -91,7 +168,7 @@ void LocationTable::upsert_replica(chord::Key key, net::NodeAddress address,
     if (*buried >= version) return;  // stale push from before the burial
     (void)revive(key, address);
   }
-  std::vector<Provider>& row = rows_[key];
+  std::vector<Provider>& row = rows_[row_index_or_insert(key)].providers;
   for (Provider& p : row) {
     if (p.address == address) {
       if (version < p.version) return;  // out-of-order push
@@ -105,15 +182,15 @@ void LocationTable::upsert_replica(chord::Key key, net::NodeAddress address,
   sort_row(row);
 }
 
-void LocationTable::reconcile(
-    const std::map<chord::Key, std::vector<Provider>>& rows) {
-  for (const auto& [key, incoming] : rows) {
+void LocationTable::reconcile(const RowSnapshot& rows) {
+  for (const Row& incoming : rows) {
+    const chord::Key key = incoming.key;
     // Locate the row lazily: when every incoming provider is rejected
-    // (tombstoned or stale) no empty rows_[key] entry must churn into
-    // existence just to be erased again.
-    auto rit = rows_.find(key);
+    // (tombstoned or stale) no empty row must churn into existence just to
+    // be erased again.
+    std::size_t ri = row_index(key);
     bool changed = false;
-    for (const Provider& in : incoming) {
+    for (const Provider& in : incoming.providers) {
       if (in.frequency == 0) continue;  // replicas never mirror empty entries
       // A deleted provider only comes back when the snapshot is strictly
       // newer than its burial (it demonstrably re-published since).
@@ -123,11 +200,9 @@ void LocationTable::reconcile(
         if (*buried >= in.version) continue;
         (void)revive(key, in.address);
       }
-      if (rit == rows_.end()) {
-        rit = rows_.emplace(key, std::vector<Provider>{}).first;
-      }
+      if (ri == kNpos) ri = row_index_or_insert(key);
       bool found = false;
-      for (Provider& p : rit->second) {
+      for (Provider& p : rows_[ri].providers) {
         if (p.address != in.address) continue;
         found = true;
         if (in.version > p.version) {
@@ -147,24 +222,25 @@ void LocationTable::reconcile(
         break;
       }
       if (!found) {
-        rit->second.push_back(in);
+        rows_[ri].providers.push_back(in);
         changed = true;
       }
     }
-    if (changed) sort_row(rit->second);
-    if (rit != rows_.end() && rit->second.empty()) rows_.erase(rit);
+    if (ri == kNpos) continue;
+    if (changed) sort_row(rows_[ri].providers);
+    if (rows_[ri].providers.empty()) erase_row_at(ri);
   }
 }
 
 bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) {
+  std::size_t ri = row_index(key);
+  if (ri == kNpos) {
     // Tombstone even when the entry is already gone: the purge expresses
     // delete intent, and a stale replica push may still be in flight.
     bury(key, address, 0);
     return false;
   }
-  std::vector<Provider>& row = it->second;
+  std::vector<Provider>& row = rows_[ri].providers;
   std::uint32_t died_at = 0;
   auto pos = std::remove_if(row.begin(), row.end(), [&](const Provider& p) {
     if (p.address != address) return false;
@@ -174,75 +250,89 @@ bool LocationTable::purge(chord::Key key, net::NodeAddress address) {
   bool changed = pos != row.end();
   row.erase(pos, row.end());
   bury(key, address, died_at);
-  if (row.empty()) rows_.erase(it);
+  if (row.empty()) erase_row_at(ri);
   return changed;
 }
 
 void LocationTable::purge_everywhere(net::NodeAddress address) {
-  for (auto it = rows_.begin(); it != rows_.end();) {
-    std::vector<Provider>& row = it->second;
+  // Single compaction pass: purge every row, drop the emptied ones, and
+  // park their provider capacity — no per-row vector erase churn.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::vector<Provider>& row = rows_[r].providers;
     std::uint32_t died_at = 0;
-    auto pos = std::remove_if(row.begin(), row.end(),
-                              [&](const Provider& p) {
-                                if (p.address != address) return false;
-                                died_at = std::max(died_at, p.version);
-                                return true;
-                              });
+    auto pos = std::remove_if(row.begin(), row.end(), [&](const Provider& p) {
+      if (p.address != address) return false;
+      died_at = std::max(died_at, p.version);
+      return true;
+    });
     if (pos != row.end()) {
       row.erase(pos, row.end());
-      bury(it->first, address, died_at);
+      bury(rows_[r].key, address, died_at);
     }
-    it = row.empty() ? rows_.erase(it) : std::next(it);
+    if (row.empty()) {
+      spare_.release(std::move(row));
+      continue;
+    }
+    if (w != r) rows_[w] = std::move(rows_[r]);
+    ++w;
   }
+  rows_.resize(w);
 }
 
 std::vector<Provider> LocationTable::lookup(chord::Key key) const {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) return {};
-  return it->second;  // rows are kept sorted on mutation
+  std::size_t ri = row_index(key);
+  if (ri == kNpos) return {};
+  return rows_[ri].providers;  // rows are kept sorted on mutation
 }
 
 const Provider* LocationTable::find(chord::Key key,
                                     net::NodeAddress address) const {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) return nullptr;
-  for (const Provider& p : it->second) {
+  std::size_t ri = row_index(key);
+  if (ri == kNpos) return nullptr;
+  for (const Provider& p : rows_[ri].providers) {
     if (p.address == address) return &p;
   }
   return nullptr;
 }
 
-std::map<chord::Key, std::vector<Provider>> LocationTable::extract_range(
-    chord::Key lo, chord::Key hi) {
+const Row* LocationTable::find_row(chord::Key key) const {
+  std::size_t ri = row_index(key);
+  return ri == kNpos ? nullptr : &rows_[ri];
+}
+
+RowSnapshot LocationTable::extract_range(chord::Key lo, chord::Key hi) {
   return extract_range_mapped(lo, hi, [](chord::Key k) { return k; });
 }
 
-std::map<chord::Key, std::vector<Provider>> LocationTable::extract_range_mapped(
+RowSnapshot LocationTable::extract_range_mapped(
     chord::Key lo, chord::Key hi,
     const std::function<chord::Key(chord::Key)>& to_ring) {
-  std::map<chord::Key, std::vector<Provider>> out;
-  for (auto it = rows_.begin(); it != rows_.end();) {
-    if (chord::in_open_closed(to_ring(it->first), lo, hi)) {
-      out.emplace(it->first, std::move(it->second));
-      it = rows_.erase(it);
+  RowSnapshot out;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (chord::in_open_closed(to_ring(rows_[r].key), lo, hi)) {
+      out.push_back(std::move(rows_[r]));
     } else {
-      ++it;
+      if (w != r) rows_[w] = std::move(rows_[r]);
+      ++w;
     }
   }
-  return out;
+  rows_.resize(w);
+  return out;  // ascending by key: rows_ was sorted
 }
 
-void LocationTable::absorb(
-    const std::map<chord::Key, std::vector<Provider>>& rows) {
-  for (const auto& [key, providers] : rows) {
-    for (const Provider& in : providers) {
+void LocationTable::absorb(const RowSnapshot& rows) {
+  for (const Row& incoming : rows) {
+    const chord::Key key = incoming.key;
+    for (const Provider& in : incoming.providers) {
       if (in.frequency == 0) continue;
       // Preserve incoming versions: resetting a transferred entry to
       // version 1 would let that owner's replica mirrors (still carrying
       // the higher pre-transfer version) overwrite later mutations — the
       // resurrection bug reintroduced through ownership transfer.
       std::uint32_t buried = revive(key, in.address);
-      std::vector<Provider>& row = rows_[key];
+      std::vector<Provider>& row = rows_[row_index_or_insert(key)].providers;
       bool found = false;
       for (Provider& p : row) {
         if (p.address != in.address) continue;
@@ -262,13 +352,13 @@ void LocationTable::absorb(
 
 std::size_t LocationTable::entry_count() const noexcept {
   std::size_t n = 0;
-  for (const auto& [key, row] : rows_) n += row.size();
+  for (const Row& r : rows_) n += r.providers.size();
   return n;
 }
 
 std::size_t LocationTable::byte_size() const noexcept {
   std::size_t n = 8;
-  for (const auto& [key, row] : rows_) n += 8 + 12 * row.size();
+  for (const Row& r : rows_) n += 8 + 12 * r.providers.size();
   return n;
 }
 

@@ -5,15 +5,24 @@
 // with a frequency: how many of that node's triples share the hash. The
 // frequency is the statistic the paper's optimizations consume (chain
 // ordering in Sect. IV-C, join ordering / site selection in Sect. IV-D).
+//
+// Storage is a sorted flat vector of rows (and a sorted flat tombstone
+// vector) rather than the former std::map-of-maps: 1k-node rings hold
+// thousands of rows per index node, and the batch driver hits them on every
+// lookup, so binary search over contiguous rows beats pointer-chasing tree
+// nodes, and bulk walks (repair, purge_everywhere, byte accounting) become
+// linear scans. Iteration order stays ascending-by-key — the same
+// deterministic order the map gave — and erased rows park their provider
+// capacity in a pool so repair/churn loops stop thrashing the allocator.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "chord/ring.hpp"
+#include "common/pool.hpp"
 #include "net/network.hpp"
 
 namespace ahsw::overlay {
@@ -35,6 +44,19 @@ struct Provider {
 
   friend bool operator==(const Provider&, const Provider&) = default;
 };
+
+/// One location-table row: a key and its provider list (sorted by
+/// ascending frequency, ties by address).
+struct Row {
+  chord::Key key = 0;
+  std::vector<Provider> providers;
+
+  friend bool operator==(const Row&, const Row&) = default;
+};
+
+/// A detached set of rows (slice transfers, replica snapshots), sorted by
+/// ascending key.
+using RowSnapshot = std::vector<Row>;
 
 class LocationTable {
  public:
@@ -74,7 +96,7 @@ class LocationTable {
   /// This closes the old at-least-once window where a *partial* retract
   /// (which only lowers the frequency) could be undone by a stale replica
   /// snapshot max-merging the old, higher frequency back in.
-  void reconcile(const std::map<chord::Key, std::vector<Provider>>& rows);
+  void reconcile(const RowSnapshot& rows);
 
   /// Drop a provider from one row entirely (lazy repair after a storage
   /// node failure, Sect. III-D). Returns true if it was present.
@@ -94,26 +116,28 @@ class LocationTable {
   [[nodiscard]] const Provider* find(chord::Key key,
                                      net::NodeAddress address) const;
 
+  /// The full row for a key, or nullptr when absent (no copy).
+  [[nodiscard]] const Row* find_row(chord::Key key) const;
+
   /// Remove and return all rows with key in (lo, hi] on the ring — the
-  /// slice handed to a joining index node (Sect. III-C).
-  [[nodiscard]] std::map<chord::Key, std::vector<Provider>> extract_range(
-      chord::Key lo, chord::Key hi);
+  /// slice handed to a joining index node (Sect. III-C). Sorted by key.
+  [[nodiscard]] RowSnapshot extract_range(chord::Key lo, chord::Key hi);
 
   /// Same, but ring position is `to_ring(key)` instead of the key itself.
   /// Rows are keyed by the full hash Kj (so distinct keys never merge), while
   /// ownership lives in the m-bit ring space; this mapping bridges the two.
-  [[nodiscard]] std::map<chord::Key, std::vector<Provider>>
-  extract_range_mapped(chord::Key lo, chord::Key hi,
-                       const std::function<chord::Key(chord::Key)>& to_ring);
+  [[nodiscard]] RowSnapshot extract_range_mapped(
+      chord::Key lo, chord::Key hi,
+      const std::function<chord::Key(chord::Key)>& to_ring);
 
   /// Merge rows (from a slice transfer or replica activation). Versions are
   /// preserved: an entry new to this table keeps the incoming version (so a
   /// transferred row stays ahead of its replica mirrors), a merged entry
   /// adds frequencies and advances past both versions.
-  void absorb(const std::map<chord::Key, std::vector<Provider>>& rows);
+  void absorb(const RowSnapshot& rows);
 
   /// Remove one row entirely.
-  void erase_row(chord::Key key) { rows_.erase(key); }
+  void erase_row(chord::Key key);
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t entry_count() const noexcept;
@@ -126,58 +150,52 @@ class LocationTable {
     return 16 + 12 * providers;
   }
 
-  [[nodiscard]] const std::map<chord::Key, std::vector<Provider>>& rows()
-      const noexcept {
-    return rows_;
-  }
+  /// All rows, ascending by key (the map-era iteration order, pinned by
+  /// tests — audits and repair walk this directly).
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
 
   /// True if (key, address) was deleted here and not re-published since —
   /// reconcile() refuses to resurrect such entries with stale versions.
-  [[nodiscard]] bool tombstoned(chord::Key key,
-                                net::NodeAddress address) const {
-    auto it = tombstones_.find(key);
-    return it != tombstones_.end() && it->second.count(address) > 0;
-  }
+  [[nodiscard]] bool tombstoned(chord::Key key, net::NodeAddress address) const;
 
   /// The version buried with a tombstoned (key, address), if any.
   [[nodiscard]] std::optional<std::uint32_t> tombstone_version(
-      chord::Key key, net::NodeAddress address) const {
-    auto it = tombstones_.find(key);
-    if (it == tombstones_.end()) return std::nullopt;
-    auto pit = it->second.find(address);
-    if (pit == it->second.end()) return std::nullopt;
-    return pit->second;
-  }
+      chord::Key key, net::NodeAddress address) const;
 
  private:
-  void bury(chord::Key key, net::NodeAddress address, std::uint32_t version) {
-    std::uint32_t& buried = tombstones_[key][address];
-    buried = std::max(buried, version);
-  }
+  /// Deleted (key, provider) pair awaiting re-publication, with the version
+  /// it died at. Tombstones stay local: they do not travel with
+  /// extract_range slices, so a new owner has a short resurrection window
+  /// until the next purge — the documented at-least-once behavior of
+  /// recovery reconciliation.
+  struct Tombstone {
+    chord::Key key = 0;
+    net::NodeAddress address = net::kNoAddress;
+    std::uint32_t version = 0;
+  };
+
+  /// Index of `key` in rows_, or npos. Binary search over the sorted rows.
+  [[nodiscard]] std::size_t row_index(chord::Key key) const noexcept;
+  /// Index of `key`, inserting an empty row (pool-backed) when absent.
+  [[nodiscard]] std::size_t row_index_or_insert(chord::Key key);
+  /// Erase rows_[i], parking its provider capacity in the pool.
+  void erase_row_at(std::size_t i);
+
+  void bury(chord::Key key, net::NodeAddress address, std::uint32_t version);
   /// Clear the tombstone; returns the buried version (0 when none) so the
   /// reviving entry can start strictly past it.
-  std::uint32_t revive(chord::Key key, net::NodeAddress address) {
-    auto it = tombstones_.find(key);
-    if (it == tombstones_.end()) return 0;
-    auto pit = it->second.find(address);
-    if (pit == it->second.end()) return 0;
-    std::uint32_t buried = pit->second;
-    it->second.erase(pit);
-    if (it->second.empty()) tombstones_.erase(it);
-    return buried;
-  }
+  std::uint32_t revive(chord::Key key, net::NodeAddress address);
+
   /// Restore the (frequency asc, address asc) row invariant after a
   /// mutation — the deterministic order lookup() and the chain strategies
   /// consume.
   static void sort_row(std::vector<Provider>& row);
 
-  std::map<chord::Key, std::vector<Provider>> rows_;
-  /// Deleted (key, provider) pairs awaiting re-publication, with the
-  /// version they died at. Tombstones stay local: they do not travel with
-  /// extract_range slices, so a new owner has a short resurrection window
-  /// until the next purge — the documented at-least-once behavior of
-  /// recovery reconciliation.
-  std::map<chord::Key, std::map<net::NodeAddress, std::uint32_t>> tombstones_;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  std::vector<Row> rows_;             // sorted by key
+  std::vector<Tombstone> tombstones_;  // sorted by (key, address)
+  common::VectorPool<Provider> spare_;  // capacity recycled across row churn
 };
 
 }  // namespace ahsw::overlay

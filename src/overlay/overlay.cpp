@@ -22,6 +22,26 @@ HybridOverlay::HybridOverlay(net::Network& network, OverlayConfig config)
   });
 }
 
+std::unique_ptr<HybridOverlay> HybridOverlay::clone_for_worker(
+    net::Network& network) const {
+  auto clone = std::unique_ptr<HybridOverlay>(new HybridOverlay(*this));
+  clone->net_ = &network;
+  clone->ring_.rebind_network(network);
+  // The copied transfer hook still captures the master overlay; re-point it
+  // at the clone (unique_ptr keeps the address stable).
+  HybridOverlay* raw = clone.get();
+  clone->ring_.set_transfer_hook([raw](chord::Key old_owner,
+                                       chord::Key new_owner, chord::Key lo,
+                                       chord::Key hi, net::SimTime when) {
+    raw->on_transfer(old_owner, new_owner, lo, hi, when);
+  });
+  // Worker shards run untraced: spans recorded off the master trace would
+  // interleave nondeterministically across threads.
+  clone->trace_ = nullptr;
+  clone->ring_.set_trace(nullptr);
+  return clone;
+}
+
 chord::Key HybridOverlay::add_index_node(net::SimTime now) {
   chord::Key id = ring_.truncate(id_rng_.next());
   while (ring_.contains(id)) id = ring_.truncate(id_rng_.next());
@@ -36,13 +56,13 @@ chord::Key HybridOverlay::add_index_node_with_id(chord::Key id,
     ring_.create(addr, id);
   } else {
     // Bootstrap through any live ring node (lowest id, deterministically).
-    chord::Key bootstrap = ring_.live_ids().front();
-    ring_.join(addr, id, bootstrap, now);
+    ring_.join(addr, id, *ring_.first_live_id(), now);
   }
   IndexNodeState state;
   state.id = id;
   state.address = addr;
   index_.emplace(id, std::move(state));
+  index_by_address_[addr] = id;
   return id;
 }
 
@@ -75,20 +95,21 @@ std::vector<net::NodeAddress> HybridOverlay::live_storage_addresses() const {
 chord::Key HybridOverlay::entry_ring_node(net::NodeAddress requester) {
   auto si = storage_.find(requester);
   if (si == storage_.end()) {
-    // An index node fields its own requests.
-    for (const auto& [id, ix] : index_) {
-      if (ix.address == requester) return id;
-    }
+    // An index node fields its own requests; the address index replaces
+    // the former O(ring) scan over index_.
+    auto ii = index_by_address_.find(requester);
+    if (ii != index_by_address_.end()) return ii->second;
     assert(false && "unknown requester address");
     return 0;
   }
   StorageNodeState& s = si->second;
   if (!ring_.contains(s.attached_index) ||
       net_->is_failed(ring_.address_of(s.attached_index))) {
-    // Re-attach to the lowest live index node (deterministic).
-    std::vector<chord::Key> live = ring_.live_ids();
-    assert(!live.empty() && "no live index nodes");
-    s.attached_index = live.front();
+    // Re-attach to the lowest live index node (deterministic; no full
+    // live-id materialization on this per-request path).
+    std::optional<chord::Key> live = ring_.first_live_id();
+    assert(live.has_value() && "no live index nodes");
+    s.attached_index = *live;
   }
   return s.attached_index;
 }
@@ -108,22 +129,24 @@ void HybridOverlay::on_transfer(chord::Key old_owner, chord::Key new_owner,
     fresh.address = ring_.contains(new_owner) ? ring_.address_of(new_owner)
                                               : net::kNoAddress;
     ni = index_.emplace(new_owner, std::move(fresh)).first;
+    if (ni->second.address != net::kNoAddress) {
+      index_by_address_[ni->second.address] = new_owner;
+    }
   }
-  std::map<chord::Key, std::vector<Provider>> slice =
-      oi->second.table.extract_range_mapped(
-          lo, hi, [this](chord::Key k) { return ring_.truncate(k); });
+  RowSnapshot slice = oi->second.table.extract_range_mapped(
+      lo, hi, [this](chord::Key k) { return ring_.truncate(k); });
   if (slice.empty()) return;
   std::size_t bytes = 8;
-  for (const auto& [key, row] : slice) bytes += 8 + 12 * row.size();
+  for (const Row& r : slice) bytes += 8 + 12 * r.providers.size();
   net_->send(oi->second.address, ni->second.address, bytes, when,
              net::Category::kIndex);
   ni->second.table.absorb(slice);
   // Re-replicate the transferred rows from their new owner: replica
   // placement follows ownership, otherwise a later crash of the new owner
   // would lose rows whose replicas still trail the old owner.
-  for (const auto& [key, row] : slice) {
-    for (const Provider& p : row) {
-      replicate_row(ni->second, key, p.address, when);
+  for (const Row& r : slice) {
+    for (const Provider& p : r.providers) {
+      replicate_row(ni->second, r.key, p.address, when);
     }
   }
 }
@@ -383,6 +406,8 @@ net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
 void HybridOverlay::index_node_leave(chord::Key id, net::SimTime now) {
   assert(index_.count(id) > 0);
   ring_.leave(id, now);  // fires the transfer hook: table moves to successor
+  auto it = index_.find(id);
+  if (it != index_.end()) index_by_address_.erase(it->second.address);
   index_.erase(id);
 }
 
@@ -432,7 +457,11 @@ void HybridOverlay::repair(net::SimTime now) {
     if (ring_.contains(id) && net_->is_failed(ix.address)) failed.push_back(id);
   }
   ring_.repair(now);
-  for (chord::Key f : failed) index_.erase(f);
+  for (chord::Key f : failed) {
+    auto fi = index_.find(f);
+    if (fi != index_.end()) index_by_address_.erase(fi->second.address);
+    index_.erase(f);
+  }
 
   // Recovery reconciliation: every surviving replica holder routes its
   // rows to the key's *current* oracle owner (which, after arbitrary join/
@@ -448,17 +477,17 @@ void HybridOverlay::repair(net::SimTime now) {
   for (chord::Key holder_id : live) {
     IndexNodeState& holder = index_.at(holder_id);
     std::vector<chord::Key> promoted;
-    for (const auto& [key, row] : holder.replicas.rows()) {
-      chord::Key owner_id = ring_.oracle_successor(ring_.truncate(key));
+    for (const Row& r : holder.replicas.rows()) {
+      chord::Key owner_id = ring_.oracle_successor(ring_.truncate(r.key));
       auto oi = index_.find(owner_id);
       if (oi == index_.end()) continue;
       if (owner_id != holder_id) {
         net_->send(holder.address, oi->second.address,
-                   8 + 12 * row.size(), now, net::Category::kIndex);
+                   8 + 12 * r.providers.size(), now, net::Category::kIndex);
       } else {
-        promoted.push_back(key);
+        promoted.push_back(r.key);
       }
-      oi->second.table.reconcile({{key, row}});
+      oi->second.table.reconcile({r});
     }
     for (chord::Key key : promoted) holder.replicas.erase_row(key);
   }
@@ -466,10 +495,10 @@ void HybridOverlay::repair(net::SimTime now) {
   // stale (conservatively: all of them once per repair).
   for (chord::Key owner_id : live) {
     IndexNodeState& owner = index_.at(owner_id);
-    std::map<chord::Key, std::vector<Provider>> rows = owner.table.rows();
-    for (const auto& [key, row] : rows) {
-      for (const Provider& p : row) {
-        replicate_row(owner, key, p.address, now);
+    RowSnapshot rows = owner.table.rows();
+    for (const Row& r : rows) {
+      for (const Provider& p : r.providers) {
+        replicate_row(owner, r.key, p.address, now);
       }
     }
   }

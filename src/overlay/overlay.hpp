@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -70,6 +71,16 @@ struct StorageNodeState {
 class HybridOverlay {
  public:
   explicit HybridOverlay(net::Network& network, OverlayConfig config = {});
+
+  /// Deep-copy this overlay onto `network` (a worker-local copy of the
+  /// master network). The clone carries the full ring, index, storage and
+  /// cache state; its ring transfer hook is re-pointed at the clone and any
+  /// attached trace is dropped (worker shards run untraced). Heap-allocated
+  /// so the rebound hook's captured pointer stays stable. The parallel
+  /// batch driver gives each worker one clone; the master instance is never
+  /// mutated by worker execution.
+  [[nodiscard]] std::unique_ptr<HybridOverlay> clone_for_worker(
+      net::Network& network) const;
 
   // -- membership ---------------------------------------------------------
 
@@ -271,6 +282,9 @@ class HybridOverlay {
   OverlayConfig config_;
   chord::Ring ring_;
   std::map<chord::Key, IndexNodeState> index_;
+  /// Reverse index address -> ring id, maintained alongside index_: the
+  /// per-request entry_ring_node path must not scan O(ring) states.
+  std::map<net::NodeAddress, chord::Key> index_by_address_;
   std::map<net::NodeAddress, StorageNodeState> storage_;
   common::Rng id_rng_;
   std::size_t attach_counter_ = 0;

@@ -1,0 +1,336 @@
+// The deterministic parallel batch driver (src/dqp/parallel.cpp): with
+// workers > 1 and a partition-independent workload, every observable of a
+// batch — per-query results, full reports, network-wide traffic, and the
+// master overlay's end state — must be byte-identical to the serial driver.
+// Also pins worker-makespan attribution, the fault-broadcast path, the
+// post-run replay guarantee (a second batch behaves as if the first ran
+// serially), and the eligibility fallbacks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dqp/parallel.hpp"
+#include "dqp_test_util.hpp"
+#include "fault/harness.hpp"
+
+namespace ahsw::dqp {
+namespace {
+
+using testing::canon;
+using testing::kPrologue;
+
+workload::TestbedConfig config() {
+  workload::TestbedConfig cfg;
+  cfg.index_nodes = 5;
+  cfg.storage_nodes = 8;
+  cfg.foaf.persons = 70;
+  cfg.foaf.seed = 71;
+  cfg.partition.overlap = 0.25;
+  cfg.partition.seed = 72;
+  cfg.overlay.seed = 73;
+  return cfg;
+}
+
+/// Eight queries, one per storage node: distinct initiators keep the
+/// per-initiator caches partition-independent for any worker count.
+std::vector<std::string> batch_queries() {
+  const char* bodies[] = {
+      "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }",
+      "SELECT ?x ?n WHERE { ?x foaf:name ?n . ?x foaf:nick ?k . }",
+      "SELECT ?x ?y ?n WHERE { ?x foaf:knows ?y . "
+      "OPTIONAL { ?y foaf:nick ?n . } }",
+      "SELECT ?x WHERE { { ?x foaf:nick ?n . } UNION "
+      "{ ?x foaf:mbox ?m . } }",
+      "SELECT ?x ?n WHERE { ?x foaf:name ?n . FILTER regex(?n, \"a\") }",
+      "ASK { ?x foaf:knows ?y . }",
+      "SELECT ?o WHERE { <http://example.org/people/p1> foaf:knows ?o . }",
+      "SELECT DISTINCT ?n WHERE { ?x foaf:name ?n . } ORDER BY ?n LIMIT 5",
+  };
+  std::vector<std::string> out;
+  for (const char* b : bodies) out.push_back(std::string(kPrologue) + b);
+  return out;
+}
+
+std::vector<net::NodeAddress> distinct_initiators(const workload::Testbed& bed,
+                                                  std::size_t n) {
+  std::vector<net::NodeAddress> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(bed.storage_addrs()[i % bed.storage_addrs().size()]);
+  }
+  return out;
+}
+
+void expect_stats_equal(const net::TrafficStats& a, const net::TrafficStats& b,
+                        const char* what) {
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.bytes, b.bytes) << what;
+  EXPECT_EQ(a.timeouts, b.timeouts) << what;
+  for (int c = 0; c < net::kCategoryCount; ++c) {
+    EXPECT_EQ(a.messages_by[c], b.messages_by[c]) << what << " category " << c;
+    EXPECT_EQ(a.bytes_by[c], b.bytes_by[c]) << what << " category " << c;
+    EXPECT_EQ(a.timeouts_by[c], b.timeouts_by[c]) << what << " category " << c;
+  }
+}
+
+/// Field-by-field report identity — byte-identical means *everything*, not
+/// just the headline counters.
+void expect_reports_identical(const ExecutionReport& a,
+                              const ExecutionReport& b, std::size_t i) {
+  expect_stats_equal(a.traffic, b.traffic, "report traffic");
+  EXPECT_EQ(a.response_time, b.response_time) << i;
+  EXPECT_EQ(a.index_lookups, b.index_lookups) << i;
+  EXPECT_EQ(a.ring_hops, b.ring_hops) << i;
+  EXPECT_EQ(a.providers_contacted, b.providers_contacted) << i;
+  EXPECT_EQ(a.dead_providers_skipped, b.dead_providers_skipped) << i;
+  EXPECT_EQ(a.retries, b.retries) << i;
+  EXPECT_EQ(a.relookups, b.relookups) << i;
+  EXPECT_EQ(a.cache.hits, b.cache.hits) << i;
+  EXPECT_EQ(a.cache.misses, b.cache.misses) << i;
+  EXPECT_EQ(a.cache.invalidations, b.cache.invalidations) << i;
+  EXPECT_EQ(a.cache.expirations, b.cache.expirations) << i;
+  EXPECT_EQ(a.cache.insertions, b.cache.insertions) << i;
+  EXPECT_EQ(a.cache.leases, b.cache.leases) << i;
+  EXPECT_EQ(a.complete, b.complete) << i;
+  EXPECT_EQ(a.plan_notes, b.plan_notes) << i;
+}
+
+void expect_batches_identical(const BatchResult& a, const BatchResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  EXPECT_EQ(a.makespan, b.makespan);
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].solutions.rows(), b.results[i].solutions.rows())
+        << i;
+    EXPECT_EQ(a.results[i].ask_answer, b.results[i].ask_answer) << i;
+    EXPECT_EQ(a.results[i].graph, b.results[i].graph) << i;
+    expect_reports_identical(a.reports[i], b.reports[i], i);
+  }
+}
+
+struct RunOutcome {
+  BatchResult batch;
+  net::TrafficStats delta;       // network-wide traffic of the batch
+  net::TrafficStats end_stats;   // absolute counters after the batch
+};
+
+RunOutcome run_batch(workload::Testbed& bed, int workers, bool cache_on,
+                     bool reconfigure = true) {
+  DistributedQueryProcessor proc(bed.overlay());
+  proc.policy().cache.enabled = cache_on;
+  // configure_caches clears all cache state; skip it when a later batch
+  // must observe the rows merged by an earlier one.
+  if (cache_on && reconfigure) {
+    bed.overlay().configure_caches(proc.policy().cache);
+  }
+  std::vector<std::string> queries = batch_queries();
+  BatchOptions opts;
+  opts.workers = workers;
+  const net::TrafficStats before = bed.network().stats();
+  RunOutcome out;
+  out.batch = proc.execute_batch(
+      queries, distinct_initiators(bed, queries.size()), opts);
+  out.end_stats = bed.network().stats();
+  out.delta = out.end_stats.delta_since(before);
+  return out;
+}
+
+TEST(ParallelBatch, ByteIdenticalToSerialAcrossWorkerCounts) {
+  workload::Testbed serial_bed(config());
+  RunOutcome serial = run_batch(serial_bed, /*workers=*/1, /*cache_on=*/false);
+  EXPECT_TRUE(serial.batch.worker_makespans.empty());
+
+  for (int workers : {2, 4, 8}) {
+    workload::Testbed bed(config());
+    RunOutcome parallel = run_batch(bed, workers, /*cache_on=*/false);
+    expect_batches_identical(serial.batch, parallel.batch);
+    expect_stats_equal(serial.delta, parallel.delta, "network delta");
+    ASSERT_EQ(parallel.batch.worker_makespans.size(),
+              static_cast<std::size_t>(workers))
+        << workers;
+    EXPECT_EQ(*std::max_element(parallel.batch.worker_makespans.begin(),
+                                parallel.batch.worker_makespans.end()),
+              parallel.batch.makespan)
+        << workers;
+  }
+}
+
+TEST(ParallelBatch, WorkerMakespanAttributionFollowsPartition) {
+  const int workers = 4;
+  workload::Testbed bed(config());
+  RunOutcome r = run_batch(bed, workers, /*cache_on=*/false);
+  ASSERT_EQ(r.batch.worker_makespans.size(), static_cast<std::size_t>(workers));
+  // Partition rule is qid % workers: each worker's makespan is the max
+  // response time over exactly its residue class.
+  for (int w = 0; w < workers; ++w) {
+    net::SimTime expect = 0;
+    for (std::size_t qid = 0; qid < r.batch.reports.size(); ++qid) {
+      if (qid % static_cast<std::size_t>(workers) ==
+          static_cast<std::size_t>(w)) {
+        expect = std::max(expect, r.batch.reports[qid].response_time);
+      }
+    }
+    EXPECT_EQ(r.batch.worker_makespans[static_cast<std::size_t>(w)], expect)
+        << w;
+  }
+}
+
+TEST(ParallelBatch, CacheStateLogReplayMatchesSerial) {
+  // With caching on, workers mutate their clones' caches; the state-log
+  // replay must leave the master byte-identical to serial — checked both
+  // directly (first batch identical) and through the replay guarantee
+  // (an identical *second* serial batch on each system behaves identically,
+  // which is only possible if cache rows, access counts and subscriptions
+  // merged exactly).
+  workload::Testbed serial_bed(config());
+  RunOutcome serial_1 = run_batch(serial_bed, /*workers=*/1, /*cache_on=*/true);
+
+  workload::Testbed parallel_bed(config());
+  RunOutcome parallel_1 =
+      run_batch(parallel_bed, /*workers=*/4, /*cache_on=*/true);
+
+  expect_batches_identical(serial_1.batch, parallel_1.batch);
+  expect_stats_equal(serial_1.delta, parallel_1.delta, "first-batch delta");
+  expect_stats_equal(serial_1.end_stats, parallel_1.end_stats,
+                     "absolute end stats");
+
+  const overlay::CacheStats cs = serial_bed.overlay().cache_stats_total();
+  const overlay::CacheStats cp = parallel_bed.overlay().cache_stats_total();
+  EXPECT_EQ(cs.hits, cp.hits);
+  EXPECT_EQ(cs.misses, cp.misses);
+  EXPECT_EQ(cs.invalidations, cp.invalidations);
+  EXPECT_EQ(cs.expirations, cp.expirations);
+  EXPECT_EQ(cs.insertions, cp.insertions);
+  EXPECT_EQ(cs.leases, cp.leases);
+
+  // Replay guarantee: the second (serial) batch sees identical caches.
+  RunOutcome serial_2 = run_batch(serial_bed, /*workers=*/1, /*cache_on=*/true,
+                                  /*reconfigure=*/false);
+  RunOutcome parallel_2 = run_batch(parallel_bed, /*workers=*/1,
+                                    /*cache_on=*/true, /*reconfigure=*/false);
+  expect_batches_identical(serial_2.batch, parallel_2.batch);
+  expect_stats_equal(serial_2.delta, parallel_2.delta, "second-batch delta");
+  // The second batch must differ from the first (hits where the first
+  // missed) or this test would not be exercising merged cache state.
+  EXPECT_NE(serial_2.delta.messages, serial_1.delta.messages);
+}
+
+/// Faulted batches: four queries whose patterns share row keys only within
+/// a worker's residue class (knows on even qids, name/nick on odd), so the
+/// lazy dead-provider repairs stay partition-independent at workers=2.
+std::vector<std::string> fault_queries() {
+  const char* bodies[] = {
+      "SELECT ?x ?o WHERE { ?x foaf:knows ?o . }",
+      "SELECT ?x ?n WHERE { ?x foaf:name ?n . }",
+      "ASK { ?x foaf:knows ?y . }",
+      "SELECT ?x WHERE { ?x foaf:nick ?k . }",
+  };
+  std::vector<std::string> out;
+  for (const char* b : bodies) out.push_back(std::string(kPrologue) + b);
+  return out;
+}
+
+struct FaultOutcome {
+  fault::FaultRunResult run;
+  net::TrafficStats delta;
+  BatchResult second;  // serial batch after convergence (replay guarantee)
+};
+
+FaultOutcome run_faulted(workload::Testbed& bed, int workers) {
+  DistributedQueryProcessor proc(bed.overlay());
+  std::vector<std::string> texts = fault_queries();
+  std::vector<BatchQuery> batch;
+  std::vector<net::NodeAddress> inits = distinct_initiators(bed, texts.size());
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    batch.push_back(BatchQuery{sparql::parse_query(texts[i]), inits[i]});
+  }
+  // Victim: a provider that is nobody's initiator. Fails early enough to
+  // hit scans, recovers + rejoins later, with a repair pass in between.
+  const net::NodeAddress victim = bed.storage_addrs()[5];
+  fault::FaultSchedule schedule;
+  schedule.storage_fail(4.0, victim)
+      .repair(500.0)
+      .recover(600.0, victim)
+      .rejoin(650.0, victim);
+
+  BatchOptions opts;
+  opts.workers = workers;
+  FaultOutcome out;
+  const net::TrafficStats before = bed.network().stats();
+  out.run = fault::run_with_faults(proc, bed.overlay(), batch, schedule, opts);
+  out.delta = bed.network().stats().delta_since(before);
+  fault::converge(bed.overlay(), 1000.0);
+  out.second = proc.execute_batch(batch, BatchOptions{});
+  return out;
+}
+
+TEST(ParallelBatch, FaultBroadcastMatchesSerial) {
+  workload::Testbed serial_bed(config());
+  FaultOutcome serial = run_faulted(serial_bed, /*workers=*/1);
+
+  workload::Testbed parallel_bed(config());
+  FaultOutcome parallel = run_faulted(parallel_bed, /*workers=*/2);
+
+  // The fault must actually bite, or this pins nothing.
+  int skipped = 0;
+  for (const ExecutionReport& rep : serial.run.batch.reports) {
+    skipped += rep.dead_providers_skipped;
+  }
+  EXPECT_GT(skipped, 0);
+
+  expect_batches_identical(serial.run.batch, parallel.run.batch);
+  expect_stats_equal(serial.delta, parallel.delta, "faulted delta");
+  EXPECT_EQ(serial.run.injection_log.applied,
+            parallel.run.injection_log.applied);
+  EXPECT_EQ(serial.run.injection_log.skipped,
+            parallel.run.injection_log.skipped);
+  EXPECT_EQ(serial.run.availability.successful,
+            parallel.run.availability.successful);
+  EXPECT_EQ(serial.run.availability.affected,
+            parallel.run.availability.affected);
+
+  // Replay guarantee after faults: purges, tombstones and re-attachments
+  // merged onto the master leave the converged system byte-identical.
+  expect_batches_identical(serial.second, parallel.second);
+}
+
+TEST(ParallelBatch, FallsBackToSerialWhenIneligible) {
+  // Direct eligibility checks.
+  BatchOptions opts;
+  opts.workers = 4;
+  EXPECT_TRUE(parallel_batch_eligible(opts, nullptr, 8));
+  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 1));
+  opts.workers = 1;
+  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 8));
+  opts.workers = 4;
+  opts.service.service_ms = 1.0;
+  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 8));
+  opts.service.service_ms = 0.0;
+  opts.injections.push_back(InjectedEvent{1.0, "noop", {}});
+  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 8));
+  opts.injection_factory = [](overlay::HybridOverlay&) {
+    return std::vector<InjectedEvent>{};
+  };
+  EXPECT_TRUE(parallel_batch_eligible(opts, nullptr, 8));
+  obs::QueryTrace trace;
+  EXPECT_FALSE(parallel_batch_eligible(opts, &trace, 8));
+
+  // A traced run with workers > 1 takes the serial path (and so still
+  // produces root spans); worker_makespans stays empty — the observable
+  // marker of the serial driver.
+  workload::Testbed bed(config());
+  DistributedQueryProcessor proc(bed.overlay());
+  obs::QueryTrace t;
+  proc.set_trace(&t);
+  std::vector<std::string> queries = batch_queries();
+  BatchOptions wopts;
+  wopts.workers = 4;
+  BatchResult r = proc.execute_batch(
+      queries, distinct_initiators(bed, queries.size()), wopts);
+  proc.set_trace(nullptr);
+  EXPECT_TRUE(r.worker_makespans.empty());
+  ASSERT_EQ(r.root_spans.size(), queries.size());
+  EXPECT_NE(r.root_spans.front(), obs::kNoSpan);
+}
+
+}  // namespace
+}  // namespace ahsw::dqp

@@ -84,6 +84,53 @@ TEST(FaultSchedule, GeneratorRespectsProfileBounds) {
   EXPECT_EQ(rejoins, fails);
 }
 
+TEST(FaultSchedule, GeneratorDrawsIndexVictimsAfterStorage) {
+  ChurnProfile profile;
+  profile.horizon_ms = 1000;
+  profile.fails_per_second = 6;
+  profile.index_fails_per_second = 3;
+  std::vector<net::NodeAddress> victims = {10, 11, 12};
+  std::vector<chord::Key> index_victims = {100, 200, 300};
+
+  FaultSchedule s = FaultSchedule::generate(profile, victims, index_victims, 9);
+  int index_fails = 0;
+  for (const FaultEvent& e : s.events()) {
+    if (e.kind != FaultKind::kIndexFail) continue;
+    ++index_fails;
+    EXPECT_GE(e.at, 0);
+    EXPECT_LT(e.at, profile.horizon_ms);
+    EXPECT_TRUE(e.index == 100 || e.index == 200 || e.index == 300) << e.index;
+  }
+  EXPECT_EQ(index_fails, 3);  // index_fails_per_second * horizon_s
+
+  // Stream compatibility: the index draws come after every storage draw,
+  // so the storage half of the schedule is byte-identical to a generate()
+  // with the knob off — and to the three-argument overload.
+  ChurnProfile storage_only = profile;
+  storage_only.index_fails_per_second = 0;
+  FaultSchedule base = FaultSchedule::generate(storage_only, victims, 9);
+  auto storage_half = [](const FaultSchedule& sched) {
+    std::vector<FaultEvent> out;
+    for (const FaultEvent& e : sched.events()) {
+      if (e.kind != FaultKind::kIndexFail) out.push_back(e);
+    }
+    return out;
+  };
+  std::vector<FaultEvent> got = storage_half(s);
+  std::vector<FaultEvent> want = storage_half(base);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].at, want[i].at) << i;
+    EXPECT_EQ(got[i].kind, want[i].kind) << i;
+    EXPECT_EQ(got[i].storage, want[i].storage) << i;
+  }
+
+  // Index churn alone (no storage victims) still generates.
+  FaultSchedule index_only = FaultSchedule::generate(profile, {}, index_victims, 9);
+  EXPECT_EQ(index_only.size(), 3u);
+  EXPECT_EQ(index_only.first_fault_at(), index_only.events().front().at);
+}
+
 TEST(FaultSchedule, ToStringNamesEveryKind) {
   FaultSchedule s;
   s.storage_fail(1, 2).index_fail(2, 3).recover(3, 2).repair(4).rejoin(5, 2);

@@ -64,5 +64,81 @@ TEST(EventQueue, RandomPermutationsAllPopSorted) {
   }
 }
 
+TEST(EventQueue, MillionEventStressPinsPopOrderAgainstReferenceSort) {
+  // Bulk regression for the timestamp-bucketed heap: one million events over
+  // a deliberately nasty distribution — heavy timestamp collisions (the
+  // bucket path), unique timestamps (the heap path), injected events
+  // (kInjectionQueryId) sharing timestamps with real queries, and
+  // interleaved pop/push while draining. The popped sequence must equal a
+  // reference std::sort of the same multiset exactly, element for element.
+  constexpr std::size_t kEvents = 1'000'000;
+  std::vector<ReadyEvent> events;
+  events.reserve(kEvents);
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<int> shape(0, 9);
+  std::uniform_int_distribution<std::uint32_t> query(0, 9999);
+  std::uniform_int_distribution<std::uint32_t> task(0, 63);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    ReadyEvent e;
+    const int s = shape(rng);
+    if (s < 6) {
+      // 60%: one of 1024 hot timestamps — deep buckets.
+      e.at = static_cast<SimTime>(rng() % 1024);
+    } else if (s < 9) {
+      // 30%: fine-grained times — mostly singleton buckets.
+      e.at = static_cast<SimTime>(rng() % (1 << 22)) / 64.0;
+    } else {
+      // 10%: injections pinned to the hot timestamps, so they collide with
+      // real queries at equal time and must pop after all of them.
+      e.at = static_cast<SimTime>(rng() % 1024);
+      e.query = kInjectionQueryId;
+      e.task = task(rng);
+      events.push_back(e);
+      continue;
+    }
+    e.query = query(rng);
+    e.task = task(rng);
+    events.push_back(e);
+  }
+
+  std::vector<ReadyEvent> want = events;
+  std::sort(want.begin(), want.end());
+
+  EventQueue q;
+  // Push the first half, drain a quarter, then push the rest: the drain
+  // interleaves pops with later pushes, exercising bucket recycling.
+  const std::size_t half = kEvents / 2;
+  for (std::size_t i = 0; i < half; ++i) q.push(events[i]);
+  std::vector<ReadyEvent> got;
+  got.reserve(kEvents);
+  // Only events at/below this time are safely poppable before the second
+  // half arrives; the second half can contain earlier timestamps, so cap
+  // the early drain at the known global minimum prefix length instead:
+  // pop events that are <= the smallest timestamp of the unpushed half.
+  SimTime safe = events[half].at;
+  for (std::size_t i = half; i < kEvents; ++i) {
+    safe = std::min(safe, events[i].at);
+  }
+  while (!q.empty() && q.top().at < safe) got.push_back(q.pop());
+  for (std::size_t i = half; i < kEvents; ++i) q.push(events[i]);
+  while (!q.empty()) got.push_back(q.pop());
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].at, want[i].at) << i;
+    ASSERT_EQ(got[i].query, want[i].query) << i;
+    ASSERT_EQ(got[i].task, want[i].task) << i;
+  }
+
+  // Spot-check the injection contract on the popped order itself: within
+  // one timestamp, no real-query event ever follows an injected one.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    if (got[i].at == got[i - 1].at &&
+        got[i - 1].query == kInjectionQueryId) {
+      ASSERT_EQ(got[i].query, kInjectionQueryId) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ahsw::net

@@ -114,7 +114,7 @@ TEST(LocationTable, ExtractRangeTakesOpenClosedSlice) {
   // Keys 101..103; slice (101, 102] takes exactly K2.
   auto slice = t.extract_range(101, 102);
   ASSERT_EQ(slice.size(), 1u);
-  EXPECT_EQ(slice.begin()->first, K2);
+  EXPECT_EQ(slice.begin()->key, K2);
   EXPECT_EQ(t.row_count(), 2u);
   EXPECT_TRUE(t.lookup(K2).empty());
 }
@@ -198,7 +198,7 @@ TEST(LocationTable, ReconcileDoesNotResurrectStaleHigherFrequency) {
   // replica snapshot bring the old, higher frequency back.
   LocationTable t;
   t.publish(K1, D1, 30);                   // version 1, frequency 30
-  std::map<chord::Key, std::vector<Provider>> stale_snapshot = t.rows();
+  overlay::RowSnapshot stale_snapshot = t.rows();
   EXPECT_TRUE(t.retract(K1, D1, 15));      // partial: frequency 15, version 2
   t.reconcile(stale_snapshot);             // max-merge would restore 30
   std::vector<Provider> row = t.lookup(K1);
@@ -222,8 +222,7 @@ TEST(LocationTable, ReconcileAllTombstonedLeavesNoEmptyRow) {
 
 TEST(LocationTable, ReconcileIsIdempotent) {
   LocationTable t;
-  std::map<chord::Key, std::vector<Provider>> snapshot = {
-      {K1, {{D1, 3}, {D3, 8}}}};
+  RowSnapshot snapshot = {{K1, {{D1, 3}, {D3, 8}}}};
   t.reconcile(snapshot);
   t.reconcile(snapshot);
   t.reconcile(snapshot);
@@ -320,6 +319,44 @@ TEST(LocationTable, PurgeEverywhereTombstonesAffectedRows) {
   EXPECT_FALSE(t.tombstoned(K1, D3));
   t.reconcile({{K3, {{D1, 30}}}});
   EXPECT_TRUE(t.lookup(K3).empty());
+}
+
+TEST(LocationTable, RowsIterateAscendingByKeyAfterArbitraryMutations) {
+  // Flat-vector refactor pin: rows() must present the map-era ascending-key
+  // iteration order — which audits, repair and replica snapshots walk
+  // directly — no matter the mutation history. Keys arrive in a scrambled
+  // order and every mutating entry point runs at least once.
+  LocationTable t;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const chord::Key key = 1 + (i * 37) % 97;  // 37 generates Z/97: scrambled
+    t.publish(key, D1 + (i % 4), 5 + i);
+  }
+  t.retract(1 + 37 % 97, D2, 1);
+  t.upsert(1 + (2 * 37) % 97, D3, 40);
+  t.upsert_replica(1 + (3 * 37) % 97, D4, 12, /*version=*/99);
+  t.purge(1 + (4 * 37) % 97, D1);
+  t.purge_everywhere(D2);
+  t.erase_row(1 + (5 * 37) % 97);
+  RowSnapshot slice = t.extract_range(10, 40);  // detach a middle slice...
+  t.reconcile({{3, {{D1, 7, 50}}}, {200, {{D3, 9, 50}}}});
+  t.absorb(slice);  // ...and splice it back after unrelated churn
+
+  ASSERT_GT(t.row_count(), 10u);
+  const std::vector<Row>& rows = t.rows();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].key, rows[i].key) << i;
+  }
+  // Within each row, providers keep (frequency, address) order — the order
+  // lookup() hands to the provider-chain strategy.
+  for (const Row& row : rows) {
+    for (std::size_t i = 1; i < row.providers.size(); ++i) {
+      const Provider& a = row.providers[i - 1];
+      const Provider& b = row.providers[i];
+      EXPECT_TRUE(a.frequency < b.frequency ||
+                  (a.frequency == b.frequency && a.address < b.address))
+          << "row " << row.key << " entry " << i;
+    }
+  }
 }
 
 TEST(LocationTable, ByteSizeTracksContent) {

@@ -418,7 +418,7 @@ TEST(OverlayProperty, ShareThenUnshareIsIdentityOnIndexState) {
     f.overlay.share_triples(base, base_data, 0);
 
     auto snapshot = [&] {
-      std::map<chord::Key, std::map<chord::Key, std::vector<Provider>>> out;
+      std::map<chord::Key, overlay::RowSnapshot> out;
       for (const auto& [id, ix] : f.overlay.index_nodes()) {
         out[id] = ix.table.rows();
       }

@@ -19,6 +19,11 @@
 //   policy cache on|off [ttl hot_threshold hot_ttl max_rows]
 //                                initiator-side location-row caching
 //                                (docs/caching.md); defaults 400 4 4000 64
+//   policy workers <n>           parallel batch driver worker threads for
+//                                `batch` (default 1 = serial). Simulated
+//                                results are byte-identical either way;
+//                                with n > 1 the batch runs untraced, so
+//                                `explain` has nothing to show for it
 //   query <addr> <sparql...>     run a query (may span lines; end with ';')
 //   batch <addr> <addr> ...      run N queries concurrently (one per ';'-
 //                                terminated query on the following lines)
@@ -75,8 +80,13 @@ struct Shell {
   bool churned = false;
   /// Traffic delta of the last query, for the I5 conservation audit.
   net::TrafficStats last_query_delta;
+  /// False when the last batch ran through the untraced parallel driver —
+  /// its spans do not exist, so the I5 conservation audit must skip it.
+  bool last_traced = true;
   /// Faults queued by `inject`; the next `batch` consumes (and clears) them.
   fault::FaultSchedule pending_faults;
+  /// `policy workers <n>`: BatchOptions::workers for the next `batch`.
+  int batch_workers = 1;
 
   void make_system(std::size_t index_nodes, std::size_t storage_nodes) {
     trace.unbind();  // the old network is about to be destroyed
@@ -116,6 +126,7 @@ struct Shell {
       sparql::QueryResult result = processor->execute(text, from, &rep);
       last_query_delta = network->stats().delta_since(before);
       have_query = true;
+      last_traced = true;
       std::cout << sparql::to_table(result);
       std::cout << "-- " << rep.traffic.messages << " msgs, "
                 << rep.traffic.bytes << " B, " << rep.response_time
@@ -138,15 +149,28 @@ struct Shell {
       trace.clear();
       net::TrafficStats before = network->stats();
       // Any faults queued by `inject` ride along in this batch's event
-      // queue; the schedule is one-shot.
+      // queue; the schedule is one-shot. run_with_faults supplies both the
+      // master-bound injections and the per-worker injection factory, so
+      // `policy workers <n>` parallelizes faulted batches too.
       fault::FaultSchedule schedule = pending_faults;
       pending_faults.clear();
-      fault::FaultInjector injector(*overlay, schedule);
       dqp::BatchOptions opts;
-      opts.injections = injector.injections();
-      dqp::BatchResult r = processor->execute_batch(queries, addrs, opts);
+      opts.workers = batch_workers;
+      // The parallel driver does not trace; detach so it engages instead
+      // of silently falling back to the serial path.
+      if (batch_workers > 1) processor->set_trace(nullptr);
+      std::vector<dqp::BatchQuery> batch;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        batch.push_back(
+            dqp::BatchQuery{sparql::parse_query(queries[i]), addrs[i]});
+      }
+      fault::FaultRunResult fr =
+          fault::run_with_faults(*processor, *overlay, batch, schedule, opts);
+      if (batch_workers > 1) processor->set_trace(&trace);
+      dqp::BatchResult& r = fr.batch;
       last_query_delta = network->stats().delta_since(before);
       have_query = true;
+      last_traced = r.worker_makespans.empty();
       for (std::size_t i = 0; i < queries.size(); ++i) {
         const dqp::ExecutionReport& rep = r.reports[i];
         std::cout << "q" << i << " @ device " << addrs[i] << ":\n"
@@ -157,12 +181,17 @@ struct Shell {
       }
       std::cout << "-- batch of " << queries.size() << ": makespan "
                 << r.makespan << " ms simulated\n";
+      if (!r.worker_makespans.empty()) {
+        std::cout << "-- parallel: " << r.worker_makespans.size()
+                  << " workers, shard makespans";
+        for (net::SimTime m : r.worker_makespans) std::cout << " " << m;
+        std::cout << " ms simulated\n";
+      }
       if (!schedule.empty()) {
         churned = true;
-        fault::AvailabilityReport avail =
-            fault::availability_from_reports(r.reports, schedule);
-        std::cout << "-- faults: " << injector.log().applied << " applied, "
-                  << injector.log().skipped << " skipped; success rate "
+        const fault::AvailabilityReport& avail = fr.availability;
+        std::cout << "-- faults: " << fr.injection_log.applied << " applied, "
+                  << fr.injection_log.skipped << " skipped; success rate "
                   << avail.success_rate() << ", " << avail.retry_count
                   << " retries, " << avail.relookup_count
                   << " re-lookups, convergence " << avail.convergence_ms()
@@ -183,8 +212,10 @@ struct Shell {
     opt.converged = converged;
     opt.churned = churned;
     check::AuditReport rep = check::audit(*overlay, opt);
-    if (have_query) {
-      // I5 over the last query: its spans are still in the trace.
+    if (have_query && last_traced) {
+      // I5 over the last query: its spans are still in the trace. A batch
+      // run by the parallel driver has no spans; its conservation is
+      // checked structurally by the driver's traffic merge instead.
       check::audit_conservation(trace, last_query_delta, rep, opt);
     }
     std::cout << rep.to_string() << "\n";
@@ -290,6 +321,13 @@ int run(std::istream& in, bool interactive) {
           double tw = 1.0, lw = 0.0;
           if (ss >> tw >> lw) {
             shell.policy.objectives = {tw, lw};
+          }
+        } else if (kind == "workers") {
+          int n = 1;
+          if (ss >> n && n >= 1) {
+            shell.batch_workers = n;
+          } else {
+            std::cout << "error: policy workers <n>=1>\n";
           }
         } else if (kind == "cache") {
           std::string mode;

@@ -41,4 +41,28 @@ if ! diff -u "${baseline}" "${fresh}"; then
   echo "and review the new shared-state touch points." >&2
   exit 1
 fi
-echo "ledger in sync (${baseline})"
+
+# Sharded-or-merged gate: every dispatch-reachable sync surface must state
+# its parallel-safety discipline — `shard=<how>` (workers never share the
+# state) or `merge=<how>` (mutations are logged and replayed on the master
+# in (time, query, task) order). A dispatch surface naming neither is a
+# mutation the parallel batch driver (src/dqp/parallel.cpp) has no story
+# for, so the build fails until one is chosen and annotated.
+spec=tools/ahsw_shared_state.spec
+unsafe="$(sed 's/#.*//' "${spec}" | awk -F: '
+  $1 ~ /^surface / {
+    n = split($1, w, /[ \t]+/)
+    dispatch = 0; safe = 0
+    for (i = 1; i <= n; i++) {
+      if (w[i] == "dispatch") dispatch = 1
+      if (w[i] ~ /^shard=./ || w[i] ~ /^merge=./) safe = 1
+    }
+    if (dispatch && !safe) print w[2]
+  }')"
+if [ -n "${unsafe}" ]; then
+  echo "error: dispatch surfaces without a shard=/merge= discipline in ${spec}:" >&2
+  echo "${unsafe}" | sed 's/^/  /' >&2
+  echo "annotate each with shard=<how> or merge=<how> (see the spec header)." >&2
+  exit 1
+fi
+echo "ledger in sync (${baseline}); all dispatch surfaces sharded or merged"
