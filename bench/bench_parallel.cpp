@@ -203,4 +203,147 @@ BENCHMARK(BM_ParallelBatch_Bulk)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// -- traced sweep -----------------------------------------------------------
+//
+// The lifted traced-batch fallback: workers record private span forests the
+// master grafts back in query order, so a traced parallel batch must render
+// the *same trace* as a traced serial run. The sweep enforces this on a
+// 1k-query prefix (span forests of the full 10k batch would dominate
+// memory, not the driver) by digesting every query's span subtree — all
+// fields, recursively — and aborting on the first divergent query.
+
+constexpr int kTracedQueries = 1000;
+
+/// FNV-1a over the canonical bytes of a span subtree: kind, label, site,
+/// times, every counter (incl. per-category), peers, and children in order.
+void digest_span(const obs::QueryTrace& t, obs::SpanId id,
+                 std::uint64_t& h) {
+  const auto mix = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  const obs::Span& s = t.span(id);
+  const auto kind = static_cast<std::uint8_t>(s.kind);
+  mix(&kind, sizeof kind);
+  mix(s.label.data(), s.label.size());
+  mix(&s.site, sizeof s.site);
+  mix(&s.begin, sizeof s.begin);
+  mix(&s.end, sizeof s.end);
+  mix(&s.messages, sizeof s.messages);
+  mix(&s.bytes, sizeof s.bytes);
+  mix(&s.timeouts, sizeof s.timeouts);
+  mix(s.messages_by, sizeof s.messages_by);
+  mix(s.bytes_by, sizeof s.bytes_by);
+  mix(s.timeouts_by, sizeof s.timeouts_by);
+  for (net::NodeAddress peer : s.peers) mix(&peer, sizeof peer);
+  const std::size_t n = s.children.size();
+  mix(&n, sizeof n);
+  for (obs::SpanId c : s.children) digest_span(t, c, h);
+}
+
+[[nodiscard]] std::uint64_t digest_root(const obs::QueryTrace& t,
+                                        obs::SpanId root) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  if (root != obs::kNoSpan) digest_span(t, root, h);
+  return h;
+}
+
+struct TracedBaseline {
+  bool ready = false;
+  std::vector<std::uint64_t> digests;  // one per query's span subtree
+  std::vector<std::vector<std::string>> plan_notes;  // incl. EXPLAIN lines
+  net::TrafficStats delta;
+};
+
+TracedBaseline& traced_baseline() {
+  static TracedBaseline b;
+  return b;
+}
+
+// Arg: worker count. Registered after the bulk sweep; workers=1 runs first
+// and seeds the traced baseline.
+void BM_ParallelBatch_Traced(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  Fixture& f = fixture();
+  const std::vector<dqp::BatchQuery> batch(
+      f.batch.begin(), f.batch.begin() + kTracedQueries);
+  dqp::DistributedQueryProcessor proc(f.bed.overlay());
+  dqp::BatchOptions opts;
+  opts.workers = workers;
+
+  std::string name = "parallel_traced/q=" + std::to_string(kTracedQueries) +
+                     "/ring=" + std::to_string(kRingNodes) +
+                     "/workers=" + std::to_string(workers);
+
+  for (auto _ : state) {
+    obs::QueryTrace trace;
+    proc.set_trace(&trace);
+    const net::TrafficStats before = f.bed.network().stats();
+    // ahsw-lint: allow(D1) wall-clock is the measurand (see file header).
+    const auto t0 = std::chrono::steady_clock::now();
+    dqp::BatchResult r = proc.execute_batch(batch, opts);
+    // ahsw-lint: allow(D1) second wall-clock read closing the measurement.
+    const auto t1 = std::chrono::steady_clock::now();
+    proc.set_trace(nullptr);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const net::TrafficStats delta =
+        f.bed.network().stats().delta_since(before);
+
+    std::vector<std::uint64_t> digests;
+    digests.reserve(r.root_spans.size());
+    for (obs::SpanId root : r.root_spans) {
+      digests.push_back(digest_root(trace, root));
+    }
+
+    std::map<std::string, double> extra;
+    extra["workers"] = workers;
+    extra["wall_ms"] = wall_ms;
+    extra["spans"] = static_cast<double>(trace.spans().size());
+    TracedBaseline& base = traced_baseline();
+    if (workers == 1) {
+      base.ready = true;
+      base.digests = std::move(digests);
+      base.plan_notes.clear();
+      for (const dqp::ExecutionReport& rep : r.reports) {
+        base.plan_notes.push_back(rep.plan_notes);
+      }
+      base.delta = delta;
+    } else if (base.ready) {
+      for (std::size_t i = 0; i < digests.size(); ++i) {
+        if (digests[i] != base.digests[i]) die("traced span subtree", i);
+        if (r.reports[i].plan_notes != base.plan_notes[i]) {
+          die("traced EXPLAIN plan notes", i);
+        }
+      }
+      if (delta.messages != base.delta.messages ||
+          delta.bytes != base.delta.bytes ||
+          delta.timeouts != base.delta.timeouts) {
+        die("traced network delta", 0);
+      }
+    }
+    state.counters["wall_ms"] = wall_ms;
+    state.counters["makespan_ms"] = r.makespan;
+    benchutil::record_mean_extra_json(state, name, r.reports,
+                                      std::move(extra));
+
+    // Converged invariant audit (I1-I6): a traced merge must leave the
+    // master overlay exactly as clean as an untraced one.
+    check::AuditOptions opt;
+    opt.converged = true;
+    benchutil::maybe_audit(f.bed.overlay(), name, opt);
+  }
+}
+
+BENCHMARK(BM_ParallelBatch_Traced)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <mutex>
 // ahsw-lint: allow(D1) worker threads carry no simulated time: each shard is
 // a self-contained deterministic sub-simulation on a cloned overlay, and the
 // merge below fixes the global order by (time, query, task) — the scheduler
@@ -15,17 +16,73 @@ namespace ahsw::dqp {
 
 namespace {
 
+/// The mutex guarding the worker -> master StateLog handoff, annotated for
+/// clang's -Wthread-safety analysis (no-op wrappers elsewhere).
+class AHSW_CAPABILITY("mutex") DepositMutex {
+ public:
+  void lock() AHSW_ACQUIRE() { mu_.lock(); }
+  void unlock() AHSW_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped acquisition of a DepositMutex (std::lock_guard cannot carry the
+/// AHSW_SCOPED_CAPABILITY annotation).
+class AHSW_SCOPED_CAPABILITY DepositLock {
+ public:
+  explicit DepositLock(DepositMutex& mu) AHSW_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~DepositLock() AHSW_RELEASE() { mu_.unlock(); }
+  DepositLock(const DepositLock&) = delete;
+  DepositLock& operator=(const DepositLock&) = delete;
+
+ private:
+  DepositMutex& mu_;
+};
+
+/// Collects each worker's completed StateLog on the master. The deposit is
+/// the one point where worker threads write shared memory, so it is the one
+/// place that needs a lock: workers finish in wall-clock order, the master
+/// drains in worker order after the join barrier, and the (time, query,
+/// task) merge below re-establishes the serial order regardless.
+class StateLogDeposit {
+ public:
+  explicit StateLogDeposit(std::size_t workers) {
+    DepositLock lock(mu_);
+    logs_.resize(workers);
+  }
+
+  void deposit(std::size_t worker, StateLog log) {
+    DepositLock lock(mu_);
+    logs_[worker] = std::move(log);
+  }
+
+  /// Master-side drain; call after every worker has joined.
+  [[nodiscard]] std::vector<StateLog> drain() {
+    DepositLock lock(mu_);
+    return std::move(logs_);
+  }
+
+ private:
+  DepositMutex mu_;
+  // ahsw-lint: guarded_by(mu_) one slot per worker, written cross-thread
+  std::vector<StateLog> logs_ AHSW_GUARDED_BY(mu_);
+};
+
 /// One worker's world: a private copy of the network + overlay, the shard's
-/// queries with their original batch-wide ids, and the mutation log the
-/// master replays.
+/// queries with their original batch-wide ids, and (for traced batches) the
+/// shard-local span forest the master grafts. Declared after `network` so
+/// the trace unbinds before its network dies.
 struct Shard {
   std::vector<BatchQuery> queries;
   std::vector<std::uint32_t> qids;
   net::Network network;
   std::unique_ptr<overlay::HybridOverlay> overlay;
   BatchOptions opts;
-  StateLog log;
   BatchResult result;
+  obs::QueryTrace trace;
 };
 
 /// Merge-order key: state actions carry their enclosing fire's event key;
@@ -75,22 +132,27 @@ void replay_action(overlay::HybridOverlay& ov, const StateAction& a) {
 
 }  // namespace
 
-bool parallel_batch_eligible(const BatchOptions& opts,
-                             const obs::QueryTrace* trace,
-                             std::size_t batch_size) noexcept {
-  if (opts.workers <= 1) return false;
-  if (batch_size < 2) return false;
-  if (trace != nullptr) return false;
-  if (opts.service.service_ms > 0) return false;
-  if (!opts.injections.empty() && !opts.injection_factory) return false;
+bool parallel_batch_eligible(const BatchOptions& opts, std::size_t batch_size,
+                             std::string* reason) noexcept {
+  const auto reject = [reason](const char* why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (opts.workers <= 1) return reject("workers=1");
+  if (batch_size < 2) return reject("single-query batch");
+  if (opts.service.service_ms > 0) return reject("service model on");
+  if (!opts.injections.empty() && !opts.injection_factory) {
+    return reject("injections without factory");
+  }
   return true;
 }
 
 BatchResult run_parallel_batch(overlay::HybridOverlay& overlay,
                                const ExecutionPolicy& policy,
                                const std::vector<BatchQuery>& batch,
-                               const BatchOptions& opts) {
-  assert(parallel_batch_eligible(opts, nullptr, batch.size()) &&
+                               const BatchOptions& opts,
+                               obs::QueryTrace* trace) {
+  assert(parallel_batch_eligible(opts, batch.size()) &&
          "run_parallel_batch: caller must check eligibility");
   const std::size_t workers = std::min<std::size_t>(
       static_cast<std::size_t>(opts.workers), batch.size());
@@ -111,7 +173,20 @@ BatchResult run_parallel_batch(overlay::HybridOverlay& overlay,
     s.network = overlay.network();
     s.network.set_tracer(nullptr);
     s.network.set_timeout_tracer(nullptr);
+    // Traced batch: the shard records its spans into a private trace bound
+    // to the cloned network. Worker-side injection applications charge
+    // while no span is open, land in the private trace's unattributed
+    // counters, and are discarded — the master replay below re-charges
+    // them once, against the caller's trace, exactly as a serial run.
+    if (trace != nullptr) s.trace.bind(s.network);
+    // Cloning after binding: clone-construction traffic (none today) would
+    // land unattributed in the shard trace, never in a query span.
     s.overlay = overlay.clone_for_worker(s.network);
+    // clone_for_worker drops the master's trace pointer; re-attach the
+    // shard-private one so the clone's lookups/repairs open their nested
+    // spans in the shard forest, exactly as the master overlay does when
+    // the serial driver runs traced.
+    if (trace != nullptr) s.overlay->set_trace(&s.trace);
     s.opts.service = opts.service;
     s.opts.label_query_ids = opts.label_query_ids;
     if (opts.injection_factory) {
@@ -122,27 +197,33 @@ BatchResult run_parallel_batch(overlay::HybridOverlay& overlay,
   }
 
   // -- execute shards on worker threads ------------------------------------
+  StateLogDeposit deposit(shards.size());
   // ahsw-lint: allow(D1) see file header — shard runs are deterministic and
   // share nothing; thread scheduling cannot reorder any simulated event.
   std::vector<std::thread> pool;
   pool.reserve(shards.size());
-  for (Shard& s : shards) {
+  for (std::size_t w = 0; w < shards.size(); ++w) {
+    Shard& s = shards[w];
     // ahsw-lint: allow(D1) one deterministic shard per thread.
-    pool.emplace_back([&s, &policy]() {
-      DagExecutor exec(*s.overlay, policy, nullptr, s.opts);
-      exec.set_state_log(&s.log);
+    pool.emplace_back([&s, &policy, &deposit, trace, w]() {
+      StateLog log;
+      DagExecutor exec(*s.overlay, policy,
+                       trace != nullptr ? &s.trace : nullptr, s.opts);
+      exec.set_state_log(&log);
       s.result = exec.run(s.queries, s.qids);
+      deposit.deposit(w, std::move(log));
     });
   }
   for (std::thread& t : pool) t.join();  // ahsw-lint: allow(D1) barrier only
+  const std::vector<StateLog> logs = deposit.drain();
 
   // -- merge: replay shard mutations + master injections in serial order ---
   std::vector<MergeEntry> entries;
   std::size_t total_actions = 0;
-  for (const Shard& s : shards) total_actions += s.log.size();
+  for (const StateLog& log : logs) total_actions += log.size();
   entries.reserve(total_actions + opts.injections.size());
-  for (const Shard& s : shards) {
-    for (const StateAction& a : s.log) {
+  for (const StateLog& log : logs) {
+    for (const StateAction& a : log) {
       entries.push_back(MergeEntry{a.at, a.qid, a.task, a.seq, &a});
     }
   }
@@ -153,24 +234,45 @@ BatchResult run_parallel_batch(overlay::HybridOverlay& overlay,
   }
   std::sort(entries.begin(), entries.end(), merge_less);
 
+  // Traced batch: graft each query's span subtree from its shard's private
+  // trace onto the caller's, in query-id order — before the replay below,
+  // because the serial driver opens every query root at setup (t = 0) and
+  // only then applies injections, and the merged forest must list its
+  // roots in that same order. Span ids are remapped by the graft;
+  // root_spans carries the master-side ids.
+  std::vector<obs::SpanId> merged_roots(batch.size(), obs::kNoSpan);
+  if (trace != nullptr) {
+    for (std::size_t qid = 0; qid < batch.size(); ++qid) {
+      const Shard& s = shards[qid % workers];
+      const obs::SpanId root = s.result.root_spans[qid / workers];
+      if (root == obs::kNoSpan) continue;
+      merged_roots[qid] = trace->adopt_subtree(s.trace, root);
+    }
+  }
+
   net::Network& net = overlay.network();
   const net::Network::Tracer tracer = net.tracer();
   const net::Network::TimeoutTracer timeout_tracer = net.timeout_tracer();
   for (const MergeEntry& e : entries) {
     if (e.action == nullptr) {
-      // Master-bound injection: charges traffic and notifies tracers
-      // exactly as the serial event loop would.
+      // Master-bound injection: charges traffic, notifies tracers, and
+      // opens overlay spans (repair rounds) exactly as the serial event
+      // loop would — with no span open they become roots, in time order.
       const InjectedEvent& inj = opts.injections[e.task];
       if (inj.apply) inj.apply(e.at);
       continue;
     }
     // State-action replay: the shard already charged this mutation's
-    // traffic into its query's report (fire() delta accounting), so the
-    // master replay must not re-charge it — or re-notify observers.
+    // traffic into its query's report (fire() delta accounting) and
+    // recorded its spans in the shard forest grafted above, so the master
+    // replay must not re-charge, re-notify observers, or re-open spans —
+    // the overlay's trace detaches along with the network tracers.
     const net::TrafficStats saved = net.stats();
     net.set_tracer(nullptr);
     net.set_timeout_tracer(nullptr);
+    if (trace != nullptr) overlay.set_trace(nullptr);
     replay_action(overlay, *e.action);
+    if (trace != nullptr) overlay.set_trace(trace);
     net.set_tracer(tracer);
     net.set_timeout_tracer(timeout_tracer);
     net.restore_stats(saved);
@@ -204,6 +306,8 @@ BatchResult run_parallel_batch(overlay::HybridOverlay& overlay,
       out.reports[s.qids[i]] = std::move(s.result.reports[i]);
     }
   }
+
+  out.root_spans = std::move(merged_roots);
 
   // Master traffic total = pre-batch counters + injection charges (already
   // applied above) + every query's report delta — the same decomposition

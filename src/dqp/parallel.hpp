@@ -12,34 +12,67 @@
 // wall-clock time only, never simulated time: every SimTime in the merged
 // result is computed by the same formulas the serial driver uses.
 //
+// Traced batches: each worker records its shard's spans into a private
+// obs::QueryTrace bound to the shard's cloned network; the master grafts
+// the per-query subtrees onto the caller's trace in query-id order
+// (QueryTrace::adopt_subtree), so the merged forest, every EXPLAIN tree and
+// every per-span traffic counter are byte-identical to the serial driver's.
+// Master-bound injections replay with the caller's tracers attached, so
+// their charges land unattributed exactly as in a serial run.
+//
 // Byte-identity contract: with workers = 1 the processor runs today's serial
 // scheduler (this file is never entered). With workers > 1 the merged output
 // is byte-identical to serial whenever the partitioned queries are
 // independent — no cross-shard coupling through a shared initiator cache or
 // through lazy repairs racing lookups of the same row key. The A/B tests in
-// tests/dqp/parallel_batch_test.cpp pin this for workers in {2, 4, 8};
-// docs/execution_engine.md states the conditions.
+// tests/dqp/parallel_batch_test.cpp pin this for workers in {2, 4, 8},
+// traced and untraced; docs/execution_engine.md states the conditions.
 #pragma once
 
+#include <string>
+
 #include "dqp/processor.hpp"
+
+// Clang thread-safety analysis attributes (-Wthread-safety) for the
+// master/worker handoff in src/dqp/parallel.cpp. Empty under other
+// compilers, so the annotated code stays portable; the strict (Werror)
+// build turns the analysis on for clang (see the ahsw_warnings target).
+#if defined(__clang__)
+#define AHSW_CAPABILITY(x) __attribute__((capability(x)))
+#define AHSW_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#define AHSW_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define AHSW_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#define AHSW_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#else
+#define AHSW_CAPABILITY(x)
+#define AHSW_SCOPED_CAPABILITY
+#define AHSW_GUARDED_BY(x)
+#define AHSW_ACQUIRE(...)
+#define AHSW_RELEASE(...)
+#endif
 
 namespace ahsw::dqp {
 
 /// Whether `execute_batch` may take the parallel path: workers > 1, at
-/// least two queries to partition, no attached trace (span attribution is
-/// master-thread state), no service model (per-node contention couples
-/// shards), and injections only when an `injection_factory` can rebuild
-/// them against each worker's clone.
+/// least two queries to partition, no service model (per-node contention
+/// couples shards), and injections only when an `injection_factory` can
+/// rebuild them against each worker's clone. Traced batches are eligible:
+/// workers record into private traces the master merges. When ineligible
+/// and `reason` is non-null, it receives the first rejected condition
+/// (the processor surfaces it in the batch's plan notes).
 [[nodiscard]] bool parallel_batch_eligible(const BatchOptions& opts,
-                                           const obs::QueryTrace* trace,
-                                           std::size_t batch_size) noexcept;
+                                           std::size_t batch_size,
+                                           std::string* reason =
+                                               nullptr) noexcept;
 
 /// Run `batch` with `opts.workers` worker threads. Precondition:
 /// `parallel_batch_eligible(...)`. The master overlay/network end the call
 /// in the same state and with the same traffic totals the serial driver
-/// would have produced (see the byte-identity contract above).
+/// would have produced; with a non-null `trace`, the merged span forest is
+/// the serial one too (see the byte-identity contract above).
 [[nodiscard]] BatchResult run_parallel_batch(
     overlay::HybridOverlay& overlay, const ExecutionPolicy& policy,
-    const std::vector<BatchQuery>& batch, const BatchOptions& opts);
+    const std::vector<BatchQuery>& batch, const BatchOptions& opts,
+    obs::QueryTrace* trace = nullptr);
 
 }  // namespace ahsw::dqp

@@ -571,11 +571,21 @@ sparql::QueryResult DistributedQueryProcessor::execute(
 
 BatchResult DistributedQueryProcessor::execute_batch(
     const std::vector<BatchQuery>& batch, const BatchOptions& opts) {
-  if (parallel_batch_eligible(opts, trace_, batch.size())) {
-    return run_parallel_batch(*overlay_, policy_, batch, opts);
+  std::string reason;
+  if (parallel_batch_eligible(opts, batch.size(), &reason)) {
+    return run_parallel_batch(*overlay_, policy_, batch, opts, trace_);
   }
   DagExecutor exec(*overlay_, policy_, trace_, opts);
-  return exec.run(batch);
+  BatchResult out = exec.run(batch);
+  // A batch that asked for workers but fell back to the serial scheduler
+  // says why, so sweeps and tests can tell "parallel ran" from "parallel
+  // was silently refused" without diffing timings.
+  if (opts.workers > 1) {
+    for (ExecutionReport& rep : out.reports) {
+      rep.plan_notes.push_back("parallel: serial fallback (" + reason + ")");
+    }
+  }
+  return out;
 }
 
 BatchResult DistributedQueryProcessor::execute_batch(

@@ -80,10 +80,12 @@ struct BatchOptions {
   /// With workers > 1 the batch is partitioned by query id (qid % workers),
   /// each shard runs on a cloned overlay, and shared-state mutations are
   /// replayed on the master in (time, query, task) order. Parallelism
-  /// changes wall-clock time only, never simulated time; the driver falls
-  /// back to serial when a trace is attached, when the service model is on
-  /// (cross-query contention couples shards), or when `injections` is
-  /// non-empty without an `injection_factory`.
+  /// changes wall-clock time only, never simulated time; traced batches
+  /// record per-worker span forests the master grafts back in query order.
+  /// The driver falls back to serial when the service model is on
+  /// (cross-query contention couples shards) or when `injections` is
+  /// non-empty without an `injection_factory`; the fallback reason is
+  /// surfaced in every report's plan notes.
   int workers = 1;
   /// Rebuilds the injected events against a worker's cloned overlay, so
   /// every shard observes the same fault schedule on its own world. The

@@ -179,16 +179,16 @@ std::vector<SourceFile> tokenize_tree(const std::string& root,
   return files;
 }
 
-void lint_tree_effects(const std::string& root, const LintConfig& cfg,
-                       const SharedStateSpec& spec, LintReport* report,
-                       std::string* ledger_json,
-                       const std::vector<std::string>& dirs) {
-  std::vector<SourceFile> files = tokenize_tree(root, dirs);
-  EffectsReport effects = analyze_effects(files, spec, cfg.layers);
-  // Apply the normal suppression machinery per file, so a justified
-  // `// ahsw-lint: allow(P1) ...` works exactly like the token rules.
+namespace {
+
+/// Apply the normal suppression machinery per file to a whole-program
+/// pass's diagnostics and merge the survivors into `report`, so a justified
+/// `// ahsw-lint: allow(P1) ...` works exactly like the token rules.
+void merge_whole_program(const std::vector<SourceFile>& files,
+                         std::vector<Diagnostic> diagnostics,
+                         LintReport* report) {
   std::map<std::string, std::vector<Diagnostic>> by_file;
-  for (Diagnostic& d : effects.diagnostics) {
+  for (Diagnostic& d : diagnostics) {
     by_file[d.file].push_back(std::move(d));
   }
   for (const SourceFile& f : files) {
@@ -208,7 +208,28 @@ void lint_tree_effects(const std::string& root, const LintConfig& cfg,
       report->diagnostics.push_back(std::move(d));
     }
   }
+}
+
+}  // namespace
+
+void lint_tree_effects(const std::string& root, const LintConfig& cfg,
+                       const SharedStateSpec& spec, LintReport* report,
+                       std::string* ledger_json,
+                       const std::vector<std::string>& dirs) {
+  std::vector<SourceFile> files = tokenize_tree(root, dirs);
+  EffectsReport effects = analyze_effects(files, spec, cfg.layers);
+  merge_whole_program(files, std::move(effects.diagnostics), report);
   if (ledger_json != nullptr) *ledger_json = effects.ledger_json(spec);
+}
+
+void lint_tree_races(const std::string& root, const LintConfig& cfg,
+                     const SharedStateSpec& spec, LintReport* report,
+                     std::string* ledger_json,
+                     const std::vector<std::string>& dirs) {
+  std::vector<SourceFile> files = tokenize_tree(root, dirs);
+  RacesReport races = analyze_races(files, spec, cfg.layers);
+  merge_whole_program(files, std::move(races.diagnostics), report);
+  if (ledger_json != nullptr) *ledger_json = races.ledger_json();
 }
 
 LintConfig load_config(const std::string& root,

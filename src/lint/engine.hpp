@@ -9,13 +9,15 @@
 #include <vector>
 
 #include "lint/effects.hpp"
+#include "lint/races.hpp"
 #include "lint/rules.hpp"
 
 namespace ahsw::lint {
 
-/// Version stamp of the JSON renderings (`ahsw_lint.json` and the
-/// `ahsw_effects.json` ledger). Bump when a field changes meaning or shape,
-/// so ledger-diff tooling can evolve the format without guessing.
+/// Version stamp of the `ahsw_lint.json` diagnostic rendering. The ledgers
+/// carry their own stamps (kEffectsSchemaVersion, kRacesSchemaVersion) so
+/// each format can evolve without forcing the others. Bump when a field
+/// changes meaning or shape, so diff tooling never has to guess.
 inline constexpr int kJsonSchemaVersion = 1;
 
 struct LintReport {
@@ -65,6 +67,15 @@ void lint_tree_effects(const std::string& root, const LintConfig& cfg,
                        std::string* ledger_json,
                        const std::vector<std::string>& dirs = {"src", "tools",
                                                                "bench"});
+
+/// Run the race analysis (rule family C) over the tree and merge its
+/// post-suppression diagnostics into `report`. When `ledger_json` is
+/// non-null it receives the stable race ledger (C5).
+void lint_tree_races(const std::string& root, const LintConfig& cfg,
+                     const SharedStateSpec& spec, LintReport* report,
+                     std::string* ledger_json,
+                     const std::vector<std::string>& dirs = {"src", "tools",
+                                                             "bench"});
 
 /// Build the default config: parse the layer spec at `layers_path`
 /// (default `<root>/tools/ahsw_layers.spec`). Throws std::runtime_error on

@@ -1,0 +1,442 @@
+#include "lint/races.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/strings.hpp"
+
+namespace ahsw::lint {
+
+namespace {
+
+[[nodiscard]] std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  });
+  return out;
+}
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string path_arrows(const std::vector<std::string>& path) {
+  std::string out;
+  for (const std::string& p : path) {
+    if (!out.empty()) out += " -> ";
+    out += p;
+  }
+  return out;
+}
+
+/// The surface covering a touch, either way round (enclosing function or
+/// the mutator method itself) — same lookup the effect analysis uses.
+[[nodiscard]] const SurfaceDecl* covering_surface(const SharedStateSpec& spec,
+                                                  const TouchPoint& t) {
+  const SurfaceDecl* s = spec.surface_for(t.function, t.state);
+  if (s == nullptr) {
+    s = spec.surface_for(t.state + "::" + t.mutator, t.state);
+  }
+  return s;
+}
+
+[[nodiscard]] std::string discipline_of(const SurfaceDecl* s) {
+  if (s == nullptr) return "undeclared";
+  if (!s->shard.empty()) return "shard=" + s->shard;
+  if (!s->merge.empty()) return "merge=" + s->merge;
+  if (s->master_only) return "master-only";
+  return "none";
+}
+
+/// First line at which `fn` directly calls one of the spec's `record`
+/// surfaces, or -1. A record declaration `Class::method` matches an
+/// unqualified call from inside `Class`, a qualified `Class::method(...)`
+/// call, or a member call `x.method(...)` — the same over-approximation the
+/// call-graph resolver applies.
+[[nodiscard]] int first_record_line(const FunctionDef& fn,
+                                    const SharedStateSpec& spec) {
+  int best = -1;
+  for (const CallSite& call : fn.calls) {
+    for (const std::string& rec : spec.records) {
+      std::string name = rec;
+      std::string qualifier;
+      std::size_t sep = rec.rfind("::");
+      if (sep != std::string::npos) {
+        qualifier = rec.substr(0, sep);
+        name = rec.substr(sep + 2);
+      }
+      if (call.name != name) continue;
+      if (!qualifier.empty() && !call.member && call.qualifier.empty() &&
+          fn.qualifier != qualifier) {
+        continue;  // free call to an unrelated `name`
+      }
+      if (!call.qualifier.empty() && !qualifier.empty() &&
+          call.qualifier != qualifier) {
+        continue;
+      }
+      if (best < 0 || call.line < best) best = call.line;
+    }
+  }
+  return best;
+}
+
+/// C4 annotation marker inside a comment: the `ahsw-lint` marker prefix
+/// followed by `guarded_by(<mutex>)`. Returns the mutex name, "" when the
+/// comment carries no annotation. The name must be a plain identifier —
+/// prose that merely *mentions* the grammar is not an annotation.
+[[nodiscard]] std::string guarded_by_mutex(const Comment& c) {
+  std::size_t at = c.text.find("ahsw-lint:");
+  if (at == std::string::npos) return "";
+  std::size_t gb = c.text.find("guarded_by(", at);
+  if (gb == std::string::npos) return "";
+  std::size_t open = gb + std::string_view("guarded_by(").size();
+  std::size_t close = c.text.find(')', open);
+  if (close == std::string::npos) return "";
+  std::string name(common::trim(c.text.substr(open, close - open)));
+  if (name.empty() || (name[0] >= '0' && name[0] <= '9')) return "";
+  for (char ch : name) {
+    const bool ident = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                       (ch >= '0' && ch <= '9') || ch == '_';
+    if (!ident) return "";
+  }
+  return name;
+}
+
+/// The member declared on `line`: the last identifier followed by one of
+/// `; = { [ ,` or another identifier (an attribute macro such as
+/// AHSW_GUARDED_BY). Handles `std::vector<T> logs_ AHSW_GUARDED_BY(mu_);`
+/// and plain `StateLog log_;` alike.
+[[nodiscard]] std::string declared_member_on_line(const SourceFile& f,
+                                                  int line) {
+  std::string member;
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& tok = f.tokens[i];
+    if (tok.line != line || tok.kind != Token::Kind::kIdentifier) continue;
+    if (i + 1 >= f.tokens.size()) continue;
+    const Token& next = f.tokens[i + 1];
+    if (next.is(";") || next.is("=") || next.is("{") || next.is("[") ||
+        next.is(",") || next.kind == Token::Kind::kIdentifier) {
+      member = tok.text;
+    }
+  }
+  return member;
+}
+
+/// Innermost function of `file_index` whose body token range contains
+/// token `idx`, or kNoFunction.
+[[nodiscard]] std::size_t enclosing_function(const SymbolTable& table,
+                                             std::size_t file_index,
+                                             std::size_t idx) {
+  std::size_t best = kNoFunction;
+  for (std::size_t fi = 0; fi < table.functions.size(); ++fi) {
+    const FunctionDef& fn = table.functions[fi];
+    if (fn.file_index != file_index) continue;
+    if (idx < fn.body_begin || idx >= fn.body_end) continue;
+    if (best == kNoFunction ||
+        fn.body_begin > table.functions[best].body_begin) {
+      best = fi;
+    }
+  }
+  return best;
+}
+
+/// Lock evidence: some occurrence of the mutex name in [begin, before) with
+/// an identifier containing "lock" within a few tokens of it —
+/// `std::lock_guard<...> g(mu_)`, `DepositLock lock(mu_)`, `mu_.lock()`.
+[[nodiscard]] bool lock_evidence(const std::vector<Token>& toks,
+                                 std::size_t begin, std::size_t before,
+                                 const std::string& mutex) {
+  for (std::size_t k = begin; k < before; ++k) {
+    if (!toks[k].ident(mutex)) continue;
+    std::size_t lo = k >= 6 ? k - 6 : 0;
+    if (lo < begin) lo = begin;
+    std::size_t hi = std::min(before, k + 3);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (toks[j].kind == Token::Kind::kIdentifier &&
+          lower(toks[j].text).find("lock") != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RacesReport analyze_races(const std::vector<SourceFile>& files,
+                          const SharedStateSpec& spec,
+                          const LayerSpec& layers) {
+  RacesReport report;
+  report.worker_roots = spec.roots;
+  report.master_roots = spec.master_roots;
+
+  EffectsContext ctx;
+  EffectsReport effects = analyze_effects(files, spec, layers, &ctx);
+  const SymbolTable& table = ctx.table;
+
+  auto role_of = [&](std::size_t fi) {
+    return fi < ctx.roles.size() ? ctx.roles[fi] : ThreadRole::kNone;
+  };
+  auto site_of = [&](const TouchPoint& t) {
+    return t.function + " (" + t.file + ":" + std::to_string(t.line) + ")";
+  };
+
+  // ---- C1: record-dominates-mutate on merge=state-log paths -------------
+  // ---- C5: the race ledger ----------------------------------------------
+  for (const TouchPoint& t : effects.touches) {
+    const SurfaceDecl* surface = covering_surface(spec, t);
+    const std::size_t fi = t.function_index;
+
+    RaceSite site;
+    site.state = t.state;
+    site.mutator = t.mutator;
+    site.function = t.function;
+    site.file = t.file;
+    site.line = t.line;
+    site.role = t.role;
+    site.discipline = discipline_of(surface);
+    site.path = t.path.empty() && fi != kNoFunction
+                    ? ctx.path_to(ctx.master_parent, fi)
+                    : t.path;
+    report.sites.push_back(std::move(site));
+
+    if (surface == nullptr || surface->merge != "state-log") continue;
+    if (fi == kNoFunction || ctx.worker_parent[fi] == kNoFunction) continue;
+
+    // Walk the worker path for a StateLog record call. The mutating
+    // function itself satisfies the obligation only when it records at an
+    // earlier line (record must dominate the mutation); any ancestor on the
+    // path satisfies it by wrapping the whole call.
+    bool recorded = false;
+    const int own = first_record_line(table.functions[fi], spec);
+    if (own >= 0 && own < t.line) recorded = true;
+    for (std::size_t u = fi; !recorded && ctx.worker_parent[u] != u;) {
+      u = ctx.worker_parent[u];
+      if (first_record_line(table.functions[u], spec) >= 0) recorded = true;
+    }
+    if (!recorded) {
+      report.diagnostics.push_back(Diagnostic{
+          "C1", t.file, t.line,
+          "worker-reachable mutation of '" + t.state + "' via '" + t.mutator +
+              "' is declared merge=state-log but no StateLog record call "
+              "dominates it on the path " + path_arrows(t.path) +
+              "; record the action before mutating (spec `record` surfaces: " +
+              path_arrows(spec.records) + ")"});
+    }
+  }
+
+  // ---- C2: master-only surfaces must be worker-unreachable --------------
+  std::map<std::size_t, std::string> master_decls;
+  for (const std::string& r : spec.master_roots) {
+    for (std::size_t idx : table.find(r)) master_decls.emplace(idx, r);
+  }
+  for (const SurfaceDecl& s : spec.surfaces) {
+    if (!s.master_only) continue;
+    for (std::size_t idx : table.find(s.function)) {
+      master_decls.emplace(idx, s.function);
+    }
+  }
+  for (const auto& [idx, name] : master_decls) {
+    const FunctionDef& fn = table.functions[idx];
+    if (!common::starts_with(fn.file, "src/")) continue;
+    if (ctx.worker_parent[idx] == kNoFunction) continue;
+    report.diagnostics.push_back(Diagnostic{
+        "C2", fn.file, fn.line,
+        "master-context function '" + name +
+            "' is reachable from a worker root via " +
+            path_arrows(ctx.path_to(ctx.worker_parent, idx)) +
+            "; replay/merge surfaces must stay off the worker dispatch tree"});
+  }
+
+  // ---- C3: no cross-role state ------------------------------------------
+  // (a) dispatch-scoped states (Rng): both roles touching the same engine
+  // cannot be serialized by clone-and-replay.
+  for (const SharedStateDecl& st : spec.states) {
+    if (st.global) continue;
+    const TouchPoint* worker_side = nullptr;
+    const TouchPoint* master_side = nullptr;
+    for (const TouchPoint& t : effects.touches) {
+      if (t.state != st.name) continue;
+      if (t.role == ThreadRole::kWorker || t.role == ThreadRole::kBoth) {
+        if (worker_side == nullptr) worker_side = &t;
+      }
+      if (t.role == ThreadRole::kMaster || t.role == ThreadRole::kBoth) {
+        if (master_side == nullptr) master_side = &t;
+      }
+    }
+    if (worker_side == nullptr || master_side == nullptr) continue;
+    report.diagnostics.push_back(Diagnostic{
+        "C3", worker_side->file, worker_side->line,
+        "dispatch-scoped state '" + st.name +
+            "' is mutated from both thread roles: worker via " +
+            path_arrows(worker_side->path) + ", master in " +
+            site_of(*master_side) +
+            "; draws must happen before workers fork or per-shard"});
+  }
+  // (b) mutable statics/globals — including declared singletons, which P3
+  // exempts but C3 does not: a singleton referenced from both roles is an
+  // unserialized race regardless of its justification.
+  std::map<std::string, std::size_t> file_index_of;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    file_index_of[files[i].path] = i;
+  }
+  for (const auto& [file, decls] : table.statics) {
+    if (!common::starts_with(file, "src/")) continue;
+    auto fit = file_index_of.find(file);
+    if (fit == file_index_of.end()) continue;
+    const std::vector<Token>& toks = files[fit->second].tokens;
+    for (const StaticDecl& d : decls) {
+      std::size_t worker_ref = kNoFunction;
+      std::size_t master_ref = kNoFunction;
+      for (std::size_t fi = 0; fi < table.functions.size(); ++fi) {
+        const FunctionDef& fn = table.functions[fi];
+        if (fn.file_index != fit->second) continue;
+        const ThreadRole role = role_of(fi);
+        if (role == ThreadRole::kNone) continue;
+        bool refs = false;
+        for (std::size_t k = fn.body_begin;
+             k < fn.body_end && k < toks.size(); ++k) {
+          if (toks[k].ident(d.name)) {
+            refs = true;
+            break;
+          }
+        }
+        if (!refs) continue;
+        if (role == ThreadRole::kWorker || role == ThreadRole::kBoth) {
+          if (worker_ref == kNoFunction) worker_ref = fi;
+        }
+        if (role == ThreadRole::kMaster || role == ThreadRole::kBoth) {
+          if (master_ref == kNoFunction) master_ref = fi;
+        }
+      }
+      if (worker_ref == kNoFunction || master_ref == kNoFunction) continue;
+      report.diagnostics.push_back(Diagnostic{
+          "C3", file, d.line,
+          "mutable static '" + d.name +
+              "' is referenced from both thread roles: worker via " +
+              path_arrows(ctx.path_to(ctx.worker_parent, worker_ref)) +
+              ", master in " + table.functions[master_ref].qualified() +
+              "; statics are invisible to the clone-and-replay merge"});
+    }
+  }
+
+  // ---- C4: guarded_by(<mutex>) annotations ------------------------------
+  for (std::size_t fx = 0; fx < files.size(); ++fx) {
+    const SourceFile& f = files[fx];
+    for (const Comment& comment : f.comments) {
+      const std::string mutex = guarded_by_mutex(comment);
+      if (mutex.empty()) continue;
+      // The annotated declaration: the comment's own line when it trails
+      // code, else the first code line after the comment block.
+      int decl_line = 0;
+      if (f.line_has_code(comment.begin)) {
+        decl_line = comment.begin;
+      } else {
+        auto it = std::upper_bound(f.code_lines.begin(), f.code_lines.end(),
+                                   comment.end);
+        if (it != f.code_lines.end()) decl_line = *it;
+      }
+      const std::string member =
+          decl_line > 0 ? declared_member_on_line(f, decl_line) : "";
+      if (member.empty() || member == mutex) {
+        report.diagnostics.push_back(Diagnostic{
+            "C4", f.path, comment.begin,
+            "guarded_by(" + mutex +
+                ") annotation does not precede a recognizable member "
+                "declaration"});
+        continue;
+      }
+      for (std::size_t k = 0; k < f.tokens.size(); ++k) {
+        if (!f.tokens[k].ident(member)) continue;
+        if (f.tokens[k].line == decl_line) continue;
+        const std::size_t fi = enclosing_function(table, fx, k);
+        if (fi == kNoFunction) continue;  // another declaration site
+        const FunctionDef& fn = table.functions[fi];
+        if (lock_evidence(f.tokens, fn.body_begin, k, mutex)) continue;
+        std::string where;
+        const ThreadRole role = role_of(fi);
+        if (role == ThreadRole::kWorker || role == ThreadRole::kBoth) {
+          where = "; worker path " +
+                  path_arrows(ctx.path_to(ctx.worker_parent, fi));
+        } else if (role == ThreadRole::kMaster) {
+          where = "; master path " +
+                  path_arrows(ctx.path_to(ctx.master_parent, fi));
+        }
+        report.diagnostics.push_back(Diagnostic{
+            "C4", f.path, f.tokens[k].line,
+            "member '" + member + "' is guarded_by(" + mutex +
+                ") but " + fn.qualified() + " accesses it without acquiring '" +
+                mutex + "' first" + where});
+      }
+    }
+  }
+
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+std::string RacesReport::ledger_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"ahsw-races\",\n";
+  out << "  \"schema_version\": " << kRacesSchemaVersion << ",\n";
+  out << "  \"worker_roots\": [";
+  for (std::size_t i = 0; i < worker_roots.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << json_escape(worker_roots[i])
+        << "\"";
+  }
+  out << "],\n";
+  out << "  \"master_roots\": [";
+  for (std::size_t i = 0; i < master_roots.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << json_escape(master_roots[i])
+        << "\"";
+  }
+  out << "],\n";
+  out << "  \"sites\": [";
+  // Line-less and deduplicated like the effects ledger: the baseline only
+  // changes when the shared surface itself changes.
+  std::string prev_key;
+  bool first = true;
+  for (const RaceSite& s : sites) {
+    std::string key = s.state + "\x1f" + s.file + "\x1f" + s.function +
+                      "\x1f" + s.mutator;
+    if (key == prev_key) continue;
+    prev_key = key;
+    out << (first ? "\n" : ",\n");
+    out << "    {\"state\": \"" << json_escape(s.state) << "\", \"mutator\": \""
+        << json_escape(s.mutator) << "\", \"function\": \""
+        << json_escape(s.function) << "\", \"file\": \""
+        << json_escape(s.file) << "\", \"role\": \""
+        << thread_role_name(s.role) << "\", \"discipline\": \""
+        << json_escape(s.discipline) << "\", \"path\": [";
+    for (std::size_t i = 0; i < s.path.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << json_escape(s.path[i]) << "\"";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ahsw::lint

@@ -1,0 +1,89 @@
+// Static race analysis for the parallel batch driver (rule family C).
+//
+// The effect analysis (effects.hpp) proves *which* shared state dispatch
+// can touch; this pass proves the touches are safe under the two-context
+// execution model of src/dqp/parallel.cpp: per-shard worker threads run
+// `DagExecutor::run` on cloned overlays, the master thread clones, joins,
+// and replays the recorded StateLogs. Every function gets a thread role
+// (worker / master / both / none, graph.hpp) from two reachability passes
+// over the call graph — worker = reachable from the `root` declarations in
+// tools/ahsw_shared_state.spec, master = reachable from the `master_root`
+// declarations without passing through a worker root — and the rules are:
+//
+//   C1 — a worker-reachable mutation of a state whose surface declares
+//        `merge=state-log` must be statically paired with a StateLog
+//        `record` call (spec `record` declarations) on the same call path:
+//        either an ancestor on the worker path contains the record call, or
+//        the mutating function itself records at an earlier line
+//        (record-dominates-mutate). The diagnostic carries the path.
+//   C2 — surfaces declared `role=master` and the master roots themselves
+//        must be unreachable from worker roots; a worker path into replay /
+//        merge code is a self-race on the very log being replayed.
+//   C3 — mutable globals/statics (including declared singletons) and
+//        `scope=dispatch` states (Rng) must not be referenced from both
+//        thread roles: such state is invisible to the clone-and-replay
+//        scheme, so cross-role sharing is an unserialized race.
+//   C4 — a domain `guarded_by(<mutex>)` annotation (an `ahsw-lint` comment
+//        marker) on a member declaration: every other reference in the
+//        same file must sit in a function that visibly acquires the named
+//        mutex first (lock_guard / scoped_lock / unique_lock / .lock()).
+//   C5 — the race ledger: every shared-state touch point with its resolved
+//        role, parallel-safety discipline, and call path, rendered as
+//        stable line-less JSON and diff-gated against tools/ahsw_races.json
+//        (mirror of the P4 effects ledger).
+//
+// Like the rest of ahsw-lint this is a token-level heuristic, deliberately
+// over-approximate: a spurious edge or a missed lock pattern can demand a
+// justified suppression, never hide a race.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/effects.hpp"
+#include "lint/graph.hpp"
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
+
+namespace ahsw::lint {
+
+/// Schema version of the C5 ledger (`tools/ahsw_races.json`).
+inline constexpr int kRacesSchemaVersion = 1;
+
+/// One shared-state touch point with its race-analysis verdict — the unit
+/// of the C5 ledger.
+struct RaceSite {
+  std::string state;
+  std::string mutator;
+  std::string function;  // qualified enclosing function
+  std::string file;
+  int line = 0;
+  ThreadRole role = ThreadRole::kNone;
+  /// Parallel-safety discipline of the covering surface: "shard=<p>",
+  /// "merge=<s>", "master-only", "none" (declared, no discipline), or
+  /// "undeclared".
+  std::string discipline;
+  /// Worker path when worker-reachable, else master path, else empty.
+  std::vector<std::string> path;
+};
+
+struct RacesReport {
+  std::vector<Diagnostic> diagnostics;  // C1-C4, pre-suppression
+  std::vector<RaceSite> sites;          // sorted like EffectsReport::touches
+  std::vector<std::string> worker_roots;  // spec order
+  std::vector<std::string> master_roots;  // spec order
+
+  /// The stable race ledger (C5): schema_version, both root sets, and every
+  /// site without line numbers, deduplicated by (state, file, function,
+  /// mutator) — the committed tools/ahsw_races.json baseline.
+  [[nodiscard]] std::string ledger_json() const;
+};
+
+/// Run the race analysis over a tokenized file set. Diagnostics and ledger
+/// sites are emitted for `src/` files only (same scope as the effect
+/// analysis); all definitions feed the call graph.
+[[nodiscard]] RacesReport analyze_races(const std::vector<SourceFile>& files,
+                                        const SharedStateSpec& spec,
+                                        const LayerSpec& layers);
+
+}  // namespace ahsw::lint

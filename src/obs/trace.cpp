@@ -94,6 +94,47 @@ void QueryTrace::reopen(SpanId id) {
   stack_.push_back(id);
 }
 
+SpanId QueryTrace::adopt_subtree(const QueryTrace& donor, SpanId root) {
+  assert(stack_.empty() && "adopt_subtree: no span may be open here");
+  assert(root < donor.spans_.size() && "adopt_subtree: unknown donor root");
+  // Copy in donor preorder; ids here are assigned densely in visit order,
+  // so children stay in their original relative order.
+  struct Pending {
+    SpanId donor_id;
+    SpanId parent;  // already-adopted parent in *this* trace
+  };
+  std::vector<Pending> work{{root, kNoSpan}};
+  SpanId new_root = kNoSpan;
+  while (!work.empty()) {
+    // Depth-first, children pushed in reverse so they pop left-to-right.
+    Pending cur = work.back();
+    work.pop_back();
+    const Span& src = donor.spans_[cur.donor_id];
+    Span s = src;
+    s.id = static_cast<SpanId>(spans_.size());
+    s.parent = cur.parent;
+    s.children.clear();
+    if (cur.parent == kNoSpan) {
+      new_root = s.id;
+      roots_.push_back(s.id);
+    } else {
+      spans_[cur.parent].children.push_back(s.id);
+    }
+    SpanId id = s.id;
+    spans_.push_back(std::move(s));
+    for (std::size_t i = src.children.size(); i > 0; --i) {
+      work.push_back(Pending{src.children[i - 1], id});
+    }
+  }
+  return new_root;
+}
+
+void QueryTrace::absorb_unattributed(const QueryTrace& donor) noexcept {
+  unattributed_bytes_ += donor.unattributed_bytes_;
+  unattributed_messages_ += donor.unattributed_messages_;
+  unattributed_timeouts_ += donor.unattributed_timeouts_;
+}
+
 void QueryTrace::clear() {
   assert(stack_.empty() && "clear() with open spans would orphan scopes");
   spans_.clear();

@@ -112,6 +112,18 @@ class QueryTrace {
   /// reused across queries without accumulating a forest.
   void clear();
 
+  /// Graft a closed subtree of `donor` into this trace as a new root,
+  /// copying every span and remapping ids (children keep their relative
+  /// order). Returns the new root's id in this trace. The parallel batch
+  /// driver uses this to merge per-worker span forests onto the master
+  /// trace in query-id order, so a merged forest renders exactly like the
+  /// serial driver's. No span may be open here (`active() == kNoSpan`).
+  SpanId adopt_subtree(const QueryTrace& donor, SpanId root);
+
+  /// Fold `donor`'s unattributed counters into this trace's (spans are not
+  /// copied; pair with adopt_subtree when merging whole traces).
+  void absorb_unattributed(const QueryTrace& donor) noexcept;
+
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
   }

@@ -35,8 +35,9 @@ std::unique_ptr<HybridOverlay> HybridOverlay::clone_for_worker(
                                        chord::Key hi, net::SimTime when) {
     raw->on_transfer(old_owner, new_owner, lo, hi, when);
   });
-  // Worker shards run untraced: spans recorded off the master trace would
-  // interleave nondeterministically across threads.
+  // The master's trace must not leak into the clone: spans recorded off it
+  // would interleave nondeterministically across threads. The parallel
+  // driver re-attaches a shard-private trace for traced batches.
   clone->trace_ = nullptr;
   clone->ring_.set_trace(nullptr);
   return clone;

@@ -75,7 +75,8 @@ class HybridOverlay {
   /// Deep-copy this overlay onto `network` (a worker-local copy of the
   /// master network). The clone carries the full ring, index, storage and
   /// cache state; its ring transfer hook is re-pointed at the clone and any
-  /// attached trace is dropped (worker shards run untraced). Heap-allocated
+  /// attached trace is dropped (the parallel driver re-attaches a
+  /// shard-private trace for traced batches). Heap-allocated
   /// so the rebound hook's captured pointer stays stable. The parallel
   /// batch driver gives each worker one clone; the master instance is never
   /// mutated by worker execution.

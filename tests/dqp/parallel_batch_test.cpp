@@ -235,8 +235,11 @@ struct FaultOutcome {
   BatchResult second;  // serial batch after convergence (replay guarantee)
 };
 
-FaultOutcome run_faulted(workload::Testbed& bed, int workers) {
-  DistributedQueryProcessor proc(bed.overlay());
+FaultOutcome run_faulted(workload::Testbed& bed, int workers,
+                         DistributedQueryProcessor* ext_proc = nullptr) {
+  DistributedQueryProcessor own_proc(bed.overlay());
+  // Traced variants pass their own processor (with a trace attached).
+  DistributedQueryProcessor& proc = ext_proc != nullptr ? *ext_proc : own_proc;
   std::vector<std::string> texts = fault_queries();
   std::vector<BatchQuery> batch;
   std::vector<net::NodeAddress> inits = distinct_initiators(bed, texts.size());
@@ -294,42 +297,186 @@ TEST(ParallelBatch, FaultBroadcastMatchesSerial) {
 }
 
 TEST(ParallelBatch, FallsBackToSerialWhenIneligible) {
-  // Direct eligibility checks.
+  // Direct eligibility checks, each with its surfaced reason.
   BatchOptions opts;
+  std::string reason;
   opts.workers = 4;
-  EXPECT_TRUE(parallel_batch_eligible(opts, nullptr, 8));
-  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 1));
+  EXPECT_TRUE(parallel_batch_eligible(opts, 8));
+  EXPECT_FALSE(parallel_batch_eligible(opts, 1, &reason));
+  EXPECT_EQ(reason, "single-query batch");
   opts.workers = 1;
-  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 8));
+  EXPECT_FALSE(parallel_batch_eligible(opts, 8, &reason));
+  EXPECT_EQ(reason, "workers=1");
   opts.workers = 4;
   opts.service.service_ms = 1.0;
-  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 8));
+  EXPECT_FALSE(parallel_batch_eligible(opts, 8, &reason));
+  EXPECT_EQ(reason, "service model on");
   opts.service.service_ms = 0.0;
   opts.injections.push_back(InjectedEvent{1.0, "noop", {}});
-  EXPECT_FALSE(parallel_batch_eligible(opts, nullptr, 8));
+  EXPECT_FALSE(parallel_batch_eligible(opts, 8, &reason));
+  EXPECT_EQ(reason, "injections without factory");
   opts.injection_factory = [](overlay::HybridOverlay&) {
     return std::vector<InjectedEvent>{};
   };
-  EXPECT_TRUE(parallel_batch_eligible(opts, nullptr, 8));
-  obs::QueryTrace trace;
-  EXPECT_FALSE(parallel_batch_eligible(opts, &trace, 8));
+  EXPECT_TRUE(parallel_batch_eligible(opts, 8));
 
-  // A traced run with workers > 1 takes the serial path (and so still
-  // produces root spans); worker_makespans stays empty — the observable
-  // marker of the serial driver.
+  // A batch that asked for workers but was refused runs serial
+  // (worker_makespans empty — the observable marker of the serial driver)
+  // and says why in every report's plan notes.
   workload::Testbed bed(config());
   DistributedQueryProcessor proc(bed.overlay());
-  obs::QueryTrace t;
-  proc.set_trace(&t);
   std::vector<std::string> queries = batch_queries();
   BatchOptions wopts;
   wopts.workers = 4;
+  wopts.service.service_ms = 1.0;
   BatchResult r = proc.execute_batch(
       queries, distinct_initiators(bed, queries.size()), wopts);
-  proc.set_trace(nullptr);
   EXPECT_TRUE(r.worker_makespans.empty());
-  ASSERT_EQ(r.root_spans.size(), queries.size());
-  EXPECT_NE(r.root_spans.front(), obs::kNoSpan);
+  ASSERT_EQ(r.reports.size(), queries.size());
+  for (const ExecutionReport& rep : r.reports) {
+    EXPECT_EQ(rep.plan_notes.back(),
+              "parallel: serial fallback (service model on)");
+  }
+
+  // A serial run with workers = 1 carries no fallback note: nothing was
+  // refused.
+  workload::Testbed serial_bed(config());
+  DistributedQueryProcessor serial_proc(serial_bed.overlay());
+  BatchResult s = serial_proc.execute_batch(
+      queries, distinct_initiators(serial_bed, queries.size()),
+      BatchOptions{});
+  for (const ExecutionReport& rep : s.reports) {
+    for (const std::string& note : rep.plan_notes) {
+      EXPECT_EQ(note.find("serial fallback"), std::string::npos);
+    }
+  }
+}
+
+/// Structural + counter identity of two span subtrees (field-by-field —
+/// byte-identical means the rendered trace, EXPLAIN and every per-span
+/// traffic figure agree, not just the tree shape).
+void expect_subtrees_identical(const obs::QueryTrace& a, obs::SpanId ia,
+                               const obs::QueryTrace& b, obs::SpanId ib) {
+  const obs::Span& sa = a.span(ia);
+  const obs::Span& sb = b.span(ib);
+  EXPECT_EQ(sa.kind, sb.kind);
+  EXPECT_EQ(sa.label, sb.label);
+  EXPECT_EQ(sa.site, sb.site);
+  EXPECT_EQ(sa.begin, sb.begin);
+  EXPECT_EQ(sa.end, sb.end);
+  EXPECT_EQ(sa.messages, sb.messages) << sa.label;
+  EXPECT_EQ(sa.bytes, sb.bytes) << sa.label;
+  EXPECT_EQ(sa.timeouts, sb.timeouts) << sa.label;
+  for (int c = 0; c < net::kCategoryCount; ++c) {
+    EXPECT_EQ(sa.messages_by[c], sb.messages_by[c]) << sa.label;
+    EXPECT_EQ(sa.bytes_by[c], sb.bytes_by[c]) << sa.label;
+    EXPECT_EQ(sa.timeouts_by[c], sb.timeouts_by[c]) << sa.label;
+  }
+  EXPECT_EQ(sa.peers, sb.peers) << sa.label;
+  ASSERT_EQ(sa.children.size(), sb.children.size()) << sa.label;
+  for (std::size_t i = 0; i < sa.children.size(); ++i) {
+    expect_subtrees_identical(a, sa.children[i], b, sb.children[i]);
+  }
+}
+
+void expect_traces_identical(const obs::QueryTrace& a,
+                             const std::vector<obs::SpanId>& roots_a,
+                             const obs::QueryTrace& b,
+                             const std::vector<obs::SpanId>& roots_b) {
+  ASSERT_EQ(roots_a.size(), roots_b.size());
+  ASSERT_EQ(a.roots().size(), b.roots().size());
+  for (std::size_t q = 0; q < roots_a.size(); ++q) {
+    ASSERT_NE(roots_a[q], obs::kNoSpan) << q;
+    ASSERT_NE(roots_b[q], obs::kNoSpan) << q;
+    expect_subtrees_identical(a, roots_a[q], b, roots_b[q]);
+  }
+  EXPECT_EQ(a.unattributed_messages(), b.unattributed_messages());
+  EXPECT_EQ(a.unattributed_bytes(), b.unattributed_bytes());
+  EXPECT_EQ(a.unattributed_timeouts(), b.unattributed_timeouts());
+}
+
+TEST(ParallelBatch, TracedBatchByteIdenticalAcrossWorkerCounts) {
+  // The lifted fallback: traced batches take the parallel path, workers
+  // record private span forests, and the master grafts them back in query
+  // order — span trees, EXPLAIN plan notes, reports and traffic all
+  // byte-identical to a traced serial run.
+  workload::Testbed serial_bed(config());
+  DistributedQueryProcessor serial_proc(serial_bed.overlay());
+  obs::QueryTrace serial_trace;
+  serial_proc.set_trace(&serial_trace);
+  std::vector<std::string> queries = batch_queries();
+  const net::TrafficStats serial_before = serial_bed.network().stats();
+  BatchResult serial = serial_proc.execute_batch(
+      queries, distinct_initiators(serial_bed, queries.size()),
+      BatchOptions{});
+  const net::TrafficStats serial_delta =
+      serial_bed.network().stats().delta_since(serial_before);
+  serial_proc.set_trace(nullptr);
+  // Traced runs must actually carry their EXPLAIN tree, or the plan-note
+  // comparison below pins nothing.
+  ASSERT_GT(serial.reports[0].plan_notes.size(), 0u);
+
+  for (int workers : {2, 4, 8}) {
+    workload::Testbed bed(config());
+    DistributedQueryProcessor proc(bed.overlay());
+    obs::QueryTrace trace;
+    proc.set_trace(&trace);
+    BatchOptions opts;
+    opts.workers = workers;
+    const net::TrafficStats before = bed.network().stats();
+    BatchResult parallel = proc.execute_batch(
+        queries, distinct_initiators(bed, queries.size()), opts);
+    const net::TrafficStats delta = bed.network().stats().delta_since(before);
+    proc.set_trace(nullptr);
+
+    // The parallel driver must actually have run.
+    ASSERT_EQ(parallel.worker_makespans.size(),
+              static_cast<std::size_t>(workers))
+        << workers;
+    expect_batches_identical(serial, parallel);
+    expect_stats_equal(serial_delta, delta, "traced network delta");
+    expect_traces_identical(serial_trace, serial.root_spans, trace,
+                            parallel.root_spans);
+  }
+}
+
+TEST(ParallelBatch, TracedFaultedBatchMatchesSerial) {
+  // Tracing composes with the fault-broadcast path: worker-side injection
+  // applications land outside any span of the private traces and are
+  // discarded; the master's replay charges them once against the caller's
+  // trace, exactly like the serial event loop.
+  workload::Testbed serial_bed(config());
+  DistributedQueryProcessor serial_proc(serial_bed.overlay());
+  obs::QueryTrace serial_trace;
+  serial_proc.set_trace(&serial_trace);
+  FaultOutcome serial = run_faulted(serial_bed, /*workers=*/1, &serial_proc);
+  serial_proc.set_trace(nullptr);
+
+  workload::Testbed parallel_bed(config());
+  DistributedQueryProcessor parallel_proc(parallel_bed.overlay());
+  obs::QueryTrace parallel_trace;
+  parallel_proc.set_trace(&parallel_trace);
+  FaultOutcome parallel = run_faulted(parallel_bed, /*workers=*/2,
+                                      &parallel_proc);
+  parallel_proc.set_trace(nullptr);
+
+  int skipped = 0;
+  for (const ExecutionReport& rep : serial.run.batch.reports) {
+    skipped += rep.dead_providers_skipped;
+  }
+  EXPECT_GT(skipped, 0);
+
+  ASSERT_EQ(parallel.run.batch.worker_makespans.size(), 2u);
+  expect_batches_identical(serial.run.batch, parallel.run.batch);
+  expect_stats_equal(serial.delta, parallel.delta, "traced faulted delta");
+  // The faulted batch's span forest is the first batch_size roots; the
+  // post-convergence serial batch appended more to both traces.
+  expect_traces_identical(serial_trace, serial.run.batch.root_spans,
+                          parallel_trace, parallel.run.batch.root_spans);
+  // Injections charge outside any span: both traces must agree on the
+  // unattributed remainder, and it must be non-zero or the shielding
+  // contract above went untested.
+  EXPECT_GT(serial_trace.unattributed_messages(), 0u);
 }
 
 }  // namespace

@@ -91,6 +91,42 @@ TEST(SharedStateSpec, ReportsMalformedDeclarations) {
   EXPECT_NE(errors[3].find("wibble"), std::string::npos);
 }
 
+TEST(SharedStateSpec, ParsesMasterRootsRecordsAndDisciplines) {
+  std::vector<std::string> errors;
+  lint::SharedStateSpec spec = lint::SharedStateSpec::parse(
+      "root DagExecutor::run\n"
+      "master_root run_parallel_batch\n"
+      "record DagExecutor::record\n"
+      "state Log home=src/dqp/parallel hints=log: append\n"
+      "surface DagExecutor::fire state=Log dispatch merge=state-log:"
+      " replayed on the master\n"
+      "surface Replay::apply state=Log role=master: merge-side apply\n",
+      &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  ASSERT_EQ(spec.master_roots.size(), 1u);
+  EXPECT_EQ(spec.master_roots[0], "run_parallel_batch");
+  ASSERT_EQ(spec.records.size(), 1u);
+  EXPECT_EQ(spec.records[0], "DagExecutor::record");
+
+  const lint::SurfaceDecl* fire = spec.surface_for("DagExecutor::fire", "Log");
+  ASSERT_NE(fire, nullptr);
+  EXPECT_EQ(fire->merge, "state-log");
+  EXPECT_TRUE(fire->shard.empty());
+  const lint::SurfaceDecl* apply = spec.surface_for("Replay::apply", "Log");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_TRUE(apply->master_only);
+}
+
+TEST(SharedStateSpec, RejectsShardAndMergeOnOneSurface) {
+  std::vector<std::string> errors;
+  lint::SharedStateSpec::parse(
+      "state Log home=src/dqp/parallel hints=log: append\n"
+      "surface F state=Log shard=per-worker merge=state-log: both\n",
+      &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("shard="), std::string::npos);
+}
+
 TEST(Effects, P1FlagsUndeclaredMutationOutsideHome) {
   lint::EffectsReport report = analyze(
       {lint::tokenize("src/dqp/executor.cpp",
@@ -202,9 +238,12 @@ TEST(Effects, LedgerIsStableDedupedAndVersioned) {
       spec);
   std::string ledger = report.ledger_json(spec);
   EXPECT_NE(ledger.find("\"tool\": \"ahsw-effects\""), std::string::npos);
-  EXPECT_NE(ledger.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(ledger.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(ledger.find("\"roots\": [\"DagExecutor::run\"]"),
             std::string::npos);
+  EXPECT_NE(ledger.find("\"master_roots\": []"), std::string::npos);
+  // v2: every touch carries its resolved thread role.
+  EXPECT_NE(ledger.find("\"role\": \"worker\""), std::string::npos);
   // Two insert sites, one ledger entry, no line numbers anywhere.
   std::size_t first = ledger.find("\"mutator\": \"insert\"");
   ASSERT_NE(first, std::string::npos);

@@ -169,6 +169,79 @@ TEST(CallGraph, MemberCallsNeverResolveToFreeFunctions) {
             "Network::flush");
 }
 
+TEST(SymbolTable, LambdaBodyCallsAttributeToTheSpawningFunction) {
+  // The parallel driver hands each shard a lambda captured into a
+  // std::thread. The scanner is flat: calls inside the lambda body belong
+  // to the enclosing function's token range, so the worker code stays
+  // reachable from the spawn site — exactly what the thread-role passes
+  // need (the role cut happens at the worker root, not at the lambda).
+  lint::SymbolTable table = lint::SymbolTable::build({snip(
+      "src/dqp/parallel.cpp",
+      "void shard_work() { }\n"
+      "void launch() {\n"
+      "  std::thread t([&] { shard_work(); });\n"
+      "  t.join();\n"
+      "}\n")});
+  const lint::FunctionDef* launch = find_one(table, "launch");
+  ASSERT_NE(launch, nullptr);
+  bool saw_shard_work = false;
+  for (const lint::CallSite& call : launch->calls) {
+    if (call.name == "shard_work") saw_shard_work = true;
+  }
+  EXPECT_TRUE(saw_shard_work);
+
+  lint::CallGraph graph =
+      lint::CallGraph::resolve(table, lint::LayerSpec::parse(kLayers));
+  std::size_t launch_i = table.find("launch")[0];
+  std::size_t work_i = table.find("shard_work")[0];
+  std::vector<std::size_t> parent = graph.reach({launch_i});
+  EXPECT_EQ(parent[work_i], launch_i);
+}
+
+TEST(CallGraph, OverloadSetsResolveToEveryDefinition) {
+  // Overloads collapse to names (graph.hpp): one call site fans out to
+  // every same-named definition in the layer closure. Over-approximate by
+  // design — a spurious edge can demand a justification, never hide one.
+  lint::SymbolTable table = lint::SymbolTable::build({snip(
+      "src/dqp/executor.cpp",
+      "void absorb(int x) { }\n"
+      "void absorb(double x) { }\n"
+      "void drive() { absorb(1); }\n")});
+  lint::CallGraph graph =
+      lint::CallGraph::resolve(table, lint::LayerSpec::parse(kLayers));
+  std::vector<std::size_t> drive = table.find("drive");
+  ASSERT_EQ(drive.size(), 1u);
+  EXPECT_EQ(graph.out[drive[0]].size(), 2u);
+
+  std::vector<std::size_t> parent = graph.reach({drive[0]});
+  for (std::size_t idx : table.find("absorb")) {
+    EXPECT_EQ(parent[idx], drive[0]);
+  }
+}
+
+TEST(CallGraph, MemberFunctionPointersAreAKnownBlindSpot) {
+  // Neither taking `&Class::method` nor invoking through the pointer has
+  // the identifier-then-'(' shape the scanner keys on, so no edge forms.
+  // This is the one under-approximation in the extractor; the shared-state
+  // spec must name such targets as roots/surfaces directly if they ever
+  // carry dispatch (none do today — this test documents the contract).
+  lint::SymbolTable table = lint::SymbolTable::build({snip(
+      "src/dqp/executor.cpp",
+      "void DagExecutor::fire() { }\n"
+      "void DagExecutor::drive() {\n"
+      "  auto handler = &DagExecutor::fire;\n"
+      "  (this->*handler)();\n"
+      "}\n")});
+  lint::CallGraph graph =
+      lint::CallGraph::resolve(table, lint::LayerSpec::parse(kLayers));
+  std::vector<std::size_t> drive = table.find("DagExecutor::drive");
+  ASSERT_EQ(drive.size(), 1u);
+  EXPECT_TRUE(graph.out[drive[0]].empty());
+
+  std::vector<std::size_t> parent = graph.reach({drive[0]});
+  EXPECT_EQ(parent[table.find("DagExecutor::fire")[0]], lint::kNoFunction);
+}
+
 TEST(CallGraph, ReachReturnsShortestPathParents) {
   lint::SymbolTable table = lint::SymbolTable::build({snip(
       "src/dqp/executor.cpp",

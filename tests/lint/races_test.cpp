@@ -1,0 +1,284 @@
+// Race-analysis tests (src/lint/races.*): the C1-C4 rules over small
+// synthetic trees — record-dominates-mutate, master-surface isolation,
+// cross-role state, guarded_by lock evidence — and the stability contract
+// of the race ledger JSON (C5).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/races.hpp"
+#include "lint/source.hpp"
+
+namespace {
+
+using namespace ahsw;
+
+constexpr std::string_view kLayers =
+    "common:\n"
+    "net: common\n"
+    "overlay: common net\n"
+    "dqp: common net overlay\n";
+
+constexpr std::string_view kSpec =
+    "root DagExecutor::run\n"
+    "master_root run_parallel_batch\n"
+    "record DagExecutor::record\n"
+    "state LocationCache home=src/overlay/location_cache hints=cache:"
+    " insert invalidate\n"
+    "state Rng home=src/common/rng hints=rng scope=dispatch: next\n"
+    "surface DagExecutor::fire_lookup state=LocationCache dispatch"
+    " merge=state-log: keyed insert, replayed on the master\n"
+    "surface replay_action state=LocationCache role=master:"
+    " master-side StateLog replay\n";
+
+lint::SharedStateSpec parse_spec() {
+  std::vector<std::string> errors;
+  lint::SharedStateSpec spec = lint::SharedStateSpec::parse(kSpec, &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  return spec;
+}
+
+lint::RacesReport analyze(const std::vector<lint::SourceFile>& files) {
+  return lint::analyze_races(files, parse_spec(),
+                             lint::LayerSpec::parse(kLayers));
+}
+
+std::vector<std::string> rules_of(const lint::RacesReport& report) {
+  std::vector<std::string> out;
+  for (const lint::Diagnostic& d : report.diagnostics) out.push_back(d.rule);
+  return out;
+}
+
+lint::SourceFile snip(const std::string& path, std::string_view text) {
+  return lint::tokenize(path, text);
+}
+
+// --- C1: record-dominates-mutate ----------------------------------------
+
+TEST(RaceAnalysis, C1FiresWhenNoRecordDominatesTheMutation) {
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { fire_lookup(key); }\n"
+      "void DagExecutor::fire_lookup(Key key) {\n"
+      "  cache_.insert(key, row);\n"
+      "}\n")});
+  ASSERT_EQ(rules_of(report), std::vector<std::string>{"C1"});
+  EXPECT_EQ(report.diagnostics[0].line, 3);
+  // The diagnostic carries the worker call path from the dispatch root.
+  EXPECT_NE(report.diagnostics[0].message.find(
+                "DagExecutor::run -> DagExecutor::fire_lookup"),
+            std::string::npos);
+}
+
+TEST(RaceAnalysis, C1RecordBeforeTheMutationInTheSameFunctionIsClean) {
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { fire_lookup(key); }\n"
+      "void DagExecutor::fire_lookup(Key key) {\n"
+      "  record(action);\n"
+      "  cache_.insert(key, row);\n"
+      "}\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+}
+
+TEST(RaceAnalysis, C1RecordAfterTheMutationDoesNotDominate) {
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { fire_lookup(key); }\n"
+      "void DagExecutor::fire_lookup(Key key) {\n"
+      "  cache_.insert(key, row);\n"
+      "  record(action);\n"
+      "}\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{"C1"});
+}
+
+TEST(RaceAnalysis, C1RecordOnAnAncestorOfTheWorkerPathSatisfies) {
+  // The ancestor wraps the whole call, so it records regardless of line
+  // order within its own body.
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() {\n"
+      "  fire_lookup(key);\n"
+      "  record(action);\n"
+      "}\n"
+      "void DagExecutor::fire_lookup(Key key) {\n"
+      "  cache_.insert(key, row);\n"
+      "}\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+}
+
+TEST(RaceAnalysis, C1IgnoresMutationsOffTheWorkerTree) {
+  // Setup-time use of the same surface: not worker-reachable, no record
+  // obligation (the site still lands in the ledger as role=none).
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::fire_lookup(Key key) {\n"
+      "  cache_.insert(key, row);\n"
+      "}\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+  ASSERT_EQ(report.sites.size(), 1u);
+  EXPECT_EQ(report.sites[0].role, lint::ThreadRole::kNone);
+}
+
+// --- C2: master surfaces stay off the worker tree ------------------------
+
+TEST(RaceAnalysis, C2FiresWhenAWorkerPathReachesAMasterSurface) {
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { fire(act); }\n"
+      "void DagExecutor::fire(Action act) { replay_action(act); }\n"
+      "void replay_action(Action act) { }\n")});
+  ASSERT_EQ(rules_of(report), std::vector<std::string>{"C2"});
+  EXPECT_NE(report.diagnostics[0].message.find(
+                "DagExecutor::run -> DagExecutor::fire -> replay_action"),
+            std::string::npos);
+}
+
+TEST(RaceAnalysis, C2FiresWhenAWorkerPathReachesAMasterRoot) {
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "void DagExecutor::run() { run_parallel_batch(); }\n"
+      "void run_parallel_batch() { }\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{"C2"});
+}
+
+TEST(RaceAnalysis, C2CleanWhenTheMasterSurfaceIsMasterOnly) {
+  // reach_avoiding cuts the master BFS at the worker roots, so spawning
+  // DagExecutor::run from the master does not merge the two roles.
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "void DagExecutor::run() { }\n"
+      "void replay_action(Action act) { }\n"
+      "void run_parallel_batch() {\n"
+      "  exec.run();\n"
+      "  replay_action(act);\n"
+      "}\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+}
+
+// --- C3: no cross-role state ---------------------------------------------
+
+TEST(RaceAnalysis, C3FiresWhenDispatchScopedStateIsTouchedFromBothRoles) {
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { rng_.next(); }\n"
+      "void run_parallel_batch() { rng_.next(); }\n")});
+  ASSERT_EQ(rules_of(report), std::vector<std::string>{"C3"});
+  EXPECT_NE(report.diagnostics[0].message.find("'Rng'"), std::string::npos);
+}
+
+TEST(RaceAnalysis, C3CleanWhenDispatchScopedStateStaysWorkerSide) {
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { rng_.next(); }\n"
+      "void run_parallel_batch() { }\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+}
+
+TEST(RaceAnalysis, C3FiresWhenAMutableStaticIsReferencedFromBothRoles) {
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "static int tally = 0;\n"
+      "void DagExecutor::run() { fire(); }\n"
+      "void DagExecutor::fire() { ++tally; }\n"
+      "void run_parallel_batch() { tally = 0; }\n")});
+  ASSERT_EQ(rules_of(report), std::vector<std::string>{"C3"});
+  EXPECT_EQ(report.diagnostics[0].line, 1);
+  EXPECT_NE(report.diagnostics[0].message.find(
+                "DagExecutor::run -> DagExecutor::fire"),
+            std::string::npos);
+}
+
+TEST(RaceAnalysis, C3CleanWhenTheStaticIsSingleRole) {
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "static int tally = 0;\n"
+      "void DagExecutor::run() { ++tally; }\n"
+      "void run_parallel_batch() { }\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+}
+
+// --- C4: guarded_by annotations ------------------------------------------
+
+TEST(RaceAnalysis, C4FlagsAccessesWithoutLockEvidence) {
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "class StateLogDeposit {\n"
+      " public:\n"
+      "  void deposit(int w, StateLog log) {\n"
+      "    DepositLock lock(mu_);\n"
+      "    logs_[w] = std::move(log);\n"
+      "  }\n"
+      "  void drain() {\n"
+      "    mu_.lock();\n"
+      "    logs_.clear();\n"
+      "  }\n"
+      "  bool any() const { return !logs_.empty(); }\n"
+      " private:\n"
+      "  DepositMutex mu_;\n"
+      "  // ahsw-lint: guarded_by(mu_) one slot per worker\n"
+      "  std::vector<StateLog> logs_;\n"
+      "};\n")});
+  // deposit() holds a scoped lock, drain() calls .lock() directly; only
+  // any() touches logs_ bare.
+  ASSERT_EQ(rules_of(report), std::vector<std::string>{"C4"});
+  EXPECT_EQ(report.diagnostics[0].line, 11);
+  EXPECT_NE(report.diagnostics[0].message.find("StateLogDeposit::any"),
+            std::string::npos);
+}
+
+TEST(RaceAnalysis, C4AnnotationMustPrecedeAMemberDeclaration) {
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "class Deposit {\n"
+      "  DepositMutex mu_;\n"
+      "};\n"
+      "// ahsw-lint: guarded_by(mu_) dangling annotation\n")});
+  ASSERT_EQ(rules_of(report), std::vector<std::string>{"C4"});
+  EXPECT_NE(report.diagnostics[0].message.find(
+                "does not precede a recognizable member declaration"),
+            std::string::npos);
+}
+
+TEST(RaceAnalysis, C4ProseMentioningTheGrammarIsNotAnAnnotation) {
+  // Only the `ahsw-lint:` marker prefix arms the check; plain prose that
+  // mentions guarded_by(...) must not.
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "class Deposit {\n"
+      "  // a guarded_by(mu_) comment without the marker prefix\n"
+      "  std::vector<StateLog> logs_;\n"
+      "};\n")});
+  EXPECT_EQ(rules_of(report), std::vector<std::string>{});
+}
+
+// --- C5: the race ledger -------------------------------------------------
+
+TEST(RaceAnalysis, LedgerIsStableDedupedAndVersioned) {
+  // Two mutations through the same (state, file, function, mutator) key
+  // collapse to one line-less site; the header pins schema_version and both
+  // root sets.
+  lint::RacesReport report = analyze({snip("src/dqp/executor.cpp",
+      "void DagExecutor::run() { fire_lookup(key); }\n"
+      "void DagExecutor::fire_lookup(Key key) {\n"
+      "  record(action);\n"
+      "  cache_.insert(key, row);\n"
+      "  cache_.insert(other, row);\n"
+      "}\n")});
+  EXPECT_EQ(report.ledger_json(),
+            "{\n"
+            "  \"tool\": \"ahsw-races\",\n"
+            "  \"schema_version\": 1,\n"
+            "  \"worker_roots\": [\"DagExecutor::run\"],\n"
+            "  \"master_roots\": [\"run_parallel_batch\"],\n"
+            "  \"sites\": [\n"
+            "    {\"state\": \"LocationCache\", \"mutator\": \"insert\", "
+            "\"function\": \"DagExecutor::fire_lookup\", "
+            "\"file\": \"src/dqp/executor.cpp\", \"role\": \"worker\", "
+            "\"discipline\": \"merge=state-log\", "
+            "\"path\": [\"DagExecutor::run\", \"DagExecutor::fire_lookup\"]}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(RaceAnalysis, LedgerRecordsUndeclaredDisciplineAndMasterPaths) {
+  // A touch with no covering surface reports discipline=undeclared; a
+  // master-side touch carries the master path instead of a worker path.
+  lint::RacesReport report = analyze({snip("src/dqp/parallel.cpp",
+      "void run_parallel_batch() { merge(); }\n"
+      "void merge() { cache_.invalidate(key); }\n")});
+  ASSERT_EQ(report.sites.size(), 1u);
+  EXPECT_EQ(report.sites[0].discipline, "undeclared");
+  EXPECT_EQ(report.sites[0].role, lint::ThreadRole::kMaster);
+  ASSERT_EQ(report.sites[0].path.size(), 2u);
+  EXPECT_EQ(report.sites[0].path[0], "run_parallel_batch");
+  EXPECT_EQ(report.sites[0].path[1], "merge");
+}
+
+}  // namespace

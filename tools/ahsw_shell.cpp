@@ -21,9 +21,9 @@
 //                                (docs/caching.md); defaults 400 4 4000 64
 //   policy workers <n>           parallel batch driver worker threads for
 //                                `batch` (default 1 = serial). Simulated
-//                                results are byte-identical either way;
-//                                with n > 1 the batch runs untraced, so
-//                                `explain` has nothing to show for it
+//                                results, traces and `explain` output are
+//                                byte-identical either way (per-worker span
+//                                forests merge back on the master)
 //   query <addr> <sparql...>     run a query (may span lines; end with ';')
 //   batch <addr> <addr> ...      run N queries concurrently (one per ';'-
 //                                terminated query on the following lines)
@@ -42,9 +42,10 @@
 //                                availability metrics)
 //   audit [converged]            run the invariant auditor (I1-I5; with
 //                                `converged`: converge first, then I1-I6)
-//   lint [effects]               run ahsw-lint over the source tree (with
+//   lint [effects|races]         run ahsw-lint over the source tree (with
 //                                `effects`: plus the shared-state effect
-//                                analysis, rule family P)
+//                                analysis, rule family P; with `races`:
+//                                plus the thread-role race analysis, C)
 //   stats                        system summary
 //   quit
 #include <fstream>
@@ -80,9 +81,6 @@ struct Shell {
   bool churned = false;
   /// Traffic delta of the last query, for the I5 conservation audit.
   net::TrafficStats last_query_delta;
-  /// False when the last batch ran through the untraced parallel driver —
-  /// its spans do not exist, so the I5 conservation audit must skip it.
-  bool last_traced = true;
   /// Faults queued by `inject`; the next `batch` consumes (and clears) them.
   fault::FaultSchedule pending_faults;
   /// `policy workers <n>`: BatchOptions::workers for the next `batch`.
@@ -126,7 +124,6 @@ struct Shell {
       sparql::QueryResult result = processor->execute(text, from, &rep);
       last_query_delta = network->stats().delta_since(before);
       have_query = true;
-      last_traced = true;
       std::cout << sparql::to_table(result);
       std::cout << "-- " << rep.traffic.messages << " msgs, "
                 << rep.traffic.bytes << " B, " << rep.response_time
@@ -156,9 +153,6 @@ struct Shell {
       pending_faults.clear();
       dqp::BatchOptions opts;
       opts.workers = batch_workers;
-      // The parallel driver does not trace; detach so it engages instead
-      // of silently falling back to the serial path.
-      if (batch_workers > 1) processor->set_trace(nullptr);
       std::vector<dqp::BatchQuery> batch;
       for (std::size_t i = 0; i < queries.size(); ++i) {
         batch.push_back(
@@ -166,11 +160,9 @@ struct Shell {
       }
       fault::FaultRunResult fr =
           fault::run_with_faults(*processor, *overlay, batch, schedule, opts);
-      if (batch_workers > 1) processor->set_trace(&trace);
       dqp::BatchResult& r = fr.batch;
       last_query_delta = network->stats().delta_since(before);
       have_query = true;
-      last_traced = r.worker_makespans.empty();
       for (std::size_t i = 0; i < queries.size(); ++i) {
         const dqp::ExecutionReport& rep = r.reports[i];
         std::cout << "q" << i << " @ device " << addrs[i] << ":\n"
@@ -212,10 +204,10 @@ struct Shell {
     opt.converged = converged;
     opt.churned = churned;
     check::AuditReport rep = check::audit(*overlay, opt);
-    if (have_query && last_traced) {
-      // I5 over the last query: its spans are still in the trace. A batch
-      // run by the parallel driver has no spans; its conservation is
-      // checked structurally by the driver's traffic merge instead.
+    if (have_query) {
+      // I5 over the last query or batch: its spans are still in the trace
+      // (a parallel batch grafts the per-worker span forests back, so the
+      // merged tree carries the same charges as a serial run).
       check::audit_conservation(trace, last_query_delta, rep, opt);
     }
     std::cout << rep.to_string() << "\n";
@@ -487,7 +479,9 @@ int run(std::istream& in, bool interactive) {
         // The static half of the correctness suite: audit checks the
         // running system, lint checks the source tree it was built from.
         // `lint effects` additionally runs the shared-state effect
-        // analysis (rule family P) against tools/ahsw_shared_state.spec.
+        // analysis (rule family P); `lint races` the thread-role race
+        // analysis (rule family C) — both against
+        // tools/ahsw_shared_state.spec.
 #ifdef AHSW_SOURCE_ROOT
         const std::string root = AHSW_SOURCE_ROOT;
 #else
@@ -500,6 +494,9 @@ int run(std::istream& in, bool interactive) {
         if (mode == "effects") {
           lint::SharedStateSpec spec = lint::load_shared_state_spec(root);
           lint::lint_tree_effects(root, cfg, spec, &report, nullptr);
+        } else if (mode == "races") {
+          lint::SharedStateSpec spec = lint::load_shared_state_spec(root);
+          lint::lint_tree_races(root, cfg, spec, &report, nullptr);
         }
         std::cout << report.to_string();
       } else if (cmd == "stats") {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Race-ledger drift gate (rule family C, mirror of check_effects_ledger.sh).
+#
+# Compares a freshly generated ahsw_races.json (argument, or regenerated
+# here when omitted) against the committed baseline tools/ahsw_races.json.
+# The ledger is line-less and deduplicated; every site carries the resolved
+# thread role (worker / master / both / none), the parallel-safety
+# discipline of its covering surface, and its call path. A diff means the
+# concurrency surface of the tree changed — a new cross-role touch, a role
+# flip, a discipline change — and the baseline must be regenerated and
+# re-reviewed:
+#
+#   build/tools/ahsw_lint --root . --races --races-json tools/ahsw_races.json
+#
+# Exit codes: 0 in sync, 1 drift, 2 usage/build error.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=tools/ahsw_races.json
+fresh="${1:-}"
+
+if [ -z "${fresh}" ]; then
+  build_dir="${AHSW_BUILD_DIR:-build}"
+  if [ ! -x "${build_dir}/tools/ahsw_lint" ]; then
+    echo "error: ${build_dir}/tools/ahsw_lint not built (pass a ledger path or set AHSW_BUILD_DIR)" >&2
+    exit 2
+  fi
+  fresh="$(mktemp)"
+  trap 'rm -f "${fresh}"' EXIT
+  # The tree may have lint findings; drift checking only needs the ledger,
+  # so the lint exit code is ignored here (lint.races gates it separately).
+  "${build_dir}/tools/ahsw_lint" --root . --races \
+    --races-json "${fresh}" > /dev/null || true
+fi
+
+if [ ! -f "${fresh}" ]; then
+  echo "error: generated ledger ${fresh} missing" >&2
+  exit 2
+fi
+
+if ! diff -u "${baseline}" "${fresh}"; then
+  echo "error: ${baseline} is out of date with the tree; regenerate it with" >&2
+  echo "  <build>/tools/ahsw_lint --root . --races --races-json ${baseline}" >&2
+  echo "and review the new or re-roled touch points." >&2
+  exit 1
+fi
+
+# Both-role gate: a site resolved to role "both" must carry an explicit
+# shard=/merge= discipline. Both-role is by design for exactly two shapes —
+# merge=state-log surfaces the master replays, and shard= surfaces whose
+# master-side uses happen in the sequential phases between worker runs. A
+# both-role site with no declared discipline is a surface neither story
+# covers.
+hazard="$(python3 - "$baseline" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for s in d["sites"]:
+    ok = s["discipline"].startswith(("shard=", "merge="))
+    if s["role"] == "both" and not ok:
+        print(f'  {s["function"]} ({s["file"]}): {s["discipline"]}')
+EOF
+)"
+if [ -n "${hazard}" ]; then
+  echo "error: both-role sites without a shard=/merge= discipline in ${baseline}:" >&2
+  echo "${hazard}" >&2
+  echo "either cut the master path, or declare the discipline in tools/ahsw_shared_state.spec." >&2
+  exit 1
+fi
+echo "race ledger in sync (${baseline}); all both-role sites disciplined"
