@@ -571,12 +571,14 @@ void audit_conservation(const obs::QueryTrace& trace,
                         const AuditOptions& opt) {
   std::uint64_t messages = trace.unattributed_messages();
   std::uint64_t bytes = trace.unattributed_bytes();
+  std::uint64_t raw_bytes = trace.unattributed_raw_bytes();
   std::uint64_t timeouts = trace.unattributed_timeouts();
   std::uint64_t messages_by[net::kCategoryCount] = {};
   std::uint64_t bytes_by[net::kCategoryCount] = {};
   for (const obs::Span& s : trace.spans()) {
     messages += s.messages;
     bytes += s.bytes;
+    raw_bytes += s.raw_bytes;
     timeouts += s.timeouts;
     for (int c = 0; c < net::kCategoryCount; ++c) {
       messages_by[c] += s.messages_by[c];
@@ -594,6 +596,9 @@ void audit_conservation(const obs::QueryTrace& trace,
   };
   if (messages != delta.messages) mismatch("messages", messages, delta.messages);
   if (bytes != delta.bytes) mismatch("bytes", bytes, delta.bytes);
+  if (raw_bytes != delta.raw_bytes) {
+    mismatch("raw bytes", raw_bytes, delta.raw_bytes);
+  }
   if (timeouts != delta.timeouts) mismatch("timeouts", timeouts, delta.timeouts);
   // Per-category sums exclude the unattributed bucket (it keeps no category
   // split), so spans can only ever account for at most the delta.

@@ -1,5 +1,7 @@
 #include "common/strings.hpp"
 
+#include <cstdint>
+
 namespace ahsw::common {
 
 namespace {
@@ -41,6 +43,52 @@ bool starts_with(std::string_view s, std::string_view prefix) noexcept {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+namespace {
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+[[nodiscard]] int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Parse `digits` hex chars of `s` starting at `pos` into `out`. False (and
+/// `out` unspecified) when the input is short or not hex.
+bool parse_hex(std::string_view s, std::size_t pos, std::size_t digits,
+               std::uint32_t& out) {
+  if (pos + digits > s.size()) return false;
+  out = 0;
+  for (std::size_t i = 0; i < digits; ++i) {
+    int v = hex_value(s[pos + i]);
+    if (v < 0) return false;
+    out = out << 4 | static_cast<std::uint32_t>(v);
+  }
+  return true;
+}
+
+/// Append the UTF-8 encoding of a code point.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | cp >> 6);
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | cp >> 12);
+    out += static_cast<char>(0x80 | (cp >> 6 & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | cp >> 18);
+    out += static_cast<char>(0x80 | (cp >> 12 & 0x3F));
+    out += static_cast<char>(0x80 | (cp >> 6 & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
 std::string escape_ntriples(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());
@@ -51,7 +99,19 @@ std::string escape_ntriples(std::string_view raw) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      default: {
+        auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
+          // Remaining control characters must use the numeric escape, or
+          // the serialized line would contain a raw control byte that
+          // unescape_ntriples has no inverse image for.
+          out += "\\u00";
+          out += kHexDigits[byte >> 4];
+          out += kHexDigits[byte & 0xF];
+        } else {
+          out += c;  // non-ASCII UTF-8 bytes pass through unescaped
+        }
+      }
     }
   }
   return out;
@@ -67,12 +127,36 @@ std::string unescape_ntriples(std::string_view escaped) {
       continue;
     }
     char next = escaped[++i];
+    std::uint32_t cp = 0;
     switch (next) {
       case '\\': out += '\\'; break;
       case '"': out += '"'; break;
       case 'n': out += '\n'; break;
       case 'r': out += '\r'; break;
       case 't': out += '\t'; break;
+      case 'u':
+        // \uXXXX decodes to the UTF-8 bytes of the code point; it used to
+        // be passed through verbatim, so a document's "A" survived as
+        // six characters while escape_ntriples would then double the
+        // backslash — parse/serialize round trips diverged on any numeric
+        // escape. Malformed hex still falls through verbatim.
+        if (parse_hex(escaped, i + 1, 4, cp)) {
+          append_utf8(out, cp);
+          i += 4;
+        } else {
+          out += '\\';
+          out += next;
+        }
+        break;
+      case 'U':
+        if (parse_hex(escaped, i + 1, 8, cp) && cp <= 0x10FFFF) {
+          append_utf8(out, cp);
+          i += 8;
+        } else {
+          out += '\\';
+          out += next;
+        }
+        break;
       default:
         out += '\\';
         out += next;

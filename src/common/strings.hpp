@@ -22,11 +22,14 @@ namespace ahsw::common {
 [[nodiscard]] bool starts_with(std::string_view s,
                                std::string_view prefix) noexcept;
 
-/// Escape a literal value for N-Triples output (backslash, quote, newline,
-/// carriage return, tab).
+/// Escape a literal value for N-Triples output: backslash, quote, newline,
+/// carriage return and tab use their named escapes; any other control
+/// character becomes \u00XX. Other bytes (including UTF-8) pass through.
 [[nodiscard]] std::string escape_ntriples(std::string_view raw);
 
-/// Inverse of escape_ntriples for the same escape set plus \uXXXX passthrough.
+/// Inverse of escape_ntriples: named escapes plus \uXXXX / \UXXXXXXXX
+/// decoded to UTF-8 (malformed numeric escapes are kept verbatim).
+/// unescape_ntriples(escape_ntriples(s)) == s for every byte string s.
 [[nodiscard]] std::string unescape_ntriples(std::string_view escaped);
 
 }  // namespace ahsw::common

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "net/wire.hpp"
 #include "obs/explain.hpp"
 #include "sparql/ast.hpp"
 
@@ -57,8 +58,9 @@ overlay::HybridOverlay::Located DagExecutor::locate(
 DagExecutor::Located DagExecutor::ship(Located from, net::NodeAddress target,
                                        net::Category category) {
   if (from.site == target) return from;
-  from.ready_at = net().send(from.site, target, from.set.byte_size(),
-                             from.ready_at, category);
+  from.ready_at =
+      net().send(from.site, target, net::wire::charged_bytes(from.set),
+                 from.ready_at, category, from.set.byte_size());
   from.site = target;
   return from;
 }
@@ -71,7 +73,7 @@ std::optional<SolutionSet> DagExecutor::run_at_provider(
     return std::nullopt;
   }
   ++rep.providers_contacted;
-  sparql::LocalEngine engine(overlay_->store_of(provider));
+  sparql::LocalEngine engine(overlay_->store_of(provider), policy_.vectorized);
   return engine.match_pattern(p);
 }
 
@@ -127,11 +129,13 @@ std::pair<DagExecutor::Located, DagExecutor::Located> DagExecutor::colocate(
           addr, overlay_->storage_state(addr).capacity});
     }
   }
+  // Operand sizes are the *charged* (wire-encoded) sizes: move-small
+  // decisions follow what shipping actually costs under compression.
   net::NodeAddress site = optimizer::choose_join_site(
       policy_.join_site,
-      optimizer::LocatedOperand{a.site, a.set.byte_size()},
-      optimizer::LocatedOperand{b.site, b.set.byte_size()}, initiator,
-      candidates);
+      optimizer::LocatedOperand{a.site, net::wire::charged_bytes(a.set)},
+      optimizer::LocatedOperand{b.site, net::wire::charged_bytes(b.set)},
+      initiator, candidates);
   rep.plan_notes.push_back(
       std::string("join-site: ") +
       std::string(optimizer::join_site_policy_name(policy_.join_site)) +
@@ -581,9 +585,11 @@ net::SimTime DagExecutor::fire_scan(QueryRun& run, TaskId id) {
                    now, net::Category::kQuery);
     if (carry != nullptr) {
       t = std::max(t, net().send(carry->site, chain.front().address,
-                                 carry->set.byte_size(), carry->ready_at,
-                                 net::Category::kData));
-      task.carry_bytes = carry->set.byte_size();
+                                 net::wire::charged_bytes(carry->set),
+                                 carry->ready_at, net::Category::kData,
+                                 carry->set.byte_size()));
+      task.carry_bytes = net::wire::charged_bytes(carry->set);
+      task.carry_raw_bytes = carry->set.byte_size();
     }
     ship_span.finish(t);
   }
@@ -633,10 +639,10 @@ net::SimTime DagExecutor::fire_scatter_leg(QueryRun& run, TaskId id) {
     std::optional<SolutionSet> local =
         run_at_provider(prov, scan.pattern, t, run.initiator, run.rep);
     if (local.has_value()) {
-      t = net().send(prov, scan.assembly, local->byte_size(), t,
-                     net::Category::kData);
+      t = net().send(prov, scan.assembly, net::wire::charged_bytes(*local),
+                     t, net::Category::kData, local->byte_size());
       scan.merged = sparql::deduplicated(
-          sparql::set_union(scan.merged, *local));
+          sparql::set_union(scan.merged, *local), policy_.vectorized);
     } else if (policy_.retry.enabled() &&
                leg.attempt < policy_.retry.max_retries) {
       // Dead contact with attempts left: hand the slot to a replacement leg
@@ -686,7 +692,7 @@ net::SimTime DagExecutor::fire_scatter_leg(QueryRun& run, TaskId id) {
                              scan.assembly);
     Located c = ship(scan.carry, scan.assembly, net::Category::kData);
     ship_span.finish(c.ready_at);
-    out.set = sparql::join(c.set, out.set);
+    out.set = sparql::join(c.set, out.set, policy_.vectorized);
     out.ready_at = std::max(out.ready_at, c.ready_at);
   }
   scan.out = std::move(out);
@@ -709,10 +715,15 @@ net::SimTime DagExecutor::fire_chain_hop(QueryRun& run, TaskId id) {
                            " node " + std::to_string(prov),
                        start, prov);
     const std::size_t payload = subquery_wire_bytes(scan.pattern) +
-                                scan.acc.byte_size() + scan.carry_bytes;
+                                net::wire::charged_bytes(scan.acc) +
+                                scan.carry_bytes;
+    const std::size_t raw_payload = subquery_wire_bytes(scan.pattern) +
+                                    scan.acc.byte_size() +
+                                    scan.carry_raw_bytes;
     start = net().send(scan.sender, prov, payload, start,
                        hop.position == 0 ? net::Category::kQuery
-                                         : net::Category::kData);
+                                         : net::Category::kData,
+                       raw_payload);
   }
   net::SimTime t = claim(prov, run.qid, start);
   {
@@ -722,10 +733,12 @@ net::SimTime DagExecutor::fire_chain_hop(QueryRun& run, TaskId id) {
         run_at_provider(prov, scan.pattern, t, run.initiator, run.rep);
     if (local.has_value()) {
       SolutionSet contribution = scan.has_carry
-                                     ? sparql::join(scan.carry.set, *local)
+                                     ? sparql::join(scan.carry.set, *local,
+                                                    policy_.vectorized)
                                      : std::move(*local);
       scan.acc =
-          sparql::deduplicated(sparql::set_union(scan.acc, contribution));
+          sparql::deduplicated(sparql::set_union(scan.acc, contribution),
+                               policy_.vectorized);
       scan.site = prov;
       scan.sender = prov;
     } else if (policy_.retry.enabled() &&
@@ -752,8 +765,13 @@ net::SimTime DagExecutor::fire_chain_hop(QueryRun& run, TaskId id) {
     if (!last) {
       const net::NodeAddress next = scan.chain[hop.position + 1].address;
       const std::size_t payload = subquery_wire_bytes(scan.pattern) +
-                                  scan.acc.byte_size() + scan.carry_bytes;
-      t = net().send(scan.sender, next, payload, t, net::Category::kData);
+                                  net::wire::charged_bytes(scan.acc) +
+                                  scan.carry_bytes;
+      const std::size_t raw_payload = subquery_wire_bytes(scan.pattern) +
+                                      scan.acc.byte_size() +
+                                      scan.carry_raw_bytes;
+      t = net().send(scan.sender, next, payload, t, net::Category::kData,
+                     raw_payload);
     }
     hop_span.finish(t);
   }
@@ -866,11 +884,13 @@ net::SimTime DagExecutor::fire_relookup(QueryRun& run, TaskId id) {
                    net::Category::kQuery);
     if (scan.has_carry) {
       t = std::max(t, net().send(scan.carry.site, chain.front().address,
-                                 scan.carry.set.byte_size(),
+                                 net::wire::charged_bytes(scan.carry.set),
                                  std::max(loc.completed_at,
                                           scan.carry.ready_at),
-                                 net::Category::kData));
-      scan.carry_bytes = scan.carry.set.byte_size();
+                                 net::Category::kData,
+                                 scan.carry.set.byte_size()));
+      scan.carry_bytes = net::wire::charged_bytes(scan.carry.set);
+      scan.carry_raw_bytes = scan.carry.set.byte_size();
     }
     ship_span.finish(t);
   }
@@ -915,7 +935,7 @@ net::SimTime DagExecutor::fire_binary(QueryRun& run, TaskId id) {
     case TaskKind::kJoin: {
       auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
                                run.rep);
-      out.set = sparql::join(cl.set, cr.set);
+      out.set = sparql::join(cl.set, cr.set, policy_.vectorized);
       out.site = cl.site;
       out.ready_at = std::max(cl.ready_at, cr.ready_at);
       break;
@@ -923,7 +943,8 @@ net::SimTime DagExecutor::fire_binary(QueryRun& run, TaskId id) {
     case TaskKind::kLeftJoin: {
       auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
                                run.rep);
-      out.set = sparql::left_join_conditioned(cl.set, cr.set, op.expr);
+      out.set = sparql::left_join_conditioned(cl.set, cr.set, op.expr,
+                                              policy_.vectorized);
       out.site = cl.site;
       out.ready_at = std::max(cl.ready_at, cr.ready_at);
       break;
@@ -931,7 +952,7 @@ net::SimTime DagExecutor::fire_binary(QueryRun& run, TaskId id) {
     case TaskKind::kMinus: {
       auto [cl, cr] = colocate(std::move(l), std::move(r), run.initiator,
                                run.rep);
-      out.set = sparql::minus(cl.set, cr.set);
+      out.set = sparql::minus(cl.set, cr.set, policy_.vectorized);
       out.site = cl.site;
       out.ready_at = std::max(cl.ready_at, cr.ready_at);
       break;
@@ -945,7 +966,8 @@ net::SimTime DagExecutor::fire_binary(QueryRun& run, TaskId id) {
         l = std::move(cl);
         r = std::move(cr);
       }
-      out.set = sparql::deduplicated(sparql::set_union(l.set, r.set));
+      out.set = sparql::deduplicated(sparql::set_union(l.set, r.set),
+                                     policy_.vectorized);
       out.site = l.site;
       out.ready_at = std::max(l.ready_at, r.ready_at);
       break;
@@ -962,7 +984,7 @@ net::SimTime DagExecutor::fire_filter(QueryRun& run, TaskId id) {
   Task& task = run.tasks[id];
   const PhysicalOp& op = run.plan.ops[task.op];
   Located l = run.tasks[op.inputs.front()].out;
-  l.set = sparql::filter_set(l.set, *op.expr);
+  l.set = sparql::filter_set(l.set, *op.expr, policy_.vectorized);
   task.out = std::move(l);
   complete(run, id, task.out.ready_at);
   return 0;
@@ -983,7 +1005,7 @@ net::SimTime DagExecutor::fire_modifier(QueryRun& run, TaskId id) {
     }
     case sparql::AlgebraKind::kDistinct:
     case sparql::AlgebraKind::kReduced:
-      l.set = sparql::deduplicated(std::move(l.set));
+      l.set = sparql::deduplicated(std::move(l.set), policy_.vectorized);
       break;
     case sparql::AlgebraKind::kOrderBy:
       sparql::order_solutions(l.set, op.order);

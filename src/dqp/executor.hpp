@@ -163,7 +163,8 @@ class DagExecutor {
     obs::SpanId pattern_span = obs::kNoSpan;
     bool has_carry = false;
     Located carry;
-    std::size_t carry_bytes = 0;
+    std::size_t carry_bytes = 0;      // wire (charged) size of the carry
+    std::size_t carry_raw_bytes = 0;  // uncompressed counterpart
     net::NodeAddress assembly = net::kNoAddress;
     std::size_t remaining = 0;               // outstanding scatter legs
     sparql::SolutionSet merged;              // scatter merge accumulator

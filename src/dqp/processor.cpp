@@ -5,6 +5,7 @@
 
 #include "dqp/executor.hpp"
 #include "dqp/parallel.hpp"
+#include "net/wire.hpp"
 #include "obs/explain.hpp"
 #include "sparql/ast.hpp"
 
@@ -69,7 +70,8 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::ship(
   (void)rep;
   if (from.site == target) return from;
   from.ready_at = overlay_->network().send(
-      from.site, target, from.set.byte_size(), from.ready_at, category);
+      from.site, target, net::wire::charged_bytes(from.set), from.ready_at,
+      category, from.set.byte_size());
   from.site = target;
   return from;
 }
@@ -88,7 +90,7 @@ std::optional<sparql::SolutionSet> DistributedQueryProcessor::run_at_provider(
     return std::nullopt;
   }
   ++rep.providers_contacted;
-  sparql::LocalEngine engine(overlay_->store_of(provider));
+  sparql::LocalEngine engine(overlay_->store_of(provider), policy_.vectorized);
   return engine.match_pattern(p);
 }
 
@@ -153,10 +155,11 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
         done = std::max(done, t);
         continue;
       }
-      t = net.send(prov.address, assembly, local->byte_size(), t,
-                   net::Category::kData);
+      t = net.send(prov.address, assembly, net::wire::charged_bytes(*local),
+                   t, net::Category::kData, local->byte_size());
       exec_span.finish(t);
-      merged = sparql::deduplicated(sparql::set_union(merged, *local));
+      merged = sparql::deduplicated(sparql::set_union(merged, *local),
+                                    policy_.vectorized);
       done = std::max(done, t);
     }
     Located out;
@@ -170,7 +173,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
                                "carry to assembly", carry->ready_at, assembly);
       Located c = ship(*carry, assembly, rep);
       ship_span.finish(c.ready_at);
-      out.set = sparql::join(c.set, out.set);
+      out.set = sparql::join(c.set, out.set, policy_.vectorized);
       out.ready_at = std::max(out.ready_at, c.ready_at);
     }
     pattern_span.finish(out.ready_at);
@@ -194,6 +197,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
   // first provider; the carried set (if any) travels from its site there.
   net::SimTime t;
   std::size_t carry_bytes = 0;
+  std::size_t carry_raw_bytes = 0;
   {
     obs::SpanScope ship_span(trace_, obs::SpanKind::kSubQueryShip,
                              "to node " + std::to_string(chain.front().address),
@@ -202,9 +206,11 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
                  net::Category::kQuery);
     if (carry != nullptr) {
       t = std::max(t, net.send(carry->site, chain.front().address,
-                               carry->set.byte_size(), carry->ready_at,
-                               net::Category::kData));
-      carry_bytes = carry->set.byte_size();
+                               net::wire::charged_bytes(carry->set),
+                               carry->ready_at, net::Category::kData,
+                               carry->set.byte_size()));
+      carry_bytes = net::wire::charged_bytes(carry->set);
+      carry_raw_bytes = carry->set.byte_size();
     }
     ship_span.finish(t);
   }
@@ -223,17 +229,22 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::exec_pattern(
         run_at_provider(prov, p, t, initiator, rep);
     if (local.has_value()) {
       SolutionSet contribution =
-          carry != nullptr ? sparql::join(carry->set, *local)
+          carry != nullptr ? sparql::join(carry->set, *local,
+                                          policy_.vectorized)
                            : std::move(*local);
-      acc = sparql::deduplicated(sparql::set_union(acc, contribution));
+      acc = sparql::deduplicated(sparql::set_union(acc, contribution),
+                                 policy_.vectorized);
       site = prov;
       sender = prov;
     }
     if (i + 1 < chain.size()) {
       net::NodeAddress next = chain[i + 1].address;
-      std::size_t payload =
-          subquery_wire_bytes(p) + acc.byte_size() + carry_bytes;
-      t = net.send(sender, next, payload, t, net::Category::kData);
+      std::size_t payload = subquery_wire_bytes(p) +
+                            net::wire::charged_bytes(acc) + carry_bytes;
+      std::size_t raw_payload =
+          subquery_wire_bytes(p) + acc.byte_size() + carry_raw_bytes;
+      t = net.send(sender, next, payload, t, net::Category::kData,
+                   raw_payload);
     }
     hop_span.finish(t);
   }
@@ -335,11 +346,12 @@ DistributedQueryProcessor::colocate(Located a, Located b,
           addr, overlay_->storage_state(addr).capacity});
     }
   }
+  // Charged (wire-encoded) operand sizes, mirroring the DAG executor.
   net::NodeAddress site = optimizer::choose_join_site(
       policy_.join_site,
-      optimizer::LocatedOperand{a.site, a.set.byte_size()},
-      optimizer::LocatedOperand{b.site, b.set.byte_size()}, initiator,
-      candidates);
+      optimizer::LocatedOperand{a.site, net::wire::charged_bytes(a.set)},
+      optimizer::LocatedOperand{b.site, net::wire::charged_bytes(b.set)},
+      initiator, candidates);
   rep.plan_notes.push_back(
       std::string("join-site: ") +
       std::string(optimizer::join_site_policy_name(policy_.join_site)) +
@@ -365,7 +377,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::eval(
       Located r = eval(*a.right, initiator, now, rep, l.site);
       auto [cl, cr] = colocate(std::move(l), std::move(r), initiator, rep);
       Located out;
-      out.set = sparql::join(cl.set, cr.set);
+      out.set = sparql::join(cl.set, cr.set, policy_.vectorized);
       out.site = cl.site;
       out.ready_at = std::max(cl.ready_at, cr.ready_at);
       return out;
@@ -379,7 +391,8 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::eval(
       Located r = eval(*a.right, initiator, now, rep, std::nullopt);
       auto [cl, cr] = colocate(std::move(l), std::move(r), initiator, rep);
       Located out;
-      out.set = sparql::left_join_conditioned(cl.set, cr.set, a.expr);
+      out.set = sparql::left_join_conditioned(cl.set, cr.set, a.expr,
+                                              policy_.vectorized);
       out.site = cl.site;
       out.ready_at = std::max(cl.ready_at, cr.ready_at);
       return out;
@@ -401,7 +414,8 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::eval(
         r = std::move(cr);
       }
       Located out;
-      out.set = sparql::deduplicated(sparql::set_union(l.set, r.set));
+      out.set = sparql::deduplicated(sparql::set_union(l.set, r.set),
+                                     policy_.vectorized);
       out.site = l.site;
       out.ready_at = std::max(l.ready_at, r.ready_at);
       return out;
@@ -411,7 +425,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::eval(
       // Group-level filters run where the operand already is, shrinking the
       // set before it ever crosses a link.
       Located l = eval(*a.left, initiator, now, rep, preferred_end);
-      l.set = sparql::filter_set(l.set, *a.expr);
+      l.set = sparql::filter_set(l.set, *a.expr, policy_.vectorized);
       return l;
     }
 
@@ -430,7 +444,7 @@ DistributedQueryProcessor::Located DistributedQueryProcessor::eval(
         }
         case AlgebraKind::kDistinct:
         case AlgebraKind::kReduced:
-          l.set = sparql::deduplicated(std::move(l.set));
+          l.set = sparql::deduplicated(std::move(l.set), policy_.vectorized);
           break;
         case AlgebraKind::kOrderBy:
           sparql::order_solutions(l.set, a.order);

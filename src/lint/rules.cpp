@@ -340,6 +340,32 @@ void check_a1(const SourceFile& f, std::vector<Diagnostic>* out) {
               " call site without an explicit net::Category; every charged "
               "interaction must name its traffic category"});
     }
+    // The charged (3rd) argument of send() must not be a raw byte_size():
+    // solution payloads are charged at their wire-encoded size
+    // (net::wire::charged_bytes), with byte_size passed separately as the
+    // trailing raw_bytes argument. The repository's fixed-format pattern
+    // shipping predates the wire codec and stays raw by design.
+    if (t[i].ident("send") &&
+        !whitelisted(f.path, {"src/net/wire", "src/rdfpeers/repository"})) {
+      int depth = 0;
+      int arg = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].is("(") || t[j].is("[") || t[j].is("{")) {
+          ++depth;
+        } else if (t[j].is(")") || t[j].is("]") || t[j].is("}")) {
+          --depth;
+        } else if (depth == 1 && t[j].is(",")) {
+          ++arg;
+        } else if (arg == 2 && t[j].ident("byte_size")) {
+          out->push_back(Diagnostic{
+              "A1", f.path, t[j].line,
+              "raw byte_size() charged as wire traffic; charge "
+              "net::wire::charged_bytes and pass byte_size as the "
+              "raw_bytes argument"});
+          break;
+        }
+      }
+    }
   }
 }
 
@@ -352,8 +378,15 @@ constexpr std::string_view kCounterFields[] = {
 constexpr std::string_view kCacheCounterFields[] = {
     "hits", "misses", "invalidations", "expirations", "insertions", "leases"};
 
+/// Compression accounting pair (wire-charged vs uncompressed size). Unlike
+/// the generic counters these names are unambiguous, so any mutation
+/// outside the wire/accounting layer is a violation — no receiver-chain
+/// heuristic needed.
+constexpr std::string_view kWireCounterFields[] = {"raw_bytes", "wire_bytes"};
+
 void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
-  if (whitelisted(f.path, {"src/net/network", "src/obs/trace.cpp",
+  if (whitelisted(f.path, {"src/net/network", "src/net/wire",
+                           "src/obs/trace.cpp",
                            "src/overlay/location_cache"})) {
     return;
   }
@@ -363,13 +396,17 @@ void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
     const Token& field = t[i + 1];
     bool is_counter = false;
     bool is_cache_counter = false;
+    bool is_wire_counter = false;
     for (std::string_view c : kCounterFields) {
       if (field.ident(c)) is_counter = true;
     }
     for (std::string_view c : kCacheCounterFields) {
       if (field.ident(c)) is_cache_counter = true;
     }
-    if (!is_counter && !is_cache_counter) continue;
+    for (std::string_view c : kWireCounterFields) {
+      if (field.ident(c)) is_wire_counter = true;
+    }
+    if (!is_counter && !is_cache_counter && !is_wire_counter) continue;
     std::size_t j = i + 2;
     if (j < t.size() && t[j].is("[")) {
       j = match_forward(t, j, "[", "]") + 1;
@@ -385,8 +422,9 @@ void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
       mutating = true;
     }
     if (!mutating) continue;
-    bool accounting_target = is_counter && field.text.size() > 3 &&
-                             field.text.substr(field.text.size() - 3) == "_by";
+    bool accounting_target =
+        is_wire_counter || (is_counter && field.text.size() > 3 &&
+                            field.text.substr(field.text.size() - 3) == "_by");
     for (const std::string& link : chain) {
       if (is_counter &&
           (contains_ci(link, "stats") || contains_ci(link, "traffic"))) {
@@ -399,12 +437,17 @@ void check_a2(const SourceFile& f, std::vector<Diagnostic>* out) {
     }
     if (accounting_target) {
       const char* what =
-          is_counter
-              ? "' mutated outside the accounting layer; byte totals change "
-                "only through Network charging or TrafficStats::accumulate"
-              : "' mutated outside the accounting layer; cache counters "
-                "change only inside LocationCache or through "
-                "CacheStats::accumulate";
+          is_wire_counter
+              ? "' mutated outside the wire accounting layer; compressed/raw "
+                "byte pairs change only inside src/net/wire, Network "
+                "charging, or the span ledger"
+              : is_counter
+                    ? "' mutated outside the accounting layer; byte totals "
+                      "change only through Network charging or "
+                      "TrafficStats::accumulate"
+                    : "' mutated outside the accounting layer; cache "
+                      "counters change only inside LocationCache or through "
+                      "CacheStats::accumulate";
       out->push_back(Diagnostic{"A2", f.path, field.line,
                                 "traffic counter '" + field.text + what});
     }
@@ -683,10 +726,12 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "iteration-order contract"},
       {"A1", "accounting",
        "every Network::send / Network::timeout call site names its traffic "
-       "category explicitly"},
+       "category explicitly, and send() charges wire-encoded sizes, never "
+       "a raw byte_size()"},
       {"A2", "accounting",
-       "traffic and cache counters mutate only inside the accounting layer "
-       "(Network / TrafficStats / LocationCache)"},
+       "traffic, cache, and compression (raw_bytes/wire_bytes) counters "
+       "mutate only inside the accounting layer (Network / TrafficStats / "
+       "LocationCache / net::wire)"},
       {"O1", "observability",
        "manual QueryTrace::open/close/reopen is forbidden outside "
        "SpanScope; RAII keeps span trees balanced"},

@@ -24,6 +24,7 @@ TrafficStats TrafficStats::delta_since(const TrafficStats& base) const {
   TrafficStats d;
   d.messages = messages - base.messages;
   d.bytes = bytes - base.bytes;
+  d.raw_bytes = raw_bytes - base.raw_bytes;
   d.timeouts = timeouts - base.timeouts;
   for (int i = 0; i < kCategoryCount; ++i) {
     d.messages_by[i] = messages_by[i] - base.messages_by[i];
@@ -36,6 +37,7 @@ TrafficStats TrafficStats::delta_since(const TrafficStats& base) const {
 void TrafficStats::accumulate(const TrafficStats& delta) noexcept {
   messages += delta.messages;
   bytes += delta.bytes;
+  raw_bytes += delta.raw_bytes;
   timeouts += delta.timeouts;
   for (int i = 0; i < kCategoryCount; ++i) {
     messages_by[i] += delta.messages_by[i];
@@ -45,16 +47,18 @@ void TrafficStats::accumulate(const TrafficStats& delta) noexcept {
 }
 
 SimTime Network::send(NodeAddress from, NodeAddress to, std::size_t bytes,
-                      SimTime now, Category category) {
+                      SimTime now, Category category, std::size_t raw_bytes) {
   if (from == to) return now;  // node-local: no network involved
+  if (raw_bytes == 0) raw_bytes = bytes;  // no compressed encoding
   ++stats_.messages;
   stats_.bytes += bytes;
+  stats_.raw_bytes += raw_bytes;
   auto c = static_cast<std::size_t>(category);
   ++stats_.messages_by[c];
   stats_.bytes_by[c] += bytes;
   SimTime arrival = now + model_.latency(bytes);
   if (tracer_) {
-    tracer_(MessageEvent{from, to, bytes, now, arrival, category});
+    tracer_(MessageEvent{from, to, bytes, raw_bytes, now, arrival, category});
   }
   return arrival;
 }

@@ -51,10 +51,15 @@ struct CostModel {
   }
 };
 
-/// Aggregate traffic counters.
+/// Aggregate traffic counters. `bytes` is what the cost model charged — the
+/// wire (compressed) size for payloads shipped through net::wire —
+/// `raw_bytes` the uncompressed counterpart, so the compression ratio is
+/// observable wherever traffic is (docs/cost_model.md "Compressed wire
+/// charging").
 struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t raw_bytes = 0;
   std::uint64_t messages_by[kCategoryCount] = {};
   std::uint64_t bytes_by[kCategoryCount] = {};
   std::uint64_t timeouts = 0;
@@ -72,11 +77,14 @@ struct TrafficStats {
   void accumulate(const TrafficStats& delta) noexcept;
 };
 
-/// One charged message, as seen by a tracer.
+/// One charged message, as seen by a tracer. `bytes` is the charged (wire)
+/// size; `raw_bytes` the uncompressed size of the same payload (== bytes
+/// for messages with no compressed encoding).
 struct MessageEvent {
   NodeAddress from = kNoAddress;
   NodeAddress to = kNoAddress;
   std::size_t bytes = 0;
+  std::size_t raw_bytes = 0;
   SimTime sent_at = 0;
   SimTime arrives_at = 0;
   Category category = Category::kRouting;
@@ -105,8 +113,13 @@ class Network {
   /// `now`; returns its arrival time. A node-local interaction (from == to)
   /// is free. Sending to a failed node still transmits (and is charged) —
   /// callers discover the failure by timeout; see `timeout()`.
+  ///
+  /// `bytes` is the wire (charged) size; callers shipping payloads with a
+  /// compressed encoding (net::wire) pass the uncompressed size as
+  /// `raw_bytes` so both ends of the ratio are accounted. 0 (the default)
+  /// means "no separate raw size": raw accounting then mirrors `bytes`.
   SimTime send(NodeAddress from, NodeAddress to, std::size_t bytes,
-               SimTime now, Category category);
+               SimTime now, Category category, std::size_t raw_bytes = 0);
 
   /// Charge a failure-detection timeout at `now`; returns when the sender
   /// gives up. Bumps the aggregate and per-category timeout counters and

@@ -89,6 +89,7 @@ std::string span_to_json(const Span& s) {
   out += ", \"end_ms\": " + json_number(s.end);
   out += ", \"messages\": " + std::to_string(s.messages);
   out += ", \"bytes\": " + std::to_string(s.bytes);
+  out += ", \"raw_bytes\": " + std::to_string(s.raw_bytes);
   out += ", \"timeouts\": " + std::to_string(s.timeouts);
   out += ", \"by_category\": " + by_category_object(s.messages_by, s.bytes_by);
   out += ", \"timeouts_by_category\": " +
@@ -186,6 +187,7 @@ void BenchSink::write(std::ostream& os) const {
     os << ", \"queries\": " << r.queries;
     os << ", \"messages\": " << r.traffic.messages;
     os << ", \"bytes\": " << r.traffic.bytes;
+    os << ", \"raw_bytes\": " << r.traffic.raw_bytes;
     os << ", \"timeouts\": " << r.traffic.timeouts;
     os << ", \"response_ms\": " << json_number(r.response_ms);
     os << ", \"traffic_by_category\": "

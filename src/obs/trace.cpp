@@ -131,6 +131,7 @@ SpanId QueryTrace::adopt_subtree(const QueryTrace& donor, SpanId root) {
 
 void QueryTrace::absorb_unattributed(const QueryTrace& donor) noexcept {
   unattributed_bytes_ += donor.unattributed_bytes_;
+  unattributed_raw_bytes_ += donor.unattributed_raw_bytes_;
   unattributed_messages_ += donor.unattributed_messages_;
   unattributed_timeouts_ += donor.unattributed_timeouts_;
 }
@@ -141,6 +142,7 @@ void QueryTrace::clear() {
   stack_.clear();
   roots_.clear();
   unattributed_bytes_ = 0;
+  unattributed_raw_bytes_ = 0;
   unattributed_messages_ = 0;
   unattributed_timeouts_ = 0;
 }
@@ -155,11 +157,13 @@ void QueryTrace::on_message(const net::MessageEvent& e) {
   if (stack_.empty()) {
     ++unattributed_messages_;
     unattributed_bytes_ += e.bytes;
+    unattributed_raw_bytes_ += e.raw_bytes;
     return;
   }
   Span& s = spans_[stack_.back()];
   ++s.messages;
   s.bytes += e.bytes;
+  s.raw_bytes += e.raw_bytes;
   auto c = static_cast<std::size_t>(e.category);
   ++s.messages_by[c];
   s.bytes_by[c] += e.bytes;

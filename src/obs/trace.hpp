@@ -62,7 +62,8 @@ struct Span {
   net::SimTime begin = 0;
   net::SimTime end = 0;
   std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
+  std::uint64_t bytes = 0;      // charged (wire) bytes
+  std::uint64_t raw_bytes = 0;  // uncompressed counterpart (see net::wire)
   std::uint64_t messages_by[net::kCategoryCount] = {};
   std::uint64_t bytes_by[net::kCategoryCount] = {};
   std::uint64_t timeouts = 0;
@@ -152,6 +153,9 @@ class QueryTrace {
   [[nodiscard]] std::uint64_t unattributed_bytes() const noexcept {
     return unattributed_bytes_;
   }
+  [[nodiscard]] std::uint64_t unattributed_raw_bytes() const noexcept {
+    return unattributed_raw_bytes_;
+  }
   [[nodiscard]] std::uint64_t unattributed_messages() const noexcept {
     return unattributed_messages_;
   }
@@ -171,6 +175,7 @@ class QueryTrace {
   net::Network::Tracer prev_tracer_;
   net::Network::TimeoutTracer prev_timeout_tracer_;
   std::uint64_t unattributed_bytes_ = 0;
+  std::uint64_t unattributed_raw_bytes_ = 0;
   std::uint64_t unattributed_messages_ = 0;
   std::uint64_t unattributed_timeouts_ = 0;
 };

@@ -143,11 +143,19 @@ class LocationTable {
   [[nodiscard]] std::size_t entry_count() const noexcept;
   [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
 
-  /// Serialized size (for charging slice transfers / replication traffic).
+  /// Serialized provider entry: address (8) + frequency (4) + version (4).
+  static constexpr std::size_t kProviderBytes = 16;
+  /// Serialized tombstone: key (8) + address (8) + buried version (4).
+  static constexpr std::size_t kTombstoneBytes = 20;
+
+  /// Serialized size (for charging slice transfers / replication traffic):
+  /// table framing + per-row key + full provider entries + tombstones.
   [[nodiscard]] std::size_t byte_size() const noexcept;
-  /// Serialized size of one provider list response.
+  /// Serialized size of one provider list response. Entries carry their
+  /// version (the initiator-side cache needs it to refuse stale rows), so
+  /// the response charges kProviderBytes per provider as well.
   [[nodiscard]] static std::size_t response_bytes(std::size_t providers) {
-    return 16 + 12 * providers;
+    return 16 + kProviderBytes * providers;
   }
 
   /// All rows, ascending by key (the map-era iteration order, pinned by

@@ -7,6 +7,10 @@ namespace ahsw::overlay {
 
 namespace {
 constexpr std::size_t kPublishBytes = 24;   // key + address + frequency
+// Owner-to-replica pushes additionally carry the owner's per-entry version
+// (replicas mirror it verbatim and use it to reject reordered pushes), so
+// they are 4 bytes wider than a plain publish.
+constexpr std::size_t kReplicaPushBytes = 28;  // key + address + freq + version
 constexpr std::size_t kRequestBytes = 32;   // pattern key + requester
 }  // namespace
 
@@ -138,7 +142,9 @@ void HybridOverlay::on_transfer(chord::Key old_owner, chord::Key new_owner,
       lo, hi, [this](chord::Key k) { return ring_.truncate(k); });
   if (slice.empty()) return;
   std::size_t bytes = 8;
-  for (const Row& r : slice) bytes += 8 + 12 * r.providers.size();
+  for (const Row& r : slice) {
+    bytes += 8 + LocationTable::kProviderBytes * r.providers.size();
+  }
   net_->send(oi->second.address, ni->second.address, bytes, when,
              net::Category::kIndex);
   ni->second.table.absorb(slice);
@@ -173,7 +179,7 @@ void HybridOverlay::replicate_row(IndexNodeState& owner, chord::Key key,
     if (copies >= config_.replication_factor - 1) break;
     auto it = index_.find(succ);
     if (it == index_.end() || succ == owner.id) continue;
-    net_->send(owner.address, it->second.address, kPublishBytes, now,
+    net_->send(owner.address, it->second.address, kReplicaPushBytes, now,
                net::Category::kIndex);
     it->second.replicas.upsert_replica(key, provider, freq, version);
     ++copies;
@@ -390,7 +396,7 @@ net::SimTime HybridOverlay::report_dead_provider(net::NodeAddress reporter,
       if (copies >= config_.replication_factor - 1) break;
       auto hi = index_.find(succ);
       if (hi == index_.end() || succ == owner) continue;
-      net_->send(it->second.address, hi->second.address, kPublishBytes, t,
+      net_->send(it->second.address, hi->second.address, kReplicaPushBytes, t,
                  net::Category::kIndex);
       hi->second.replicas.purge(key, dead);
       ++copies;
@@ -484,7 +490,8 @@ void HybridOverlay::repair(net::SimTime now) {
       if (oi == index_.end()) continue;
       if (owner_id != holder_id) {
         net_->send(holder.address, oi->second.address,
-                   8 + 12 * r.providers.size(), now, net::Category::kIndex);
+                   8 + LocationTable::kProviderBytes * r.providers.size(),
+                   now, net::Category::kIndex);
       } else {
         promoted.push_back(r.key);
       }

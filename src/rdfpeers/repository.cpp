@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/hash.hpp"
+#include "net/wire.hpp"
 #include "sparql/eval.hpp"
 
 namespace ahsw::rdfpeers {
@@ -125,8 +126,8 @@ Repository::Resolution Repository::resolve_pattern(
       net::SimTime t = net_->send(me, peer.address, kControlBytes, now,
                                   net::Category::kQuery);
       sparql::SolutionSet local = match_at(id);
-      t = net_->send(peer.address, me, local.byte_size(), t,
-                     net::Category::kData);
+      t = net_->send(peer.address, me, net::wire::charged_bytes(local), t,
+                     net::Category::kData, local.byte_size());
       res.solutions = sparql::deduplicated(
           sparql::set_union(res.solutions, local));
       res.completed_at = std::max(res.completed_at, t);
@@ -154,7 +155,8 @@ Repository::Resolution Repository::resolve_pattern(
                               net::Category::kQuery);
   sparql::SolutionSet local = match_at(lr.owner);
   res.completed_at = net_->send(lr.owner_address, peers_.at(from).address,
-                                local.byte_size(), t, net::Category::kData);
+                                net::wire::charged_bytes(local), t,
+                                net::Category::kData, local.byte_size());
   res.solutions = sparql::deduplicated(std::move(local));
   res.ok = true;
   return res;
@@ -294,8 +296,9 @@ Repository::Resolution Repository::resolve_range(chord::Key from,
       }
     });
     net::SimTime reply =
-        net_->send(peers_.at(cur).address, me, local.byte_size(), t,
-                   net::Category::kData);
+        net_->send(peers_.at(cur).address, me,
+                   net::wire::charged_bytes(local), t, net::Category::kData,
+                   local.byte_size());
     res.completed_at = std::max(res.completed_at, reply);
     res.solutions = sparql::deduplicated(
         sparql::set_union(res.solutions, std::move(local)));

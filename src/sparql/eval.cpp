@@ -1,5 +1,7 @@
 #include "sparql/eval.hpp"
 
+#include "sparql/columnar.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -136,33 +138,22 @@ SolutionSet LocalEngine::evaluate(const Algebra& a) const {
     case AlgebraKind::kBgp:
       return evaluate_bgp(a.bgp);
     case AlgebraKind::kJoin:
-      return join(evaluate(*a.left), evaluate(*a.right));
+      return join(evaluate(*a.left), evaluate(*a.right), vectorized_);
     case AlgebraKind::kLeftJoin:
       return left_join_conditioned(evaluate(*a.left), evaluate(*a.right),
-                                   a.expr);
+                                   a.expr, vectorized_);
     case AlgebraKind::kUnion:
       return set_union(evaluate(*a.left), evaluate(*a.right));
-    case AlgebraKind::kFilter: {
-      SolutionSet in = evaluate(*a.left);
-      SolutionSet out;
-      for (const Binding& b : in.rows()) {
-        if (satisfies(*a.expr, b)) out.add(b);
-      }
-      return out;
-    }
+    case AlgebraKind::kFilter:
+      return filter_set(evaluate(*a.left), *a.expr, vectorized_);
     case AlgebraKind::kProject: {
       SolutionSet in = evaluate(*a.left);
       SolutionSet out;
       for (const Binding& b : in.rows()) out.add(b.projected(a.vars));
       return out;
     }
-    case AlgebraKind::kDistinct: {
-      SolutionSet in = evaluate(*a.left);
-      in.normalize();
-      auto& rows = in.rows();
-      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-      return in;
-    }
+    case AlgebraKind::kDistinct:
+      return deduplicated(evaluate(*a.left), vectorized_);
     case AlgebraKind::kReduced: {
       SolutionSet in = evaluate(*a.left);
       auto& rows = in.rows();
@@ -348,8 +339,9 @@ QueryResult finalize_result(const Query& q, SolutionSet raw,
 }
 
 SolutionSet left_join_conditioned(const SolutionSet& a, const SolutionSet& b,
-                                  const ExprPtr& cond) {
-  if (cond == nullptr) return left_join(a, b);
+                                  const ExprPtr& cond, bool vectorized) {
+  if (vectorized) return vec_left_join_conditioned(a, b, cond);
+  if (cond == nullptr) return left_join(a, b, false);
   // LeftJoin(O1, O2, F): u1 extends with every compatible u2 whose merge
   // satisfies F, and survives unextended iff no such u2 exists.
   SolutionSet out;
@@ -369,7 +361,9 @@ SolutionSet left_join_conditioned(const SolutionSet& a, const SolutionSet& b,
   return out;
 }
 
-SolutionSet filter_set(const SolutionSet& in, const Expr& e) {
+SolutionSet filter_set(const SolutionSet& in, const Expr& e,
+                       bool vectorized) {
+  if (vectorized) return vec_filter_set(in, e);
   SolutionSet out;
   for (const Binding& b : in.rows()) {
     if (satisfies(e, b)) out.add(b);
@@ -377,7 +371,8 @@ SolutionSet filter_set(const SolutionSet& in, const Expr& e) {
   return out;
 }
 
-SolutionSet deduplicated(SolutionSet in) {
+SolutionSet deduplicated(SolutionSet in, bool vectorized) {
+  if (vectorized) return vec_deduplicated(in);
   in.normalize();
   auto& rows = in.rows();
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());

@@ -1,5 +1,7 @@
 #include "sparql/solution.hpp"
 
+#include "sparql/columnar.hpp"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -152,7 +154,9 @@ std::vector<std::string> shared_variables(const SolutionSet& a,
 
 }  // namespace
 
-SolutionSet join(const SolutionSet& a, const SolutionSet& b) {
+SolutionSet join(const SolutionSet& a, const SolutionSet& b,
+                 bool vectorized) {
+  if (vectorized) return vec_join(a, b);
   SolutionSet out;
   const std::vector<std::string> shared = shared_variables(a, b);
 
@@ -207,7 +211,9 @@ SolutionSet set_union(const SolutionSet& a, const SolutionSet& b) {
   return out;
 }
 
-SolutionSet minus(const SolutionSet& a, const SolutionSet& b) {
+SolutionSet minus(const SolutionSet& a, const SolutionSet& b,
+                  bool vectorized) {
+  if (vectorized) return vec_minus(a, b);
   SolutionSet out;
   for (const Binding& ra : a.rows()) {
     bool any_compatible = false;
@@ -222,10 +228,12 @@ SolutionSet minus(const SolutionSet& a, const SolutionSet& b) {
   return out;
 }
 
-SolutionSet left_join(const SolutionSet& a, const SolutionSet& b) {
-  SolutionSet joined = join(a, b);
+SolutionSet left_join(const SolutionSet& a, const SolutionSet& b,
+                      bool vectorized) {
+  if (vectorized) return vec_left_join(a, b);
+  SolutionSet joined = join(a, b, false);
   // (O1 - O2): keep rows of a with no compatible partner in b.
-  SolutionSet unmatched = minus(a, b);
+  SolutionSet unmatched = minus(a, b, false);
   for (const Binding& r : unmatched.rows()) joined.add(r);
   return joined;
 }

@@ -83,24 +83,41 @@ class SolutionSet {
   [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
 
   void add(Binding b) {
+    // The raw size is a plain per-row sum, so the increment is exact; the
+    // wire (encoded) size is holistic — a new row can extend the payload's
+    // term dictionary or variable schema — so no increment is correct and
+    // the memo must be dropped (net::wire recomputes through the encoder).
     if (cached_bytes_ != kDirty) cached_bytes_ += b.byte_size();
+    wire_cached_ = 0;
     rows_.push_back(std::move(b));
   }
 
   [[nodiscard]] const std::vector<Binding>& rows() const noexcept {
     return rows_;
   }
-  /// Mutable row access invalidates the cached byte size; do not hold the
+  /// Mutable row access invalidates the cached byte sizes; do not hold the
   /// reference across a byte_size() call and mutate afterwards.
   [[nodiscard]] std::vector<Binding>& rows() noexcept {
     cached_bytes_ = kDirty;
+    wire_cached_ = 0;
     return rows_;
   }
 
-  /// Total serialized size; what the cost model charges to ship this set.
-  /// Cached: the distributed processor asks for it at every ship and chain
-  /// hop, and recomputing is O(rows x slots).
+  /// Total *raw* (uncompressed) serialized size. The cost model charges the
+  /// compressed size instead (net::wire::charged_bytes); this raw figure
+  /// travels alongside every send as its `raw_bytes` counterpart so the
+  /// compression win stays observable. Cached: the distributed processor
+  /// asks for it at every ship and chain hop, and recomputing is
+  /// O(rows x slots).
   [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  /// Memo slot for the wire-encoded size, owned by net::wire::charged_bytes
+  /// (the encoder lives above this layer). 0 means "not computed": an
+  /// encoded payload is never empty, so 0 is a safe dirty sentinel. Any
+  /// mutation (add, mutable rows()) resets it; normalize() keeps it, since
+  /// the canonical encoding is row-order independent.
+  [[nodiscard]] std::size_t wire_cache() const noexcept { return wire_cached_; }
+  void set_wire_cache(std::size_t n) const noexcept { wire_cached_ = n; }
 
   /// Sort rows canonically (used before comparing result sets in tests and
   /// before returning final answers so output is deterministic). Reordering
@@ -118,21 +135,32 @@ class SolutionSet {
   /// have outdated it. A fresh set is empty, so the cache starts valid and
   /// add() can maintain it incrementally.
   mutable std::size_t cached_bytes_ = kSetFraming;
+  /// Wire-encoded size memo (see wire_cache()); 0 = not computed.
+  mutable std::size_t wire_cached_ = 0;
 };
 
+// The binary operators take a `vectorized` flag: true (the default) runs
+// the dictionary-id kernels of sparql/columnar.hpp, false the original
+// row-at-a-time implementations. Both produce identical rows in identical
+// order — the flag exists so the distributed engines can expose an A/B
+// toggle (ExecutionPolicy::vectorized) and tests can pin the equivalence.
+
 /// O1 x O2 (hash join on the shared variables).
-[[nodiscard]] SolutionSet join(const SolutionSet& a, const SolutionSet& b);
+[[nodiscard]] SolutionSet join(const SolutionSet& a, const SolutionSet& b,
+                               bool vectorized = true);
 
 /// O1 u O2.
 [[nodiscard]] SolutionSet set_union(const SolutionSet& a,
                                     const SolutionSet& b);
 
 /// O1 - O2 (per Perez et al.: drop u1 compatible with any u2).
-[[nodiscard]] SolutionSet minus(const SolutionSet& a, const SolutionSet& b);
+[[nodiscard]] SolutionSet minus(const SolutionSet& a, const SolutionSet& b,
+                                bool vectorized = true);
 
 /// Left outer join without a condition: (O1 x O2) u (O1 - O2).
 [[nodiscard]] SolutionSet left_join(const SolutionSet& a,
-                                    const SolutionSet& b);
+                                    const SolutionSet& b,
+                                    bool vectorized = true);
 
 /// Variables appearing in any row of `s`, sorted.
 [[nodiscard]] std::vector<std::string> variables_of(const SolutionSet& s);

@@ -101,6 +101,33 @@ TEST(AuditClean, TracedQueriesConserveTraffic) {
   }
 }
 
+TEST(AuditClean, RawBytesConserveAndExceedWireBytes) {
+  // I5 covers both sides of the compression ratio: the wire-charged bytes
+  // and the uncompressed raw bytes each conserve span-by-span, and on a
+  // data-bearing query the raw total is strictly larger (the codec must
+  // actually compress, or charging wire bytes is a no-op).
+  workload::Testbed bed(config(1));
+  dqp::DistributedQueryProcessor proc(bed.overlay());
+  obs::QueryTrace trace;
+  proc.set_trace(&trace);
+
+  const std::string q = std::string(kPrologue) +
+                        "SELECT ?s ?n WHERE { ?s foaf:knows ?o . "
+                        "?o foaf:name ?n }";
+  net::TrafficStats before = bed.network().stats();
+  (void)proc.execute(q, bed.storage_addrs().front(), nullptr);
+  net::TrafficStats delta = bed.network().stats().delta_since(before);
+
+  AuditReport rep;
+  audit_conservation(trace, delta, rep);
+  EXPECT_TRUE(rep.pristine()) << rep.to_string();
+  EXPECT_GT(delta.raw_bytes, delta.bytes);
+
+  std::uint64_t span_raw = trace.unattributed_raw_bytes();
+  for (const obs::Span& s : trace.spans()) span_raw += s.raw_bytes;
+  EXPECT_EQ(span_raw, delta.raw_bytes);
+}
+
 TEST(AuditClean, ChurnSequenceNeverGoesCorrupt) {
   workload::Testbed bed(config(3));
   overlay::HybridOverlay& ov = bed.overlay();

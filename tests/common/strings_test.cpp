@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/rng.hpp"
+
 namespace ahsw::common {
 namespace {
 
@@ -58,12 +62,68 @@ TEST(EscapeNTriples, RoundTripsThroughUnescape) {
   EXPECT_EQ(unescape_ntriples(escape_ntriples(raw)), raw);
 }
 
+TEST(UnescapeNTriples, DecodesNumericEscapes) {
+  // \uXXXX used to pass through verbatim, which broke the inverse law:
+  // escape would then double the backslash and the literal value grew a
+  // spurious "\\u0041" on every parse/serialize cycle.
+  EXPECT_EQ(unescape_ntriples("a\\u0041"), "aA");
+  EXPECT_EQ(unescape_ntriples("\\u0000"), std::string(1, '\0'));
+  EXPECT_EQ(unescape_ntriples("\\u00E9"), "\xC3\xA9");      // é as UTF-8
+  EXPECT_EQ(unescape_ntriples("\\u20AC"), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(unescape_ntriples("\\U0001F600"), "\xF0\x9F\x98\x80");
+}
+
+TEST(UnescapeNTriples, KeepsMalformedNumericEscapesVerbatim) {
+  EXPECT_EQ(unescape_ntriples("\\u00G1"), "\\u00G1");
+  EXPECT_EQ(unescape_ntriples("\\u12"), "\\u12");        // short
+  EXPECT_EQ(unescape_ntriples("\\UFFFFFFFF"), "\\UFFFFFFFF");  // > U+10FFFF
+}
+
 TEST(UnescapeNTriples, LeavesUnknownEscapesIntact) {
-  EXPECT_EQ(unescape_ntriples("a\\u0041"), "a\\u0041");
+  EXPECT_EQ(unescape_ntriples("a\\qb"), "a\\qb");
 }
 
 TEST(UnescapeNTriples, HandlesTrailingBackslash) {
   EXPECT_EQ(unescape_ntriples("a\\"), "a\\");
+}
+
+TEST(EscapeNTriples, ControlCharactersUseNumericEscapes) {
+  EXPECT_EQ(escape_ntriples(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(escape_ntriples(std::string(1, '\x1F')), "\\u001F");
+  EXPECT_EQ(escape_ntriples(std::string(1, '\0')), "\\u0000");
+  // Named escapes keep their short forms.
+  EXPECT_EQ(escape_ntriples("\n\r\t"), "\\n\\r\\t");
+}
+
+TEST(EscapeNTriples, RoundTripsArbitraryBytes) {
+  // Property: unescape(escape(s)) == s for any byte string — quotes,
+  // backslashes, control characters, and non-ASCII (UTF-8 and otherwise).
+  Rng rng(0x5eed5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string raw;
+    std::size_t len = rng.below(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      switch (rng.below(4)) {
+        case 0: raw += static_cast<char>(rng.below(0x20)); break;  // control
+        case 1: raw += static_cast<char>("\"\\\n\r\t"[rng.below(5)]); break;
+        case 2: raw += static_cast<char>(0x80 + rng.below(0x80)); break;
+        default: raw += static_cast<char>(0x20 + rng.below(0x5F)); break;
+      }
+    }
+    EXPECT_EQ(unescape_ntriples(escape_ntriples(raw)), raw)
+        << "trial " << trial;
+  }
+}
+
+TEST(EscapeNTriples, EscapedFormIsFixpointOfReescaping) {
+  // escape . unescape is the identity on canonically escaped strings: what
+  // the serializer writes, the parser reads back, and re-serializing emits
+  // the same bytes.
+  for (std::string escaped :
+       {std::string("a\\u0001b"), std::string("\\n\\r\\t\\\"\\\\"),
+        std::string("plain text"), std::string("caf\xC3\xA9")}) {
+    EXPECT_EQ(escape_ntriples(unescape_ntriples(escaped)), escaped);
+  }
 }
 
 }  // namespace

@@ -64,6 +64,7 @@ void expect_stats_equal(const net::TrafficStats& a, const net::TrafficStats& b,
                         const char* what) {
   EXPECT_EQ(a.messages, b.messages) << what;
   EXPECT_EQ(a.bytes, b.bytes) << what;
+  EXPECT_EQ(a.raw_bytes, b.raw_bytes) << what;
   EXPECT_EQ(a.timeouts, b.timeouts) << what;
   for (int c = 0; c < net::kCategoryCount; ++c) {
     EXPECT_EQ(a.messages_by[c], b.messages_by[c]) << what << " category " << c;

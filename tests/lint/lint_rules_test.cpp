@@ -77,7 +77,13 @@ TEST(LintFixtures, A1UncategorizedSend) {
   expect_golden("a1_uncategorized_send");
 }
 
+TEST(LintFixtures, A1RawBytesCharged) { expect_golden("a1_raw_bytes_charged"); }
+
 TEST(LintFixtures, A2CounterMutation) { expect_golden("a2_counter_mutation"); }
+
+TEST(LintFixtures, A2WireCounterMutation) {
+  expect_golden("a2_wire_counter_mutation");
+}
 
 TEST(LintFixtures, A2CacheCounterMutation) {
   expect_golden("a2_cache_counter_mutation");

@@ -362,10 +362,27 @@ TEST(LocationTable, RowsIterateAscendingByKeyAfterArbitraryMutations) {
 TEST(LocationTable, ByteSizeTracksContent) {
   LocationTable t;
   std::size_t empty_size = t.byte_size();
+  EXPECT_EQ(empty_size, 8u);
   t.publish(K1, D1, 1);
-  EXPECT_GT(t.byte_size(), empty_size);
+  // One row: key (8) + one provider entry (address 8 + frequency 4 +
+  // version 4). The 12-byte figure predating per-entry versions was an
+  // undercount.
+  EXPECT_EQ(t.byte_size(), 8u + 8u + 16u);
   EXPECT_EQ(LocationTable::response_bytes(0), 16u);
-  EXPECT_EQ(LocationTable::response_bytes(3), 16u + 36u);
+  EXPECT_EQ(LocationTable::response_bytes(3), 16u + 3u * 16u);
+}
+
+TEST(LocationTable, ByteSizeCountsTombstones) {
+  LocationTable t;
+  t.publish(K1, D1, 1);
+  std::size_t with_entry = t.byte_size();
+  // Full removal buries a tombstone (key 8 + address 8 + version 4): the
+  // snapshot that travels on transfers must charge for it, or deletions
+  // would propagate for free.
+  ASSERT_TRUE(t.purge(K1, D1));
+  EXPECT_TRUE(t.tombstoned(K1, D1));
+  EXPECT_EQ(t.byte_size(), 8u + 20u);
+  EXPECT_LT(t.byte_size(), with_entry);
 }
 
 }  // namespace

@@ -119,5 +119,41 @@ TEST(NTriplesRoundTrip, RandomTriplesSurviveSerialization) {
   EXPECT_EQ(parsed, triples);
 }
 
+TEST(NTriplesRoundTrip, NumericEscapesDecodeAndReserializeCanonically) {
+  // A document using \uXXXX parses to the decoded value...
+  Triple t = parse_ntriples_line(R"(<http://s> <http://p> "\u0041BC" .)");
+  EXPECT_EQ(t.o, Term::literal("ABC"));
+  // ...and re-serializing emits the plain character, which parses back to
+  // the same triple (the old passthrough turned this into "ABC" with
+  // a doubled backslash on the next cycle).
+  std::string doc = to_ntriples({t});
+  EXPECT_EQ(parse_ntriples(doc), std::vector<Triple>{t});
+}
+
+TEST(NTriplesRoundTrip, ControlAndNonAsciiLiteralsSurvive) {
+  common::Rng rng(777);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 100; ++i) {
+    std::string lex;
+    std::size_t len = rng.between(1, 24);
+    for (std::size_t j = 0; j < len; ++j) {
+      switch (rng.below(4)) {
+        case 0: lex += static_cast<char>(rng.below(0x20)); break;
+        case 1: lex += "\"\\"[rng.below(2)]; break;
+        case 2: lex += "caf\xC3\xA9"[rng.below(5)]; break;
+        default: lex += static_cast<char>('a' + rng.below(26)); break;
+      }
+    }
+    Term o = rng.chance(0.5) ? Term::literal(lex)
+                             : Term::lang_literal(lex, "en");
+    triples.push_back({Term::iri("http://s"), Term::iri("http://p"), o});
+  }
+  std::string doc = to_ntriples(triples);
+  std::vector<Triple> parsed = parse_ntriples(doc);
+  EXPECT_EQ(parsed, triples);
+  // Serialization is a fixpoint: parse . serialize is stable byte-for-byte.
+  EXPECT_EQ(to_ntriples(parsed), doc);
+}
+
 }  // namespace
 }  // namespace ahsw::rdf
